@@ -1,0 +1,95 @@
+"""Ablations of JURY's design choices (DESIGN.md §5).
+
+1. **State-aware consensus** — disable the §IV-C snapshot grouping and
+   measure false positives under eventual-consistency churn: the grouping
+   is what keeps benign transient asynchrony from alarming.
+2. **Adaptive timeouts** (§VIII future work) — compare false timeout alarms
+   under a too-tight static timeout vs the adaptive policy.
+3. **Replication factor** — detection coverage vs JURY network overhead as
+   k grows: the practicality trade-off behind "k randomly chosen".
+"""
+
+from conftest import run_once
+
+from repro.core.timeouts import AdaptiveTimeout
+from repro.harness.experiment import build_experiment
+from repro.harness.reporting import format_table
+from repro.workloads.traffic import TrafficDriver
+
+
+def churny_run(seed, state_aware=True, timeout=None, timeout_ms=250.0, k=6):
+    experiment = build_experiment(kind="onos", n=7, k=k, switches=24,
+                                  seed=seed, timeout_ms=timeout_ms,
+                                  state_aware=state_aware)
+    if timeout is not None:
+        experiment.validator.timeout = timeout
+    experiment.warmup()
+    driver = TrafficDriver(experiment.sim, experiment.topology,
+                           packet_in_rate_per_s=4000.0, duration_ms=1200.0,
+                           host_join_rate_per_s=10.0,
+                           link_churn_rate_per_s=2.0)
+    driver.start()
+    experiment.begin_window()
+    experiment.run(1800.0)
+    return experiment
+
+
+def test_ablation_state_aware_consensus(benchmark):
+    def run():
+        with_grouping = churny_run(seed=130, state_aware=True)
+        without_grouping = churny_run(seed=130, state_aware=False)
+        fp_on = with_grouping.validator.false_positive_rate()
+        fp_off = without_grouping.validator.false_positive_rate()
+        print(f"\nState-aware consensus: FP {100 * fp_on:.2f}% with "
+              f"snapshot grouping vs {100 * fp_off:.2f}% without")
+        return fp_on, fp_off
+
+    fp_on, fp_off = run_once(benchmark, run)
+    # The grouping keeps benign churn quiet; naive majority does not.
+    assert fp_on < 0.01
+    assert fp_off > 2 * fp_on
+
+
+def test_ablation_adaptive_timeout(benchmark):
+    def run():
+        tight = churny_run(seed=131, timeout_ms=30.0)  # too strict (§VIII)
+        adaptive = churny_run(seed=131, timeout=AdaptiveTimeout(
+            initial_ms=30.0, window=200, quantile=0.95, margin=1.4))
+        fp_tight = tight.validator.false_positive_rate()
+        fp_adaptive = adaptive.validator.false_positive_rate()
+        print(f"\nTimeouts under churn: static 30 ms -> "
+              f"{100 * fp_tight:.2f}% FP; adaptive -> "
+              f"{100 * fp_adaptive:.2f}% FP "
+              f"(final timeout {adaptive.validator.timeout.current():.0f} ms)")
+        return fp_tight, fp_adaptive
+
+    fp_tight, fp_adaptive = run_once(benchmark, run)
+    # "A lower timeout can raise numerous false alarms" (§VIII); the
+    # adaptive policy tracks the latency trend and quells them.
+    assert fp_tight > 0.01
+    assert fp_adaptive < fp_tight / 3
+
+
+def test_ablation_replication_factor(benchmark):
+    def run():
+        rows = []
+        results = {}
+        for k in (1, 2, 4, 6):
+            experiment = churny_run(seed=132, k=k)
+            overheads = experiment.overhead_mbps()
+            jury_mbps = overheads["replication"] + overheads["validator"]
+            stats = experiment.detection_stats()
+            results[k] = (jury_mbps, stats.p95)
+            rows.append([f"k={k}", f"{jury_mbps:.1f}",
+                         f"{stats.median:.0f}", f"{stats.p95:.0f}"])
+        print()
+        print(format_table(
+            "Ablation — replication factor: overhead vs detection latency",
+            ["config", "JURY Mbps", "median det ms", "p95 det ms"], rows))
+        return results
+
+    results = run_once(benchmark, run)
+    # Overhead grows with k; latency grows with k. Both are the price of
+    # stronger majorities.
+    assert results[1][0] < results[6][0]
+    assert results[1][1] < results[6][1] * 1.5

@@ -1,0 +1,57 @@
+"""Appendix — the four additional reported faults, all detected.
+
+1. ODL flow deletion failure (T1): REST deletion locks the controller up.
+2. ONOS link detection inconsistent (T1): edge writes sporadically lost.
+3. ODL flow instantiation failure (T2): restconf OK, no FLOW_MOD emitted.
+4. ONOS flow rules stuck in PENDING_ADD (T2): store/switch mismatch.
+"""
+
+from conftest import run_once
+
+from repro.faults import (
+    FlowDeletionFailureFault,
+    FlowInstantiationFailureFault,
+    LinkDetectionInconsistencyFault,
+    PendingAddFault,
+)
+from repro.faults.base import run_scenario
+from repro.faults.injector import default_policy_engine
+from repro.harness.experiment import build_experiment
+from repro.harness.reporting import format_table
+
+SCENARIOS = [
+    ("odl", lambda: FlowDeletionFailureFault("c1"), "Appendix 1 (T1)"),
+    ("onos", lambda: LinkDetectionInconsistencyFault(2, 3), "Appendix 2 (T1)"),
+    ("odl", lambda: FlowInstantiationFailureFault("c1"), "Appendix 3 (T2)"),
+    ("onos", lambda: PendingAddFault(4), "Appendix 4 (T2)"),
+]
+
+
+def test_appendix_faults_detected(benchmark):
+    def run():
+        rows = []
+        outcomes = []
+        for index, (kind, factory, reference) in enumerate(SCENARIOS):
+            experiment = build_experiment(
+                kind=kind, n=7, k=6, switches=12, seed=120 + index,
+                timeout_ms=250.0 if kind == "onos" else 1200.0,
+                policy_engine=default_policy_engine(), with_northbound=True)
+            experiment.warmup()
+            scenario = factory()
+            result = run_scenario(experiment, scenario)
+            outcomes.append(result)
+            rows.append([scenario.name, reference,
+                         "YES" if result.detected else "NO",
+                         result.matching_alarms[0].reason.value
+                         if result.matching_alarms else "-",
+                         f"{result.detection_ms:.0f} ms"
+                         if result.detection_ms else "-"])
+        print()
+        print(format_table("Appendix faults — detection matrix",
+                           ["scenario", "paper ref", "detected",
+                            "mechanism", "latency"], rows))
+        return outcomes
+
+    outcomes = run_once(benchmark, run)
+    assert all(result.detected for result in outcomes)
+    assert all(result.attribution_correct for result in outcomes)

@@ -1,0 +1,55 @@
+"""Fig 4a — ONOS detection-time CDFs for k secondary / m faulty controllers.
+
+Paper: with n=7 at a peak PACKET_IN rate of ~5.5K/s, detection time grows
+with k (more responses needed for consensus) and with m (faulty replicas
+slow the majority); 95th percentiles ≈97 ms (k=6, m=0) and ≈129 ms
+(k=6, m=2). Reproduction targets: the ordering k=2 < k=4 < k=6 < (k=6, m=2)
+and 95th percentiles within a factor of ~2 of the paper's.
+"""
+
+from conftest import onos_detection_run, run_once
+
+from repro.harness.metrics import cdf_points
+from repro.harness.reporting import format_table
+
+RATE = 8000.0  # requested; measures ~5.5K PACKET_IN/s cluster-wide
+
+CONFIGS = [
+    ("k=2, m=0", 2, ()),
+    ("k=4, m=0", 4, ()),
+    ("k=6, m=0", 6, ()),
+    ("k=6, m=2", 6, ("c6", "c7")),
+]
+
+
+def test_fig4a_onos_detection_cdfs(benchmark):
+    def run():
+        rows = []
+        p95s = {}
+        for label, k, slow in CONFIGS:
+            experiment = onos_detection_run(k=k, rate=RATE,
+                                            slow_controllers=slow,
+                                            duration_ms=900.0)
+            stats = experiment.detection_stats()
+            rows.append([label, stats.count, f"{stats.median:.0f}",
+                         f"{stats.p95:.0f}", f"{stats.p99:.0f}"])
+            p95s[label] = stats.p95
+            cdf = cdf_points(stats.samples, points=10)
+            series = "  ".join(f"{x:.0f}ms@{y:.2f}" for x, y in cdf)
+            print(f"\nCDF {label}: {series}")
+        print()
+        print(format_table(
+            "Fig 4a — ONOS detection times (ms), n=7, ~5.5K PACKET_IN/s",
+            ["config", "samples", "median", "p95", "p99"], rows))
+        return p95s
+
+    p95s = run_once(benchmark, run)
+    # Shape assertions: detection grows from k=2 to k=6 and with m=2.
+    # (k=4 sits between them on average but is not asserted strictly —
+    # one-shot runs at saturating load are noisy.)
+    assert p95s["k=2, m=0"] < p95s["k=6, m=0"]
+    assert p95s["k=2, m=0"] < p95s["k=4, m=0"]
+    assert p95s["k=6, m=2"] > p95s["k=6, m=0"]
+    # Magnitude: within a factor of ~2 of the paper's 97 ms / 129 ms.
+    assert 45 < p95s["k=6, m=0"] < 200
+    assert 60 < p95s["k=6, m=2"] < 300

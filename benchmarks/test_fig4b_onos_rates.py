@@ -1,0 +1,36 @@
+"""Fig 4b — ONOS detection times vs PACKET_IN rate (k=6, m=0).
+
+Paper: "with increase in PACKET_IN rate, validation time also increases" —
+the load-dependent response-time tail of the controllers stretches the wait
+for the full 2k+2 response complement.
+"""
+
+from conftest import onos_detection_run, run_once
+
+from repro.harness.reporting import format_table
+
+# Requested rates chosen to measure roughly the paper's 500/3000/5500.
+RATES = [700.0, 4300.0, 8000.0]
+
+
+def test_fig4b_onos_detection_vs_rate(benchmark):
+    def run():
+        rows = []
+        medians = []
+        for rate in RATES:
+            experiment = onos_detection_run(k=6, rate=rate)
+            stats = experiment.detection_stats()
+            point = experiment.throughput()
+            rows.append([f"{point.packet_in_rate_per_s:.0f}/s", stats.count,
+                         f"{stats.median:.0f}", f"{stats.p95:.0f}"])
+            medians.append(stats.median)
+        print()
+        print(format_table(
+            "Fig 4b — ONOS detection times vs PACKET_IN rate (k=6, m=0)",
+            ["measured PACKET_IN rate", "samples", "median ms", "p95 ms"],
+            rows))
+        return medians
+
+    medians = run_once(benchmark, run)
+    # Shape: detection time grows with the PACKET_IN rate.
+    assert medians[0] < medians[-1]

@@ -1,0 +1,53 @@
+"""Fig 4c — ODL detection-time CDFs for k secondary / m faulty controllers.
+
+Paper: ~500 ms (k=6, m=0) and ~700 ms (k=6, m=2) at ~500 PACKET_IN/s —
+significantly higher than ONOS "because ONOS is much more responsive than
+ODL even when the controller's FLOW_MOD generation pipeline saturates".
+Reproduction targets: ordering in k and m, ODL ≫ ONOS, magnitudes within a
+factor of ~2.
+"""
+
+from conftest import odl_detection_run, onos_detection_run, run_once
+
+from repro.harness.reporting import format_table
+
+RATE = 500.0
+
+CONFIGS = [
+    ("k=2, m=0", 2, ()),
+    ("k=4, m=0", 4, ()),
+    ("k=6, m=0", 6, ()),
+    ("k=6, m=2", 6, ("c6", "c7")),
+]
+
+
+def test_fig4c_odl_detection_cdfs(benchmark):
+    def run():
+        rows = []
+        p95s = {}
+        for label, k, slow in CONFIGS:
+            experiment = odl_detection_run(k=k, rate=RATE,
+                                           slow_controllers=slow)
+            stats = experiment.detection_stats()
+            rows.append([label, stats.count, f"{stats.median:.0f}",
+                         f"{stats.p95:.0f}"])
+            p95s[label] = stats.p95
+        print()
+        print(format_table(
+            "Fig 4c — ODL detection times (ms), n=7, ~500 PACKET_IN/s",
+            ["config", "samples", "median", "p95"], rows))
+        # The ONOS/ODL gap the paper highlights:
+        onos = onos_detection_run(k=6, rate=RATE, duration_ms=2500.0)
+        onos_p95 = onos.detection_stats().p95
+        print(f"\nONOS p95 at the same rate: {onos_p95:.0f} ms "
+              f"(ODL/ONOS ratio {p95s['k=6, m=0'] / max(onos_p95, 1e-9):.1f}x)")
+        return p95s, onos_p95
+
+    p95s, onos_p95 = run_once(benchmark, run)
+    assert p95s["k=2, m=0"] < p95s["k=6, m=0"]
+    assert p95s["k=6, m=2"] > p95s["k=6, m=0"]
+    # Magnitudes: paper ~500/~700 ms; accept a factor of ~2.
+    assert 250 < p95s["k=6, m=0"] < 1000
+    assert 350 < p95s["k=6, m=2"] < 1400
+    # ODL detection is several times slower than ONOS at the same rate.
+    assert p95s["k=6, m=0"] > 3 * onos_p95

@@ -1,0 +1,48 @@
+"""Fig 4e — Cbench PACKET_IN bursts overwhelm ONOS.
+
+Paper: Cbench in throughput mode "quickly throttles each controller,
+causing the cumulative FLOW_MOD throughput to plummet to zero" — TCP
+zero-window at the controller, transmission-window-full at the switch.
+The reproduction drives blocking bursts into a collapse-enabled pipeline
+and prints the PACKET_IN / FLOW_MOD time series: bursty input, output that
+rises and then falls to zero. This is why the paper (and this repo's
+throughput figures) use tcpreplay instead.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiment import build_experiment
+from repro.harness.reporting import format_table
+from repro.workloads.cbench import CbenchDriver
+
+
+def test_fig4e_cbench_overwhelms_onos(benchmark):
+    def run():
+        experiment = build_experiment(
+            kind="onos", n=1, switches=2, seed=32,
+            profile_overrides={"collapse_threshold": 800})
+        experiment.warmup()
+        controller = experiment.cluster.controller("c1")
+        driver = CbenchDriver(experiment.sim, controller,
+                              burst_size=300, burst_gap_ms=4.0,
+                              duration_ms=8000.0, sample_interval_ms=500.0)
+        driver.start()
+        experiment.run(9000.0)
+        rows = [[f"{s.time_ms:.0f}", f"{s.packet_in_rate_per_s:.0f}",
+                 f"{s.flow_mod_rate_per_s:.0f}"] for s in driver.samples]
+        print()
+        print(format_table(
+            "Fig 4e — Cbench bursts vs FLOW_MOD output (collapse to zero)",
+            ["t (ms)", "PACKET_IN/s", "FLOW_MOD/s"], rows))
+        return driver.samples, controller
+
+    samples, controller = run_once(benchmark, run)
+    flow_rates = [s.flow_mod_rate_per_s for s in samples]
+    pin_rates = [s.packet_in_rate_per_s for s in samples]
+    # Bursty input far exceeds the service capacity...
+    assert max(pin_rates) > 20_000
+    # ...the controller produced FLOW_MODs initially...
+    assert max(flow_rates) > 0
+    # ...and output collapsed to zero rather than plateauing.
+    assert flow_rates[-1] == 0.0
+    assert controller.pipeline.stats.stalled_drops > 0

@@ -1,0 +1,45 @@
+"""Fig 4g — vanilla ODL FLOW_MOD vs PACKET_IN rate across cluster sizes.
+
+Paper: "vanilla ODL's performance is significantly hampered by any amount
+of clustering. In cluster mode but with a single node (n=1), ODL saturates
+at a peak FLOW_MOD rate of ~800, and at n=7, it drops down to ~140. Thus,
+ODL's cluster mode performance is limited by Infinispan."
+"""
+
+from conftest import run_once, throughput_run
+
+from repro.harness.reporting import format_table
+
+SIZES = (1, 3, 5, 7)
+RATES = (200.0, 400.0, 800.0, 1200.0)
+
+
+def test_fig4g_odl_cluster_throughput(benchmark):
+    def run():
+        table = {}
+        rows = []
+        for n in SIZES:
+            for rate in RATES:
+                point = throughput_run("odl", n=n, rate=rate,
+                                       duration_ms=1500.0)
+                table[(n, rate)] = point
+                rows.append([f"n={n}", f"{rate:.0f}",
+                             f"{point.packet_in_rate_per_s:.0f}",
+                             f"{point.flow_mod_rate_per_s:.0f}"])
+        print()
+        print(format_table(
+            "Fig 4g — vanilla ODL FLOW_MOD vs PACKET_IN (collapse with n)",
+            ["cluster", "requested/s", "PACKET_IN/s", "FLOW_MOD/s"], rows))
+        return table
+
+    table = run_once(benchmark, run)
+    peaks = {n: max(table[(n, r)].flow_mod_rate_per_s for r in RATES)
+             for n in SIZES}
+    print("\nPeak FLOW_MOD rates:", {n: f"{p:.0f}" for n, p in peaks.items()})
+    # Paper: ~800 at n=1 collapsing to ~140 at n=7 (allow ~40% slack).
+    assert 500 < peaks[1] < 1100
+    assert 90 < peaks[7] < 230
+    # Strictly decreasing with cluster size.
+    assert peaks[1] > peaks[3] > peaks[7]
+    # The collapse factor is large (paper: ~5.7x).
+    assert peaks[1] / peaks[7] > 3.5

@@ -1,0 +1,46 @@
+"""Fig 4h — JURY's impact on ONOS cluster throughput (n=7, k=2/4/6).
+
+Paper: "Even in the worst case with full replication, i.e., n=7, k=6, we
+observe that the FLOW_MOD throughput experiences a drop of <11% over the
+base case of n=7. ... Thus, JURY is not the bottleneck in eliciting
+FLOW_MOD messages under different cluster settings."
+"""
+
+from conftest import run_once, throughput_run
+
+from repro.harness.reporting import format_table
+
+RATES = (3000.0, 10000.0)
+CONFIGS = [("without JURY", None), ("JURY k=2", 2), ("JURY k=4", 4),
+           ("JURY k=6", 6)]
+
+
+def test_fig4h_jury_throughput_impact(benchmark):
+    def run():
+        rows = []
+        peaks = {}
+        for label, k in CONFIGS:
+            best = 0.0
+            for rate in RATES:
+                point = throughput_run("onos", n=7, rate=rate, k=k,
+                                       duration_ms=800.0)
+                best = max(best, point.flow_mod_rate_per_s)
+                rows.append([label, f"{rate:.0f}",
+                             f"{point.packet_in_rate_per_s:.0f}",
+                             f"{point.flow_mod_rate_per_s:.0f}"])
+            peaks[label] = best
+        print()
+        print(format_table(
+            "Fig 4h — ONOS FLOW_MOD throughput with JURY (n=7)",
+            ["config", "requested/s", "PACKET_IN/s", "FLOW_MOD/s"], rows))
+        base = peaks["without JURY"]
+        for label, _ in CONFIGS[1:]:
+            drop = 100 * (1 - peaks[label] / base)
+            print(f"{label}: {drop:.1f}% drop vs vanilla n=7")
+        return peaks
+
+    peaks = run_once(benchmark, run)
+    base = peaks["without JURY"]
+    # Worst case (full replication) costs <11% of FLOW_MOD throughput.
+    assert peaks["JURY k=6"] > 0.89 * base
+    assert peaks["JURY k=2"] >= peaks["JURY k=6"] * 0.97  # k=2 no worse

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Cluster throughput: why ONOS clusters scale and ODL clusters don't.
+
+A compact version of §VII-B.1: drives tcpreplay-style traffic at a vanilla
+ONOS cluster and a vanilla ODL cluster across cluster sizes, and prints the
+measured FLOW_MOD rates. The consistency models do the work — ONOS's
+eventually consistent Hazelcast store barely notices clustering, while
+ODL's strongly consistent Infinispan store serializes writes cluster-wide.
+
+Run:  python examples/cluster_throughput.py   (takes a minute or two)
+"""
+
+from repro.harness import build_experiment, format_table
+from repro.workloads import TcpReplayDriver
+
+
+def measure(kind: str, n: int, rate: float, window_ms: float = 1500.0):
+    experiment = build_experiment(kind=kind, n=n, switches=24, seed=90)
+    experiment.warmup()
+    driver = TcpReplayDriver(experiment.sim, experiment.topology,
+                             packet_in_rate_per_s=rate,
+                             duration_ms=window_ms)
+    driver.start()
+    experiment.begin_window()
+    experiment.run(window_ms)
+    return experiment.throughput()
+
+
+def main() -> None:
+    rows = []
+    for n in (1, 3, 7):
+        point = measure("onos", n, rate=9000.0)
+        rows.append([f"ONOS n={n}", f"{point.packet_in_rate_per_s:.0f}",
+                     f"{point.flow_mod_rate_per_s:.0f}"])
+    for n in (1, 3, 7):
+        point = measure("odl", n, rate=1200.0)
+        rows.append([f"ODL  n={n}", f"{point.packet_in_rate_per_s:.0f}",
+                     f"{point.flow_mod_rate_per_s:.0f}"])
+
+    print(format_table(
+        "Peak cluster throughput under tcpreplay load (Fig 4f / 4g shape)",
+        ["cluster", "PACKET_IN/s", "FLOW_MOD/s"], rows))
+
+    onos = [float(r[2]) for r in rows[:3]]
+    odl = [float(r[2]) for r in rows[3:]]
+    print("\nONOS: clustering costs "
+          f"{100 * (1 - min(onos) / max(onos)):.0f}% at n=7 (paper: <8%).")
+    print("ODL:  clustering costs "
+          f"{100 * (1 - odl[2] / odl[0]):.0f}% at n=7 "
+          "(paper: ~800 -> ~140 FLOW_MOD/s).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fault-detection demo: inject the paper's faults, watch JURY catch them.
+
+Reproduces §VII-A1's scenario catalog against fresh clusters in the paper's
+worst-case shape (n=7, full replication k=6): the real ONOS/ODL faults, the
+three synthetic faults (one per Table 1 class), the Appendix faults, and the
+generic distributed-system failure classes. For each scenario the demo
+prints whether JURY detected it, through which mechanism, how fast, and
+whether action attribution named the faulty controller.
+
+Run:  python examples/fault_detection_demo.py
+"""
+
+from repro.faults import (
+    CrashFault,
+    FaultyProactiveFault,
+    FlowDeletionFailureFault,
+    FlowInstantiationFailureFault,
+    LinkDetectionInconsistencyFault,
+    LinkFailureFault,
+    OdlFlowModDropFault,
+    OdlIncorrectFlowModFault,
+    OnosDatabaseLockFault,
+    OnosMasterElectionFault,
+    PendingAddFault,
+    ResponseCorruptionFault,
+    ResponseOmissionFault,
+    TimingFault,
+    UndesirableFlowModFault,
+)
+from repro.faults.base import run_scenario
+from repro.faults.injector import default_policy_engine
+from repro.harness import build_experiment, format_table
+
+SCENARIOS = [
+    # (controller kind, scenario, paper reference)
+    ("onos", OnosDatabaseLockFault("c1"), "§III-B real T1"),
+    ("onos", OnosMasterElectionFault(1, 2), "§III-B real T1"),
+    ("odl", OdlFlowModDropFault("c1"), "§III-B real T2"),
+    ("odl", OdlIncorrectFlowModFault("c1"), "§III-B real T3"),
+    ("onos", LinkFailureFault(1, 2), "§VII-A1 synthetic T1"),
+    ("onos", UndesirableFlowModFault("c2"), "§VII-A1 synthetic T2"),
+    ("onos", FaultyProactiveFault("c3"), "§VII-A1 synthetic T3"),
+    ("odl", FlowDeletionFailureFault("c1"), "Appendix 1 T1"),
+    ("onos", LinkDetectionInconsistencyFault(2, 3), "Appendix 2 T1"),
+    ("odl", FlowInstantiationFailureFault("c1"), "Appendix 3 T2"),
+    ("onos", PendingAddFault(4), "Appendix 4 T2"),
+    ("onos", CrashFault("c1"), "§III-B crash"),
+    ("onos", ResponseOmissionFault("c2"), "§III-B omission"),
+    ("onos", TimingFault("c3"), "§III-B timing"),
+    ("onos", ResponseCorruptionFault("c1"), "§III-B response"),
+]
+
+
+def build(kind: str, seed: int):
+    experiment = build_experiment(
+        kind=kind, n=7, k=6, switches=12, seed=seed,
+        timeout_ms=250.0 if kind == "onos" else 1200.0,
+        policy_engine=default_policy_engine(),
+        with_northbound=True)
+    experiment.warmup()
+    return experiment
+
+
+def main() -> None:
+    rows = []
+    for index, (kind, scenario, reference) in enumerate(SCENARIOS):
+        experiment = build(kind, seed=60 + index)
+        result = run_scenario(experiment, scenario)
+        mechanism = (result.matching_alarms[0].reason.value
+                     if result.matching_alarms else "-")
+        offender = (result.matching_alarms[0].offending_controller
+                    if result.matching_alarms else "-")
+        rows.append([
+            scenario.name,
+            scenario.fault_class.value,
+            reference,
+            "YES" if result.detected else "NO",
+            mechanism,
+            f"{result.detection_ms:.0f} ms" if result.detection_ms else "-",
+            offender,
+        ])
+
+    print(format_table(
+        "JURY fault detection (n=7, k=6 full replication)",
+        ["scenario", "class", "paper ref", "detected", "mechanism",
+         "latency", "blamed"],
+        rows))
+
+    detected = sum(1 for row in rows if row[3] == "YES")
+    print(f"\n{detected}/{len(rows)} faults detected.")
+    assert detected == len(rows)
+
+
+if __name__ == "__main__":
+    main()

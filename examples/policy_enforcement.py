@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Policy enforcement: administrator constraints in JURY's language (§V).
+
+Parses Fig 3's XML policy (no proactive EdgesDB changes), adds the
+match-field-hierarchy policy that detects the "ODL incorrect FLOW_MOD"
+fault, deploys them on a live cluster, and shows both a T3 fault being
+caught by policy and benign actions passing untouched.
+
+Run:  python examples/policy_enforcement.py
+"""
+
+from repro.faults import FaultyProactiveFault, OdlIncorrectFlowModFault
+from repro.faults.base import run_scenario
+from repro.harness import build_experiment, format_table
+from repro.policy import PolicyEngine, match_hierarchy_policy, parse_policies
+
+# Fig 3, verbatim modulo the paper's XML typo (`<Cache ="EdgesDB" ...>`).
+FIG3_POLICY = """
+<Policy allow="No" name="no-proactive-topology-changes">
+  <Controller id="*"/>
+  <Action type="Internal"/>
+  <Cache name="EdgesDB" entry="*,*" operation="*"/>
+  <Destination value="*"/>
+</Policy>
+"""
+
+
+def main() -> None:
+    engine = PolicyEngine(parse_policies(FIG3_POLICY))
+    engine.add(match_hierarchy_policy())
+    print(f"Loaded {len(engine)} policies.\n")
+
+    rows = []
+
+    # --- T3 fault 1: proactive topology corruption (caught by Fig 3) ----
+    experiment = build_experiment(
+        kind="onos", n=5, k=4, switches=8, seed=81, timeout_ms=250.0,
+        policy_engine=engine)
+    experiment.warmup()
+    result = run_scenario(experiment, FaultyProactiveFault("c3", 2, 3))
+    rows.append(["faulty proactive EdgesDB write (T3)",
+                 "YES" if result.detected else "NO",
+                 result.matching_alarms[0].detail[:60]
+                 if result.matching_alarms else "-"])
+
+    # --- T3 fault 2: malformed match hierarchy (caught by the flow policy)
+    experiment = build_experiment(
+        kind="odl", n=5, k=4, switches=8, seed=82, timeout_ms=1200.0,
+        policy_engine=PolicyEngine(parse_policies(FIG3_POLICY)
+                                   + [match_hierarchy_policy()]),
+        with_northbound=True)
+    experiment.warmup()
+    result = run_scenario(experiment, OdlIncorrectFlowModFault("c1"))
+    rows.append(["incorrect FLOW_MOD match hierarchy (T3)",
+                 "YES" if result.detected else "NO",
+                 result.matching_alarms[0].detail[:60]
+                 if result.matching_alarms else "-"])
+
+    # --- Benign traffic with the same policies: no alarms -----------------
+    experiment = build_experiment(
+        kind="onos", n=5, k=4, switches=8, seed=83, timeout_ms=250.0,
+        policy_engine=engine)
+    experiment.warmup()
+    hosts = experiment.topology.host_list()
+    for i in range(6):
+        experiment.sim.schedule(i * 40.0, hosts[i % 8].open_connection,
+                                hosts[(i + 3) % 8])
+    experiment.run(1200.0)
+    benign_ok = experiment.validator.triggers_alarmed == 0
+    rows.append(["benign reactive traffic",
+                 "no alarms" if benign_ok else "FALSE ALARMS",
+                 f"{experiment.validator.triggers_decided} triggers validated"])
+
+    print(format_table("Policy enforcement results",
+                       ["scenario", "outcome", "detail"], rows))
+    assert benign_ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""JURY — validating controller actions in software-defined networks.
+
+A complete Python reproduction of JURY (Mahajan, Poddar, Dhawan, Mann —
+DSN 2016), including every substrate the paper's evaluation depends on:
+a discrete-event network simulator with OpenFlow soft switches, Hazelcast-
+and Infinispan-like distributed stores, ONOS- and ODL-like controller
+clusters, the workload generators, and a catalog of injectable faults.
+
+Most users start from the harness::
+
+    from repro.harness import build_experiment
+
+    exp = build_experiment(kind="onos", n=7, k=6, timeout_ms=250.0)
+    exp.warmup()
+    ...
+    exp.validator.detection_times()
+
+See README.md for a tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+__paper__ = ("JURY: Validating Controller Actions in Software-Defined "
+             "Networks, DSN 2016")
+
+__all__ = ["__version__", "__paper__"]

@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives operators the paper's experiments without writing code:
+
+* ``validate`` — run a JURY-enhanced cluster under traffic and report
+  validation statistics (the quickstart as a command).
+* ``faults`` — inject a named fault (or the whole catalog) and report
+  detection/attribution.
+* ``throughput`` — the Fig 4f/4g cluster-throughput sweep.
+* ``detection`` — the Fig 4a/4c detection-time distribution.
+* ``list-faults`` — show the fault catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.faults import (
+    CrashFault,
+    StoreDesyncFault,
+    FaultyProactiveFault,
+    FlowDeletionFailureFault,
+    FlowInstantiationFailureFault,
+    LinkDetectionInconsistencyFault,
+    LinkFailureFault,
+    OdlFlowModDropFault,
+    OdlIncorrectFlowModFault,
+    OnosDatabaseLockFault,
+    OnosMasterElectionFault,
+    PendingAddFault,
+    ResponseCorruptionFault,
+    ResponseOmissionFault,
+    TimingFault,
+    UndesirableFlowModFault,
+)
+from repro.faults.base import run_scenario
+from repro.faults.injector import default_policy_engine
+from repro.harness.experiment import build_experiment
+from repro.harness.figures import ascii_cdf
+from repro.harness.reporting import format_table
+from repro.workloads.traffic import TrafficDriver
+
+FAULTS: Dict[str, Callable] = {
+    "onos-database-locking": lambda: OnosDatabaseLockFault("c1"),
+    "onos-master-election": lambda: OnosMasterElectionFault(1, 2),
+    "onos-link-detection": lambda: LinkDetectionInconsistencyFault(2, 3),
+    "onos-pending-add": lambda: PendingAddFault(4),
+    "odl-flow-mod-drop": lambda: OdlFlowModDropFault("c1"),
+    "odl-incorrect-flow-mod": lambda: OdlIncorrectFlowModFault("c1"),
+    "odl-flow-deletion-failure": lambda: FlowDeletionFailureFault("c1"),
+    "odl-flow-instantiation-failure": lambda: FlowInstantiationFailureFault("c1"),
+    "link-failure": lambda: LinkFailureFault(1, 2),
+    "undesirable-flow-mod": lambda: UndesirableFlowModFault("c2"),
+    "faulty-proactive": lambda: FaultyProactiveFault("c3"),
+    "crash": lambda: CrashFault("c1"),
+    "response-omission": lambda: ResponseOmissionFault("c2"),
+    "timing": lambda: TimingFault("c3"),
+    "response-corruption": lambda: ResponseCorruptionFault("c1"),
+    "store-desync": lambda: StoreDesyncFault("c2"),
+}
+
+ODL_FAULTS = {"odl-flow-mod-drop", "odl-incorrect-flow-mod",
+              "odl-flow-deletion-failure", "odl-flow-instantiation-failure"}
+
+
+def _build(args, kind: Optional[str] = None, k: Optional[int] = None):
+    kind = kind or args.controller
+    experiment = build_experiment(
+        kind=kind,
+        n=args.nodes,
+        k=args.replicas if k is None else k,
+        switches=args.switches,
+        seed=args.seed,
+        timeout_ms=args.timeout if args.timeout is not None
+        else (250.0 if kind == "onos" else 1200.0),
+        policy_engine=default_policy_engine(),
+        with_northbound=True,
+    )
+    experiment.warmup()
+    return experiment
+
+
+def cmd_validate(args) -> int:
+    experiment = _build(args)
+    driver = TrafficDriver(experiment.sim, experiment.topology,
+                           packet_in_rate_per_s=args.rate,
+                           duration_ms=args.duration)
+    driver.start()
+    experiment.begin_window()
+    experiment.run(args.duration + 600.0)
+    validator = experiment.validator
+    stats = experiment.detection_stats()
+    throughput = experiment.throughput()
+    print(format_table(
+        f"JURY validation — {args.controller} n={args.nodes} k={args.replicas}",
+        ["metric", "value"],
+        [
+            ["PACKET_IN rate", f"{throughput.packet_in_rate_per_s:.0f}/s"],
+            ["FLOW_MOD rate", f"{throughput.flow_mod_rate_per_s:.0f}/s"],
+            ["triggers validated", validator.triggers_decided],
+            ["alarms", validator.triggers_alarmed],
+            ["false-positive rate",
+             f"{100 * validator.false_positive_rate():.3f}%"],
+            ["median detection", f"{stats.median:.1f} ms"],
+            ["p95 detection", f"{stats.p95:.1f} ms"],
+        ]))
+    return 0
+
+
+def cmd_faults(args) -> int:
+    names: List[str] = args.names or sorted(FAULTS)
+    unknown = [n for n in names if n not in FAULTS]
+    if unknown:
+        print(f"unknown fault(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    rows = []
+    failures = 0
+    for name in names:
+        kind = "odl" if name in ODL_FAULTS else "onos"
+        experiment = _build(args, kind=kind)
+        result = run_scenario(experiment, FAULTS[name]())
+        if not result.detected:
+            failures += 1
+        rows.append([
+            name,
+            "YES" if result.detected else "NO",
+            result.matching_alarms[0].reason.value
+            if result.matching_alarms else "-",
+            f"{result.detection_ms:.0f} ms" if result.detection_ms else "-",
+            result.matching_alarms[0].offending_controller
+            if result.matching_alarms else "-",
+        ])
+    print(format_table("Fault detection",
+                       ["fault", "detected", "mechanism", "latency",
+                        "blamed"], rows))
+    return 1 if failures else 0
+
+
+def cmd_throughput(args) -> int:
+    rows = []
+    for n in args.cluster_sizes:
+        experiment = build_experiment(kind=args.controller, n=n,
+                                      switches=args.switches, seed=args.seed)
+        experiment.warmup()
+        driver = TrafficDriver(experiment.sim, experiment.topology,
+                               packet_in_rate_per_s=args.rate,
+                               duration_ms=args.duration)
+        driver.start()
+        experiment.begin_window()
+        experiment.run(args.duration)
+        point = experiment.throughput()
+        rows.append([f"n={n}", f"{point.packet_in_rate_per_s:.0f}",
+                     f"{point.flow_mod_rate_per_s:.0f}",
+                     f"{point.packet_out_rate_per_s:.0f}"])
+    print(format_table(
+        f"{args.controller} cluster throughput @ requested "
+        f"{args.rate:.0f} PACKET_IN/s",
+        ["cluster", "PACKET_IN/s", "FLOW_MOD/s", "PACKET_OUT/s"], rows))
+    return 0
+
+
+def cmd_detection(args) -> int:
+    experiment = _build(args)
+    driver = TrafficDriver(experiment.sim, experiment.topology,
+                           packet_in_rate_per_s=args.rate,
+                           duration_ms=args.duration)
+    driver.start()
+    experiment.run(args.duration + 600.0)
+    stats = experiment.detection_stats()
+    print(f"{stats.count} detections  median={stats.median:.1f} ms  "
+          f"p95={stats.p95:.1f} ms  p99={stats.p99:.1f} ms")
+    print()
+    print(ascii_cdf({f"k={args.replicas}": stats.samples}))
+    return 0
+
+
+def cmd_list_faults(args) -> int:
+    rows = [[name, FAULTS[name]().fault_class.value,
+             "odl" if name in ODL_FAULTS else "onos"]
+            for name in sorted(FAULTS)]
+    print(format_table("Fault catalog", ["name", "class", "controller"], rows))
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--controller", choices=("onos", "odl"),
+                        default="onos")
+    parser.add_argument("--nodes", "-n", type=int, default=7)
+    parser.add_argument("--replicas", "-k", type=int, default=6)
+    parser.add_argument("--switches", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="validation timeout in ms")
+    parser.add_argument("--rate", type=float, default=1500.0,
+                        help="target PACKET_IN rate per second")
+    parser.add_argument("--duration", type=float, default=1000.0,
+                        help="traffic window in simulated ms")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JURY (DSN 2016) reproduction command-line interface")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser(
+        "validate", help="validate live traffic on a JURY-enhanced cluster")
+    _add_common(validate)
+    validate.set_defaults(fn=cmd_validate)
+
+    faults = commands.add_parser("faults", help="inject faults from the catalog")
+    _add_common(faults)
+    faults.add_argument("names", nargs="*",
+                        help="fault names (default: the whole catalog)")
+    faults.set_defaults(fn=cmd_faults)
+
+    throughput = commands.add_parser(
+        "throughput", help="cluster FLOW_MOD throughput sweep (Fig 4f/4g)")
+    _add_common(throughput)
+    throughput.add_argument("--cluster-sizes", type=int, nargs="+",
+                            default=[1, 3, 7])
+    throughput.set_defaults(fn=cmd_throughput)
+
+    detection = commands.add_parser(
+        "detection", help="detection-time distribution (Fig 4a/4c)")
+    _add_common(detection)
+    detection.set_defaults(fn=cmd_detection)
+
+    list_faults = commands.add_parser("list-faults", help="show the catalog")
+    list_faults.set_defaults(fn=cmd_list_faults)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Controller applications: topology discovery, host tracking, forwarding."""
+
+from repro.controllers.apps.forwarding import ReactiveForwarding
+from repro.controllers.apps.hosttracker import HostTracker
+from repro.controllers.apps.proactive import ProactiveForwarding
+from repro.controllers.apps.topology import TopologyApp
+
+__all__ = [
+    "HostTracker",
+    "ProactiveForwarding",
+    "ReactiveForwarding",
+    "TopologyApp",
+]

@@ -1,0 +1,144 @@
+"""Host tracking and ARP handling.
+
+ARP PACKET_INs are how controllers discover hosts: the tracker learns the
+source host's location, writes it to HostsDB (one cache write per discovery,
+the trigger's externalization), and then either proxies the ARP toward a
+known target or floods it along a loop-free spanning tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.controllers.base import ControllerApp
+from repro.controllers.context import TriggerContext
+from repro.datastore.caches import HOSTSDB, host_key, host_value
+from repro.net.packet import Packet
+from repro.openflow.actions import ActionOutput
+from repro.openflow.messages import PacketIn, PacketOut
+
+
+class HostTracker(ControllerApp):
+    """Learns host locations from ARP traffic and answers/floods ARPs."""
+
+    name = "hosttracker"
+
+    def handle_packet_in(self, message: PacketIn, ctx: TriggerContext) -> bool:
+        packet = message.packet
+        if packet is None or not packet.is_arp:
+            return False
+        self._learn(packet, message.dpid, message.in_port, ctx)
+        if packet.is_broadcast:
+            self._resolve_or_flood(message, ctx)
+        else:
+            self._forward_unicast_arp(message, ctx)
+        return True
+
+    # ------------------------------------------------------------------
+    def _learn(self, packet: Packet, dpid: int, port: int, ctx: TriggerContext) -> None:
+        if self._is_fabric_port(dpid, port):
+            return  # flooded copy arriving over the fabric, not an edge port
+        key = host_key(packet.src_mac)
+        value = host_value(packet.src_mac, packet.src_ip, dpid, port)
+        if self.controller.store.get(HOSTSDB, key) == value:
+            return  # unchanged; re-ARPs do not rewrite the cache
+        self.controller.cache_write(HOSTSDB, key, value, ctx=ctx)
+
+    def _is_fabric_port(self, dpid: int, port: int) -> bool:
+        """True if (dpid, port) is a known switch-to-switch link endpoint."""
+        topology = self.controller.app("topology")
+        if topology is None:
+            return False
+        graph = topology.topology_graph()
+        if dpid not in graph:
+            return False
+        for neighbor in graph.neighbors(dpid):
+            if graph[dpid][neighbor]["ports"].get(dpid) == port:
+                return True
+        return False
+
+    def lookup_by_ip(self, ip: str) -> Optional[dict]:
+        """Find a host entry by IP (linear scan of the local replica)."""
+        for value in self.controller.store.entries(HOSTSDB).values():
+            if value and value.get("ip") == ip:
+                return value
+        return None
+
+    def lookup_by_mac(self, mac: str) -> Optional[dict]:
+        """Find a host entry by MAC."""
+        return self.controller.store.get(HOSTSDB, host_key(mac))
+
+    # ------------------------------------------------------------------
+    def _resolve_or_flood(self, message: PacketIn, ctx: TriggerContext) -> None:
+        packet = message.packet
+        target = self.lookup_by_ip(packet.dst_ip)
+        if target is not None:
+            # Deliver the request at the target's attachment point; the
+            # target's unicast reply hops back via _forward_unicast_arp.
+            self.controller.send_packet_out(PacketOut(
+                dpid=target["dpid"], packet=packet, in_port=message.in_port,
+                actions=(ActionOutput(target["port"]),)), ctx)
+            # Release (discard) the buffered original at the ingress switch.
+            self.controller.send_packet_out(PacketOut(
+                dpid=message.dpid, buffer_id=message.buffer_id,
+                in_port=message.in_port, actions=()), ctx)
+            return
+        self._flood(message, ctx)
+
+    def _forward_unicast_arp(self, message: PacketIn, ctx: TriggerContext) -> None:
+        packet = message.packet
+        destination = self.lookup_by_mac(packet.dst_mac)
+        if destination is None:
+            self._flood(message, ctx)
+            return
+        out_port = self._port_toward(message.dpid, destination, ctx)
+        if out_port is None:
+            self._flood(message, ctx)
+            return
+        self.controller.send_packet_out(PacketOut(
+            dpid=message.dpid, buffer_id=message.buffer_id,
+            in_port=message.in_port, actions=(ActionOutput(out_port),)), ctx)
+
+    def _port_toward(self, dpid: int, destination: dict,
+                     ctx: TriggerContext) -> Optional[int]:
+        if destination["dpid"] == dpid:
+            return destination["port"]
+        topology = self.controller.app("topology")
+        if topology is None:
+            return None
+        return topology.next_hop_port(dpid, destination["dpid"])
+
+    def _flood(self, message: PacketIn, ctx: TriggerContext) -> None:
+        """Flood along the spanning tree plus local host ports."""
+        ports = self._flood_ports(message.dpid, message.in_port)
+        actions = tuple(ActionOutput(p) for p in ports)
+        self.controller.send_packet_out(PacketOut(
+            dpid=message.dpid, buffer_id=message.buffer_id,
+            in_port=message.in_port, actions=actions), ctx)
+
+    def _flood_ports(self, dpid: int, in_port: int) -> List[int]:
+        topology = self.controller.app("topology")
+        cluster = self.controller.cluster
+        all_ports: Tuple[int, ...] = ()
+        if cluster is not None and cluster.topology is not None:
+            switch = cluster.topology.switches.get(dpid)
+            if switch is not None:
+                all_ports = switch.port_numbers
+        fabric_ports = set()
+        tree_ports = set()
+        if topology is not None:
+            graph = topology.topology_graph()
+            if dpid in graph:
+                for neighbor in graph.neighbors(dpid):
+                    port = graph[dpid][neighbor]["ports"].get(dpid)
+                    if port is not None:
+                        fabric_ports.add(port)
+            tree_ports = set(topology.spanning_tree_ports(dpid))
+        ports = []
+        for port in all_ports:
+            if port == in_port:
+                continue
+            if port in fabric_ports and port not in tree_ports:
+                continue  # non-tree fabric port: pruned to stay loop-free
+            ports.append(port)
+        return ports

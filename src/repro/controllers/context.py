@@ -1,0 +1,129 @@
+"""Trigger contexts and taint tags threaded through controller processing.
+
+JURY's action attribution (§IV-B) rests on knowing, for every side-effect a
+controller produces, *which trigger* caused it. Controllers thread a
+:class:`TriggerContext` through their processing pipeline; JURY's controller
+module reads it at every interception point.
+
+A :class:`Taint` marks a *replicated* trigger at a secondary controller: the
+taint identifies the original trigger and the primary that received it, and
+it propagates to every response the secondary elicits. Tainted processing is
+*shadow* processing — side-effects are captured for the validator and
+dropped (§IV-B "JURY does not induce any cache/network side-effects due to
+processing of triggers by secondary controllers").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+TriggerId = Tuple  # ("ext", n) for external triggers, ("int", origin, n) internal
+
+_external_ids = itertools.count(1)
+_internal_ids = itertools.count(1)
+
+
+def new_external_trigger_id() -> TriggerId:
+    """Allocate a fresh external trigger id (used by JURY's replicator)."""
+    return ("ext", next(_external_ids))
+
+
+@dataclass(frozen=True)
+class Taint:
+    """The mark carried by a replicated trigger and its responses."""
+
+    trigger_id: TriggerId
+    primary_id: str
+
+    def __str__(self) -> str:
+        return f"taint({self.trigger_id}@{self.primary_id})"
+
+
+@dataclass
+class TriggerContext:
+    """Per-trigger processing context.
+
+    ``shadow`` is True for replicated execution at a secondary: all cache and
+    network side-effects are captured into ``captured_cache`` /
+    ``captured_network`` instead of being performed.
+    """
+
+    trigger_id: Optional[TriggerId] = None
+    taint: Optional[Taint] = None
+    external: bool = True
+    shadow: bool = False
+    received_at: float = 0.0
+    description: str = ""
+    captured_cache: List[Tuple] = field(default_factory=list)
+    captured_network: List[Tuple] = field(default_factory=list)
+    #: Synchronous store cost accumulated during processing (ms); charged to
+    #: the controller pipeline after the handler returns.
+    pending_cost: float = 0.0
+    #: The controller's state digest at processing start — *before* this
+    #: trigger's own writes. State-aware consensus compares these, so a
+    #: primary and its shadow replicas that saw the same pre-state group
+    #: together even though only the primary's write actually lands.
+    entry_digest: Tuple = ()
+    #: Set by applications that declare their output non-deterministic
+    #: (the §VIII future-work extension): the validator then skips majority
+    #: comparison for this trigger instead of guessing from distinctness.
+    non_deterministic: bool = False
+
+    @property
+    def tainted(self) -> bool:
+        return self.taint is not None
+
+    @classmethod
+    def external_trigger(cls, received_at: float = 0.0, description: str = "",
+                         trigger_id: Optional[TriggerId] = None) -> "TriggerContext":
+        """Context for an external (southbound/northbound) trigger.
+
+        ``trigger_id`` is supplied when JURY's replicator already assigned
+        τ at interception time; otherwise a fresh id is allocated.
+        """
+        return cls(
+            trigger_id=trigger_id if trigger_id is not None
+            else new_external_trigger_id(),
+            external=True,
+            received_at=received_at,
+            description=description,
+        )
+
+    @classmethod
+    def internal_trigger(cls, controller_id: str, received_at: float = 0.0,
+                         description: str = "") -> "TriggerContext":
+        """Fresh context for an internal (proactive/administrative) trigger."""
+        return cls(
+            trigger_id=("int", controller_id, next(_internal_ids)),
+            external=False,
+            received_at=received_at,
+            description=description,
+        )
+
+    @classmethod
+    def replica_of(cls, taint: Taint, received_at: float = 0.0,
+                   description: str = "") -> "TriggerContext":
+        """Shadow context for replicated execution at a secondary."""
+        return cls(
+            trigger_id=taint.trigger_id,
+            taint=taint,
+            external=True,
+            shadow=True,
+            received_at=received_at,
+            description=description,
+        )
+
+    def capture_cache(self, canonical: Tuple) -> None:
+        """Record a suppressed cache write (shadow mode)."""
+        self.captured_cache.append(canonical)
+
+    def capture_network(self, canonical: Tuple) -> None:
+        """Record a suppressed network write (shadow mode)."""
+        self.captured_network.append(canonical)
+
+    def combined_canonical(self) -> Tuple:
+        """Canonical (cache, network) bundle for replica-result responses."""
+        return (tuple(sorted(self.captured_cache, key=repr)),
+                tuple(sorted(self.captured_network, key=repr)))

@@ -1,0 +1,64 @@
+"""Northbound REST-like API.
+
+Administrators and third-party applications install OpenFlow rules through
+this interface (§II). REST calls are *external* triggers — JURY's replicator
+intercepts and replicates them exactly like PACKET_INs. The API object
+routes requests to a chosen controller with a small HTTP-ish latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.controllers.cluster import ControllerCluster
+from repro.errors import ClusterError
+from repro.openflow.actions import Action
+from repro.openflow.match import Match
+from repro.openflow.messages import RestRequest
+from repro.sim.latency import LatencyModel, Uniform
+
+
+class NorthboundApi:
+    """REST front-end for a controller cluster."""
+
+    def __init__(self, cluster: ControllerCluster,
+                 latency: Optional[LatencyModel] = None):
+        self.cluster = cluster
+        self.latency = latency if latency is not None else Uniform(0.3, 1.0)
+        self._rng = cluster.sim.fork_rng("northbound")
+        #: JURY's replicator swaps this for an intercepting deliverer.
+        self.deliver = self._direct_deliver
+        self.requests_sent = 0
+
+    # ------------------------------------------------------------------
+    def add_flow(self, controller_id: str, dpid: int, match: Match,
+                 actions: Tuple[Action, ...], priority: int = 100) -> RestRequest:
+        """POST a flow rule via ``controller_id``."""
+        request = RestRequest("add_flow", {
+            "dpid": dpid, "match": match, "actions": actions,
+            "priority": priority,
+        })
+        self._send(controller_id, request)
+        return request
+
+    def delete_flow(self, controller_id: str, dpid: int, match: Match,
+                    priority: int = 100) -> RestRequest:
+        """DELETE a flow rule via ``controller_id``."""
+        request = RestRequest("delete_flow", {
+            "dpid": dpid, "match": match, "priority": priority,
+        })
+        self._send(controller_id, request)
+        return request
+
+    # ------------------------------------------------------------------
+    def _send(self, controller_id: str, request: RestRequest) -> None:
+        if controller_id not in self.cluster.controllers:
+            raise ClusterError(f"unknown controller {controller_id}")
+        self.requests_sent += 1
+        delay = self.latency.sample(self._rng)
+        self.cluster.sim.schedule(delay, self.deliver, controller_id, request)
+
+    def _direct_deliver(self, controller_id: str, request: RestRequest) -> None:
+        controller = self.cluster.controllers.get(controller_id)
+        if controller is not None:
+            controller.ingress_rest(request)

@@ -1,0 +1,48 @@
+"""JURY: consensus-based validation of clustered SDN controller actions.
+
+The paper's system (§IV-§V) in three components, plus the deployment glue:
+
+* :class:`~repro.core.replicator.Replicator` — intercepts external triggers
+  (southbound PACKET_INs / FEATURES_REPLYs, northbound REST) at each
+  switch's OVS proxy and replicates them, taint-tagged, to ``k`` randomly
+  chosen secondary controllers.
+* :class:`~repro.core.module.JuryModule` — the in-controller module on every
+  replica: injects replicated triggers as *shadow* executions (side-effects
+  captured and dropped), intercepts cache events and outgoing network
+  messages, and relays responses to the validator.
+* :class:`~repro.core.validator.Validator` — the out-of-band validator
+  running Algorithm 1: per-trigger response collection under a timeout,
+  state-aware consensus, network/cache sanity checking, and policy checks.
+* :class:`~repro.core.deployment.JuryDeployment` — attaches all of the above
+  to a :class:`~repro.controllers.cluster.ControllerCluster`.
+"""
+
+from repro.core.alarms import Alarm, AlarmReason, ValidationResult
+from repro.core.consensus import ConsensusOutcome, evaluate_consensus, sanity_check
+from repro.core.deployment import JuryDeployment
+from repro.core.module import JuryModule
+from repro.core.replicator import ReplicatedTrigger, Replicator
+from repro.core.responses import Response, ResponseKind
+from repro.core.selection import designated_secondaries
+from repro.core.timeouts import AdaptiveTimeout, StaticTimeout, TimeoutPolicy
+from repro.core.validator import Validator
+
+__all__ = [
+    "AdaptiveTimeout",
+    "Alarm",
+    "AlarmReason",
+    "ConsensusOutcome",
+    "JuryDeployment",
+    "JuryModule",
+    "ReplicatedTrigger",
+    "Replicator",
+    "Response",
+    "ResponseKind",
+    "StaticTimeout",
+    "TimeoutPolicy",
+    "ValidationResult",
+    "Validator",
+    "designated_secondaries",
+    "evaluate_consensus",
+    "sanity_check",
+]

@@ -1,0 +1,76 @@
+"""Validation timeout policies.
+
+JURY "requires administrators to set the validation timeout" (§IV-C); the
+paper derives it empirically as the 95th percentile of consensus time per
+configuration and lists adaptive timeouts as future work (§VIII). Both are
+implemented here: :class:`StaticTimeout` is the paper's deployed mechanism,
+:class:`AdaptiveTimeout` the future-work extension that tracks recent
+latency trends.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Deque
+
+
+class TimeoutPolicy(ABC):
+    """Produces the per-trigger validation deadline (ms)."""
+
+    @abstractmethod
+    def current(self) -> float:
+        """The timeout to arm for the next trigger."""
+
+    def observe(self, detection_ms: float) -> None:
+        """Feed back a completed validation's latency (no-op by default)."""
+
+
+class StaticTimeout(TimeoutPolicy):
+    """A fixed administrator-chosen timeout."""
+
+    def __init__(self, timeout_ms: float):
+        self.timeout_ms = float(timeout_ms)
+
+    def current(self) -> float:
+        return self.timeout_ms
+
+    def __repr__(self) -> str:
+        return f"StaticTimeout({self.timeout_ms} ms)"
+
+
+class AdaptiveTimeout(TimeoutPolicy):
+    """Timeout tracking the recent latency distribution (§VIII extension).
+
+    The deadline is ``margin`` × the ``quantile`` of the last ``window``
+    observed detection latencies, clamped to ``[floor_ms, ceiling_ms]``.
+    Fewer false alarms in high-churn networks, at the cost of slower
+    detection when latencies drift upward.
+    """
+
+    def __init__(self, initial_ms: float = 150.0, window: int = 200,
+                 quantile: float = 0.95, margin: float = 1.3,
+                 floor_ms: float = 10.0, ceiling_ms: float = 5000.0):
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1]: {quantile}")
+        self.initial_ms = float(initial_ms)
+        self.window: Deque[float] = deque(maxlen=window)
+        self.quantile = quantile
+        self.margin = margin
+        self.floor_ms = floor_ms
+        self.ceiling_ms = ceiling_ms
+
+    def observe(self, detection_ms: float) -> None:
+        self.window.append(detection_ms)
+
+    def current(self) -> float:
+        if len(self.window) < 10:
+            return self.initial_ms
+        ordered = sorted(self.window)
+        index = min(len(ordered) - 1, int(self.quantile * len(ordered)))
+        value = ordered[index] * self.margin
+        return min(self.ceiling_ms, max(self.floor_ms, value))
+
+    def __repr__(self) -> str:
+        return (f"AdaptiveTimeout(q={self.quantile}, margin={self.margin}, "
+                f"current={self.current():.1f} ms)")

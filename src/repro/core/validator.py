@@ -1,0 +1,273 @@
+"""The out-of-band validator — Algorithm 1.
+
+For every trigger τ the validator collects responses into Vτ, counting them
+in Nτ and arming a timer θτ on the first arrival. A decision fires when the
+full external-response complement (``2k + 2``: one primary network write,
+``k + 1`` cache updates, ``k`` replica results) has arrived or the timer
+expires. Classification follows the algorithm exactly: a tainted response in
+Vτ — or more than ``k + 2`` responses — marks the trigger *external*;
+external triggers run CONSENSUS → SANITY_CHECK → POLICY_CHECK, internal ones
+CONSENSUS → POLICY_CHECK. A failed check raises an alarm with precise action
+attribution.
+
+The validator also maintains the per-controller-id state Ψid of Algorithm 1:
+a running count of cache updates per controller plus a copy of the latest,
+relying on the TCP-ordered relay of updates for accuracy (§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.alarms import Alarm, AlarmReason, ValidationResult
+from repro.core.consensus import ConsensusOutcome, evaluate_consensus, sanity_check
+from repro.core.responses import Response, ResponseKind
+from repro.core.timeouts import StaticTimeout, TimeoutPolicy
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class ControllerState:
+    """Ψid: succinct per-controller state at the validator."""
+
+    cache_updates: int = 0
+    last_entry: Tuple = ()
+    #: Progress of this replica's view: sum of per-origin applied seqs from
+    #: its latest response digest. Stalls when the node desynchronizes.
+    digest_progress: int = 0
+    last_stale_alarm_at: float = -1e18
+
+
+def _digest_progress(digest: Tuple) -> Optional[int]:
+    """Total applied writes encoded in a (origin, seq) digest, if valid."""
+    if not digest:
+        return None
+    try:
+        return sum(seq for _, seq in digest)
+    except (TypeError, ValueError):
+        return None
+
+
+@dataclass
+class _TriggerRecord:
+    """Vτ / Nτ / θτ for one in-flight trigger."""
+
+    responses: List[Tuple[Tuple, Response]] = field(default_factory=list)
+    count: int = 0
+    first_at: float = 0.0
+    timer = None
+    decided: bool = False
+
+
+class Validator:
+    """Out-of-band response validator."""
+
+    def __init__(self, sim: Simulator, k: int,
+                 timeout: Optional[TimeoutPolicy] = None,
+                 policy_engine=None,
+                 mastership_lookup: Optional[Callable[[int], Optional[str]]] = None,
+                 keep_results: bool = True,
+                 state_aware: bool = True,
+                 taint_classification: bool = True):
+        self.sim = sim
+        self.k = k
+        self.timeout = timeout if timeout is not None else StaticTimeout(150.0)
+        self.policy_engine = policy_engine
+        self.mastership_lookup = mastership_lookup
+        self.keep_results = keep_results
+        #: Ablation switches (DESIGN.md §5): snapshot-grouped consensus and
+        #: taint-based external/internal classification.
+        self.state_aware = state_aware
+        self.taint_classification = taint_classification
+        #: Staleness monitor (out-of-sync node detection): alarm when a
+        #: responding replica's view lags the most advanced responder by
+        #: more than this many writes. None disables the monitor.
+        self.staleness_threshold: Optional[int] = 200
+        self.staleness_cooldown_ms: float = 1000.0
+        self._pending: Dict[Tuple, _TriggerRecord] = {}
+        # Triggers already decided: late responses (e.g. a promise-held
+        # FLOW_MOD emerging after the timer) must be dropped, not allowed to
+        # open a fresh record that would be judged alone and alarm
+        # spuriously. Pruned in _decide to bound memory.
+        self._recently_decided: Dict[Tuple, float] = {}
+        self.state: Dict[str, ControllerState] = {}
+        self.results: List[ValidationResult] = []
+        self.alarms: List[Alarm] = []
+        self.on_alarm: Optional[Callable[[Alarm], None]] = None
+        # Counters.
+        self.responses_received = 0
+        self.triggers_decided = 0
+        self.triggers_alarmed = 0
+        self.late_responses = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def handle_control_message(self, channel, response: Response) -> None:
+        """Channel endpoint for controller modules."""
+        self.ingest(response)
+
+    def ingest(self, response: Response) -> None:
+        """Process one incoming (id, τ, entry) response."""
+        self.responses_received += 1
+        tau = response.trigger_id
+        if tau in self._recently_decided:
+            self.late_responses += 1
+            return
+        record = self._pending.get(tau)
+        if record is None:
+            record = _TriggerRecord(first_at=self.sim.now)
+            record.timer = self.sim.schedule(
+                self.timeout.current(), self._on_timer, tau)
+            self._pending[tau] = record
+        if record.decided:
+            return  # late response after decision (counts as slow replica)
+        record.count += 1
+        snapshot = self._snapshot(response.controller_id)
+        record.responses.append((snapshot, response))
+        if response.is_cache:
+            state = self.state.setdefault(response.controller_id, ControllerState())
+            state.cache_updates += 1
+            state.last_entry = response.entry
+        progress = _digest_progress(response.state_digest)
+        if progress is not None:
+            state = self.state.setdefault(response.controller_id, ControllerState())
+            state.digest_progress = max(state.digest_progress, progress)
+        if record.count >= 2 * self.k + 2:
+            self._decide(tau, record, timed_out=False)
+
+    def _snapshot(self, controller_id: str) -> Tuple:
+        state = self.state.get(controller_id)
+        if state is None:
+            return (0, ())
+        return (state.cache_updates, state.last_entry)
+
+    def _on_timer(self, tau: Tuple) -> None:
+        record = self._pending.get(tau)
+        if record is not None and not record.decided:
+            self._decide(tau, record, timed_out=True)
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+    def _decide(self, tau: Tuple, record: _TriggerRecord, timed_out: bool) -> None:
+        record.decided = True
+        if record.timer is not None:
+            record.timer.cancel()
+        responses = [response for _, response in record.responses]
+        external = record.count > self.k + 2
+        if self.taint_classification:
+            external = external or any(r.tainted for r in responses)
+
+        outcome = evaluate_consensus(responses, self.k, external,
+                                     state_aware=self.state_aware)
+        alarms: List[Alarm] = []
+        if not outcome.ok:
+            alarms.append(self._alarm(tau, outcome, responses))
+
+        if outcome.ok:
+            # Sanity runs for every decided trigger: empty cache and network
+            # entries pass trivially, and internal T2 faults (cache write
+            # whose FLOW_MOD was dropped) are caught here too.
+            sane = sanity_check(outcome.primary_cache_entry,
+                                outcome.primary_network_entry,
+                                outcome.primary_id)
+            if not sane.ok:
+                alarms.append(self._alarm(tau, sane, responses))
+
+        alarms.extend(self._staleness_alarms(tau, responses))
+
+        if self.policy_engine is not None:
+            violations = self.policy_engine.check_decision(
+                outcome, external, mastership_lookup=self.mastership_lookup)
+            for violation in violations:
+                alarms.append(Alarm(
+                    trigger_id=tau, reason=AlarmReason.POLICY_VIOLATION,
+                    offending_controller=outcome.primary_id,
+                    detail=str(violation), raised_at=self.sim.now))
+
+        received = [r.trigger_received_at for r in responses
+                    if r.trigger_received_at is not None]
+        baseline = min(received) if received else record.first_at
+        detection_ms = max(0.0, self.sim.now - baseline)
+        self.timeout.observe(detection_ms)
+
+        result = ValidationResult(
+            trigger_id=tau, ok=not alarms, external=external,
+            decided_at=self.sim.now, n_responses=record.count,
+            detection_ms=detection_ms, timed_out=timed_out, alarms=alarms)
+        self.triggers_decided += 1
+        if alarms:
+            self.triggers_alarmed += 1
+            self.alarms.extend(alarms)
+            if self.on_alarm is not None:
+                for alarm in alarms:
+                    self.on_alarm(alarm)
+        if self.keep_results:
+            self.results.append(result)
+        del self._pending[tau]
+        self._recently_decided[tau] = self.sim.now
+        if len(self._recently_decided) > 20_000:
+            horizon = self.sim.now - 20.0 * self.timeout.current()
+            self._recently_decided = {
+                t_id: decided for t_id, decided in self._recently_decided.items()
+                if decided >= horizon}
+
+    def _staleness_alarms(self, tau: Tuple,
+                          responses: List[Response]) -> List[Alarm]:
+        """Flag responders whose view lags the cluster (out-of-sync nodes).
+
+        Consensus deliberately excuses stale replicas per trigger (transient
+        asynchrony, §IV-C); *persistent* lag is an operational fault the
+        validator's per-controller state exposes. Rate-limited per node.
+        """
+        if self.staleness_threshold is None:
+            return []
+        responders = {r.controller_id for r in responses}
+        progresses = {cid: self.state[cid].digest_progress
+                      for cid in responders if cid in self.state}
+        if len(progresses) < 2:
+            return []
+        frontier = max(progresses.values())
+        alarms: List[Alarm] = []
+        for cid, progress in progresses.items():
+            if frontier - progress <= self.staleness_threshold:
+                continue
+            state = self.state[cid]
+            if self.sim.now - state.last_stale_alarm_at < self.staleness_cooldown_ms:
+                continue
+            state.last_stale_alarm_at = self.sim.now
+            alarms.append(Alarm(
+                trigger_id=tau, reason=AlarmReason.STALE_REPLICA,
+                offending_controller=cid, raised_at=self.sim.now,
+                detail=f"replica view lags the cluster by "
+                       f"{frontier - progress} writes"))
+        return alarms
+
+    def _alarm(self, tau: Tuple, outcome: ConsensusOutcome,
+               responses: List[Response]) -> Alarm:
+        return Alarm(
+            trigger_id=tau, reason=outcome.reason,
+            offending_controller=outcome.offending,
+            detail=outcome.detail, raised_at=self.sim.now,
+            responses=tuple(responses))
+
+    # ------------------------------------------------------------------
+    # Introspection for the harness
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Triggers awaiting more responses or their timer."""
+        return len(self._pending)
+
+    def detection_times(self, external_only: bool = True) -> List[float]:
+        """Detection latencies of decided triggers (ms)."""
+        return [r.detection_ms for r in self.results
+                if (r.external or not external_only)]
+
+    def false_positive_rate(self) -> float:
+        """Alarmed fraction of decided triggers (meaningful on benign runs)."""
+        if not self.triggers_decided:
+            return 0.0
+        return self.triggers_alarmed / self.triggers_decided

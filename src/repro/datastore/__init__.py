@@ -1,0 +1,51 @@
+"""Distributed data store substrate.
+
+Clustered SDN controllers achieve logical centralization through data
+distribution platforms — Hazelcast (ONOS) and Infinispan (ODL) in the paper.
+All topological and forwarding state lives in *controller-wide caches* built
+atop the store; every non-adversarial controller action externalizes through
+a cache write, which is the observation JURY's validation rests on.
+
+Two backends with the consistency models that drive the paper's results:
+
+* :class:`~repro.datastore.hazelcast.HazelcastCluster` — eventually
+  consistent, multicast propagation, writes complete locally (ONOS's high
+  cluster throughput, transient state asynchrony).
+* :class:`~repro.datastore.infinispan.InfinispanCluster` — strongly
+  consistent, synchronous replication on the write path (ODL's cluster
+  throughput collapse as ``n`` grows).
+"""
+
+from repro.datastore.caches import (
+    ARPDB,
+    EDGESDB,
+    FLOWSDB,
+    HOSTSDB,
+    KNOWN_CACHES,
+    SWITCHESDB,
+    flow_key,
+    flow_value,
+)
+from repro.datastore.events import CacheEvent, CacheOp, cache_canonical
+from repro.datastore.hazelcast import HazelcastCluster
+from repro.datastore.infinispan import InfinispanCluster
+from repro.datastore.store import DatastoreCluster, DatastoreNode, PutResult
+
+__all__ = [
+    "ARPDB",
+    "CacheEvent",
+    "CacheOp",
+    "cache_canonical",
+    "DatastoreCluster",
+    "DatastoreNode",
+    "EDGESDB",
+    "FLOWSDB",
+    "HOSTSDB",
+    "HazelcastCluster",
+    "InfinispanCluster",
+    "KNOWN_CACHES",
+    "PutResult",
+    "SWITCHESDB",
+    "flow_key",
+    "flow_value",
+]

@@ -1,0 +1,82 @@
+"""Controller-wide cache names and canonical entry helpers.
+
+The paper's policy language (Table 2) names the caches an administrator can
+constrain: ARPDB, HOSTDB, EDGEDB, FLOWSDB, etc. These constants are the
+shared vocabulary between controllers, faults, policies, and the validator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.openflow.constants import FlowModCommand, FlowState
+from repro.openflow.match import Match
+
+ARPDB = "ArpDB"
+HOSTSDB = "HostsDB"
+EDGESDB = "EdgesDB"  # aka LinksDB — topology edges
+FLOWSDB = "FlowsDB"
+SWITCHESDB = "SwitchesDB"
+
+KNOWN_CACHES = (ARPDB, HOSTSDB, EDGESDB, FLOWSDB, SWITCHESDB)
+
+
+def flow_key(dpid: int, match: Match, priority: int = 100) -> Tuple:
+    """Cache key for a flow rule in FlowsDB."""
+    return ("flow", dpid, match.canonical(), priority)
+
+
+def flow_value(
+    dpid: int,
+    match: Match,
+    actions: Tuple,
+    priority: int = 100,
+    command: FlowModCommand = FlowModCommand.ADD,
+    state: FlowState = FlowState.PENDING_ADD,
+) -> Dict[str, Any]:
+    """Cache value for a flow rule; ``state`` follows the ONOS lifecycle."""
+    from repro.openflow.actions import canonical_actions
+
+    return {
+        "dpid": dpid,
+        "match": match.canonical(),
+        "actions": canonical_actions(actions),
+        "priority": priority,
+        "command": command.value,
+        "state": state.value,
+    }
+
+
+def edge_key(dpid_a: int, port_a: int, dpid_b: int, port_b: int) -> Tuple:
+    """Cache key for a unidirectional topology edge in EdgesDB."""
+    return ("edge", dpid_a, port_a, dpid_b, port_b)
+
+
+def edge_value(dpid_a: int, port_a: int, dpid_b: int, port_b: int,
+               alive: bool = True) -> Dict[str, Any]:
+    """Cache value for a topology edge."""
+    return {
+        "src": (dpid_a, port_a),
+        "dst": (dpid_b, port_b),
+        "alive": alive,
+    }
+
+
+def host_key(mac: str) -> Tuple:
+    """Cache key for a host location in HostsDB."""
+    return ("host", mac)
+
+
+def host_value(mac: str, ip: str, dpid: int, port: int) -> Dict[str, Any]:
+    """Cache value for a host location."""
+    return {"mac": mac, "ip": ip, "dpid": dpid, "port": port}
+
+
+def switch_key(dpid: int) -> Tuple:
+    """Cache key for a connected switch in SwitchesDB."""
+    return ("switch", dpid)
+
+
+def switch_value(dpid: int, ports: Tuple[int, ...], master: str) -> Dict[str, Any]:
+    """Cache value for a connected switch."""
+    return {"dpid": dpid, "ports": tuple(ports), "master": master}

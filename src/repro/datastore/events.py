@@ -1,0 +1,96 @@
+"""Cache events: the externalization of every controller action.
+
+A :class:`CacheEvent` is emitted at the origin node on every write and
+re-emitted at each peer when the store propagates it. JURY's controller
+module hooks these events for action attribution of internal triggers
+(§IV-B): the event's ``origin`` and per-origin ``seq`` uniquely identify the
+action across the whole cluster, so every replica relays the *same* trigger
+identifier to the validator without coordination.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+
+class CacheOp(enum.Enum):
+    """Operations distinguishable by JURY policies (Table 2)."""
+
+    CREATE = "create"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class CacheEvent:
+    """One write to a controller-wide cache.
+
+    ``origin`` is the node that performed the write; ``seq`` is that node's
+    write sequence number. ``(origin, seq)`` is the cluster-wide identity of
+    the action. ``tau`` carries the trigger id of the controller action that
+    performed the write (set by the controller's trigger context); for
+    purely internal actions it equals the action id.
+    """
+
+    cache: str
+    key: Any
+    value: Any
+    op: CacheOp
+    origin: str
+    seq: int
+    time: float
+    tau: Optional[Tuple] = None
+    #: The writing trigger's processing-start state digest (JURY metadata).
+    ctx_digest: Tuple = ()
+
+    @property
+    def action_id(self) -> Tuple[str, int]:
+        """Cluster-wide identity of the action that caused this event."""
+        return (self.origin, self.seq)
+
+    @property
+    def trigger_id(self) -> Tuple:
+        """The trigger this write is attributed to (``tau`` or action id)."""
+        return self.tau if self.tau is not None else ("int", self.origin, self.seq)
+
+    def canonical(self) -> Tuple:
+        """Canonical body for consensus comparison at the validator."""
+        return cache_canonical(self.cache, self.key, self.op, self.value)
+
+    def wire_size(self) -> int:
+        """Approximate bytes on the inter-controller wire."""
+        value_size = getattr(self.value, "wire_size", None)
+        if callable(value_size):
+            payload = value_size()
+        elif self.value is None:
+            payload = 0
+        else:
+            payload = min(512, 32 + len(repr(self.value)))
+        return 96 + payload
+
+
+def cache_canonical(cache: str, key: Any, op: CacheOp, value: Any) -> Tuple:
+    """Canonical form of a (would-be) cache write.
+
+    Shared by :meth:`CacheEvent.canonical` and the shadow-execution capture
+    path, so a suppressed secondary write compares equal to the primary's
+    real one at the validator.
+    """
+    return ("cache", cache, _canonical_value(key), op.value, _canonical_value(value))
+
+
+def _canonical_value(value: Any) -> Any:
+    """Reduce a stored value to a hashable, comparable form."""
+    canonical = getattr(value, "canonical", None)
+    if callable(canonical):
+        return canonical()
+    if isinstance(value, dict):
+        return tuple(sorted((k, _canonical_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(v) for v in value)
+    return value
+
+
+CacheListener = "Callable[[DatastoreNode, CacheEvent], None]"

@@ -1,0 +1,58 @@
+"""Infinispan-like backend: strongly consistent, synchronous replication.
+
+ODL (Hydrogen) clusters on Infinispan, whose synchronous write path is why
+"ODL's cluster mode performance is limited by Infinispan" (§VII-B.1): the
+paper measures peak FLOW_MOD throughput of ~800/s at n=1 collapsing to
+~140/s at n=7 — consistent with a writer-side replication cost that grows
+roughly linearly in cluster size. We model sequential synchronous
+replication: the writer pays ``base + sum(per-peer sync)`` before its
+pipeline can take the next message.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datastore.events import CacheEvent
+from repro.datastore.store import DatastoreCluster, DatastoreNode
+from repro.net.channel import ByteCounter
+from repro.sim.latency import LatencyModel, Uniform
+from repro.sim.simulator import Simulator
+
+
+class InfinispanCluster(DatastoreCluster):
+    """Strongly consistent store whose write cost scales with cluster size."""
+
+    consistency = "strong"
+
+    #: Writer-side cost at n=1 (transaction bookkeeping, local commit).
+    LOCAL_WRITE_COST_MS = 0.9
+
+    def __init__(self, sim: Simulator,
+                 peer_latency: Optional[LatencyModel] = None,
+                 sync_cost: Optional[LatencyModel] = None,
+                 counter: Optional[ByteCounter] = None):
+        if peer_latency is None:
+            peer_latency = Uniform(0.5, 2.0)
+        super().__init__(sim, peer_latency=peer_latency, counter=counter)
+        # Per-peer synchronous round-trip charged to the writer.
+        self.sync_cost = sync_cost if sync_cost is not None else Uniform(0.8, 1.2)
+        # Strong consistency serializes writes cluster-wide: transactions on
+        # the same cache take a global lock, so the *cluster's* write rate —
+        # not each node's — is bounded by the per-write cost. This is why
+        # ODL at n=7 peaks at ~140 FLOW_MOD/s total (Fig 4g).
+        self._lock_free_at = 0.0
+
+    def propagate(self, origin: DatastoreNode, event: CacheEvent) -> float:
+        own_cost = self.LOCAL_WRITE_COST_MS
+        peers = self.peers_of(origin)
+        for peer in peers:
+            own_cost += self.sync_cost.sample(self._rng)
+        now = self.sim.now
+        lock_wait = max(0.0, self._lock_free_at - now)
+        self._lock_free_at = now + lock_wait + own_cost
+        for index, peer in enumerate(peers):
+            # Peers apply the write once their synchronous ack round
+            # completes, after the lock is acquired.
+            self._schedule_delivery(origin, peer, event, lock_wait + own_cost)
+        return lock_wait + own_cost

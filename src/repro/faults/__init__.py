@@ -1,0 +1,79 @@
+"""Fault injection: every fault the paper demonstrates, plus generic classes.
+
+Real faults (§III-B and §VII-A1):
+
+* :class:`~repro.faults.onos_faults.OnosDatabaseLockFault` (T1)
+* :class:`~repro.faults.onos_faults.OnosMasterElectionFault` (T1)
+* :class:`~repro.faults.odl_faults.OdlFlowModDropFault` (T2)
+* :class:`~repro.faults.odl_faults.OdlIncorrectFlowModFault` (T3)
+
+Synthetic faults (§VII-A1):
+
+* :class:`~repro.faults.synthetic.LinkFailureFault` (T1)
+* :class:`~repro.faults.synthetic.UndesirableFlowModFault` (T2)
+* :class:`~repro.faults.synthetic.FaultyProactiveFault` (T3)
+
+Appendix faults:
+
+* :class:`~repro.faults.odl_faults.FlowDeletionFailureFault` (T1)
+* :class:`~repro.faults.onos_faults.LinkDetectionInconsistencyFault` (T1)
+* :class:`~repro.faults.odl_faults.FlowInstantiationFailureFault` (T2)
+* :class:`~repro.faults.onos_faults.PendingAddFault` (T2)
+
+Generic distributed-system failure classes (§III-B):
+crash, response omission, timing, and response corruption —
+:mod:`repro.faults.generic`.
+"""
+
+from repro.faults.base import FaultClass, FaultScenario, ScenarioResult, run_scenario
+from repro.faults.combination import CombinationScenario, run_combination
+from repro.faults.generic import (
+    CrashFault,
+    ResponseCorruptionFault,
+    ResponseOmissionFault,
+    StoreDesyncFault,
+    TimingFault,
+)
+from repro.faults.injector import FaultDriver
+from repro.faults.odl_faults import (
+    FlowDeletionFailureFault,
+    FlowInstantiationFailureFault,
+    OdlFlowModDropFault,
+    OdlIncorrectFlowModFault,
+)
+from repro.faults.onos_faults import (
+    LinkDetectionInconsistencyFault,
+    OnosDatabaseLockFault,
+    OnosMasterElectionFault,
+    PendingAddFault,
+)
+from repro.faults.synthetic import (
+    FaultyProactiveFault,
+    LinkFailureFault,
+    UndesirableFlowModFault,
+)
+
+__all__ = [
+    "CombinationScenario",
+    "CrashFault",
+    "FaultClass",
+    "FaultDriver",
+    "FaultScenario",
+    "FaultyProactiveFault",
+    "FlowDeletionFailureFault",
+    "FlowInstantiationFailureFault",
+    "LinkDetectionInconsistencyFault",
+    "LinkFailureFault",
+    "OdlFlowModDropFault",
+    "OdlIncorrectFlowModFault",
+    "OnosDatabaseLockFault",
+    "OnosMasterElectionFault",
+    "PendingAddFault",
+    "ResponseCorruptionFault",
+    "ResponseOmissionFault",
+    "ScenarioResult",
+    "run_combination",
+    "StoreDesyncFault",
+    "TimingFault",
+    "UndesirableFlowModFault",
+]

@@ -1,0 +1,94 @@
+"""Cluster and JURY health inspection.
+
+Summarizes the live state of an experiment — per-controller pipeline
+statistics, store convergence, JURY module activity, validator health — as
+structured dictionaries and rendered tables. Used by the CLI and handy in
+notebooks/REPLs when poking at a simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.harness.experiment import Experiment
+from repro.harness.reporting import format_table
+
+
+def controller_summary(experiment: Experiment) -> List[Dict]:
+    """One record per controller replica."""
+    cluster = experiment.cluster
+    rows = []
+    for controller in cluster.controllers.values():
+        mastered = sum(1 for master in cluster.mastership.values()
+                       if master == controller.id)
+        rows.append({
+            "id": controller.id,
+            "alive": controller.alive,
+            "mastered_switches": mastered,
+            "packet_ins": controller.packet_ins_received,
+            "packet_ins_dropped": controller.packet_ins_dropped,
+            "flow_mods_sent": controller.flow_mods_sent,
+            "egress_drops": controller.flow_mods_dropped_egress,
+            "pipeline_backlog": controller.pipeline.backlog,
+            "utilization": round(controller.utilization(), 3),
+            "store_writes": controller.store.writes,
+        })
+    return rows
+
+
+def store_convergence(experiment: Experiment) -> Dict:
+    """Are the replicas' views equal right now?"""
+    digests = {cid: controller.store.state_digest()
+               for cid, controller in experiment.cluster.controllers.items()}
+    distinct = len(set(digests.values()))
+    return {
+        "replicas": len(digests),
+        "distinct_views": distinct,
+        "converged": distinct == 1,
+    }
+
+
+def jury_summary(experiment: Experiment) -> Dict:
+    """Validator and module health."""
+    if experiment.jury is None:
+        return {"deployed": False}
+    validator = experiment.validator
+    return {
+        "deployed": True,
+        "k": experiment.jury.k,
+        "responses_received": validator.responses_received,
+        "triggers_decided": validator.triggers_decided,
+        "triggers_alarmed": validator.triggers_alarmed,
+        "pending": validator.pending_count,
+        "false_positive_rate": round(validator.false_positive_rate(), 5),
+        "shadow_triggers": experiment.jury.total_shadow_triggers(),
+        "timeout_ms": round(validator.timeout.current(), 1),
+    }
+
+
+def render_report(experiment: Experiment) -> str:
+    """A full human-readable health report."""
+    sections = []
+    rows = [[r["id"], "up" if r["alive"] else "DOWN", r["mastered_switches"],
+             r["packet_ins"], r["flow_mods_sent"], r["pipeline_backlog"],
+             f"{r['utilization']:.2f}"]
+            for r in controller_summary(experiment)]
+    sections.append(format_table(
+        "Controllers",
+        ["id", "state", "switches", "packet_ins", "flow_mods",
+         "backlog", "util"], rows))
+    convergence = store_convergence(experiment)
+    sections.append(
+        f"Store: {convergence['replicas']} replicas, "
+        f"{convergence['distinct_views']} distinct view(s) "
+        f"({'converged' if convergence['converged'] else 'diverged'})")
+    jury = jury_summary(experiment)
+    if jury["deployed"]:
+        sections.append(
+            f"JURY: k={jury['k']}, {jury['triggers_decided']} decided, "
+            f"{jury['triggers_alarmed']} alarmed, {jury['pending']} pending, "
+            f"FP={100 * jury['false_positive_rate']:.3f}%, "
+            f"timeout={jury['timeout_ms']} ms")
+    else:
+        sections.append("JURY: not deployed")
+    return "\n\n".join(sections)

@@ -1,0 +1,46 @@
+"""Statistical helpers for the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 1]) by nearest-rank interpolation."""
+    if not samples:
+        raise ValueError("percentile of no samples")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1]: {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    # Interpolate as base + delta*f: exact when neighbours are equal and
+    # monotone in q, unlike the a*(1-f) + b*f form under floating point.
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def cdf_points(samples: Sequence[float], points: int = 100) -> List[Tuple[float, float]]:
+    """(value, cumulative probability) pairs for plotting a CDF."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    if n <= points:
+        return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+    step = n / points
+    result = []
+    for i in range(points):
+        index = min(n - 1, int((i + 1) * step) - 1)
+        result.append((ordered[index], (index + 1) / n))
+    return result
+
+
+def mbps(total_bytes: int, window_ms: float) -> float:
+    """Megabits per second over a simulated window."""
+    if window_ms <= 0:
+        return 0.0
+    return total_bytes * 8.0 / (window_ms * 1000.0)

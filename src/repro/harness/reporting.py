@@ -1,0 +1,39 @@
+"""Plain-text table/series formatting for benchmark output.
+
+Benchmarks print the same rows and series the paper's tables and figures
+report; these helpers keep that output consistent and diff-friendly for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence]) -> str:
+    """Fixed-width table with a title rule."""
+    rendered_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, points: Iterable[Tuple], x_label: str = "x",
+                  y_label: str = "y") -> str:
+    """Two-column series (one figure line) as text."""
+    rows = [(x, y) for x, y in points]
+    return format_table(title, [x_label, y_label], rows)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,89 @@
+"""End hosts: traffic sources and sinks."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.net.links import Link
+from repro.net.packet import Packet, arp_reply, arp_request, tcp_packet
+from repro.sim.simulator import Simulator
+
+_flow_ids = itertools.count(1)
+
+
+class Host:
+    """A host with one NIC, an ARP responder, and simple traffic helpers.
+
+    Hosts are the origin of the workload generators' traffic; delivery
+    counters let tests assert end-to-end reachability after the controller
+    installs rules.
+    """
+
+    def __init__(self, sim: Simulator, name: str, mac: str, ip: str):
+        self.sim = sim
+        self.name = name
+        self.mac = mac
+        self.ip = ip
+        self.link: Optional[Link] = None
+        self.received: List[Packet] = []
+        self.received_by_flow: Dict[int, int] = {}
+        self.sent = 0
+        self._port_counter = itertools.count(10000)
+
+    def attach(self, link: Link) -> None:
+        """Connect this host's NIC to a link."""
+        self.link = link
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Transmit a raw packet out of the NIC."""
+        if self.link is None:
+            return
+        self.sent += 1
+        self.link.transmit(self, packet)
+
+    def send_arp_request(self, dst_ip: str) -> int:
+        """Broadcast an ARP who-has; returns the flow id for tracking."""
+        flow_id = next(_flow_ids)
+        self.send(arp_request(self.mac, self.ip, dst_ip, flow_id=flow_id))
+        return flow_id
+
+    def open_connection(self, dst: "Host", dst_port: int = 80) -> int:
+        """Send the first packet of a fresh TCP connection to ``dst``.
+
+        A unique ephemeral source port guarantees a flow-table miss under
+        exact-match (src-dst 5-tuple) rules, which is how tcpreplay drives a
+        controlled PACKET_IN rate (§VII-B.1).
+        """
+        flow_id = next(_flow_ids)
+        packet = tcp_packet(
+            self.mac,
+            dst.mac,
+            self.ip,
+            dst.ip,
+            src_port=next(self._port_counter),
+            dst_port=dst_port,
+            flow_id=flow_id,
+        )
+        self.send(packet)
+        return flow_id
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def receive_packet(self, packet: Packet, port: int) -> None:
+        """NIC receive path: answer ARP for our IP, count everything else."""
+        if packet.is_arp and packet.dst_ip == self.ip and packet.dst_mac != self.mac:
+            self.send(arp_reply(self.mac, self.ip, packet.src_mac, packet.src_ip,
+                                flow_id=packet.flow_id))
+            return
+        self.received.append(packet)
+        if packet.flow_id is not None:
+            count = self.received_by_flow.get(packet.flow_id, 0)
+            self.received_by_flow[packet.flow_id] = count + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name!r}, {self.ip})"

@@ -1,0 +1,79 @@
+"""Data-plane links between switch ports and host ports."""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.net.channel import ByteCounter
+from repro.net.packet import Packet
+from repro.sim.latency import Fixed, LatencyModel
+from repro.sim.simulator import Simulator
+
+
+class PacketSink(Protocol):
+    """Anything that terminates a data link (switch or host)."""
+
+    def receive_packet(self, packet: Packet, port: int) -> None:
+        """Deliver a packet arriving on local port ``port``."""
+
+
+class Link:
+    """A bidirectional point-to-point data link.
+
+    Each endpoint is a ``(node, port)`` pair. Links can be failed and
+    restored, which is how the workloads drive link tear-down events and how
+    the synthetic link-failure fault manipulates the topology.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_a: PacketSink,
+        port_a: int,
+        node_b: PacketSink,
+        port_b: int,
+        latency: Optional[LatencyModel] = None,
+        name: str = "link",
+    ):
+        self.sim = sim
+        self.node_a = node_a
+        self.port_a = port_a
+        self.node_b = node_b
+        self.port_b = port_b
+        self.latency = latency if latency is not None else Fixed(0.05)
+        self.name = name
+        self.up = True
+        self.counter = ByteCounter(name)
+        self._rng = sim.fork_rng(f"link/{name}")
+
+    def endpoint_for(self, node: PacketSink) -> int:
+        """The local port number of ``node`` on this link."""
+        return self.port_a if node is self.node_a else self.port_b
+
+    def transmit(self, sender: PacketSink, packet: Packet) -> None:
+        """Send ``packet`` from ``sender`` toward the opposite endpoint."""
+        if not self.up:
+            return
+        if sender is self.node_a:
+            dst, dst_port = self.node_b, self.port_b
+        else:
+            dst, dst_port = self.node_a, self.port_a
+        self.counter.add(packet.size)
+        delay = self.latency.sample(self._rng)
+        self.sim.schedule(delay, self._deliver, dst, packet, dst_port)
+
+    def _deliver(self, dst: PacketSink, packet: Packet, port: int) -> None:
+        if not self.up:
+            return
+        dst.receive_packet(packet, port)
+
+    def fail(self) -> None:
+        """Take the link down; in-flight packets are lost."""
+        self.up = False
+
+    def restore(self) -> None:
+        """Bring the link back up."""
+        self.up = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name!r}, up={self.up})"

@@ -1,0 +1,104 @@
+"""A Mininet-like fluent builder for custom topologies.
+
+The paper drives its workloads from Mininet; this module gives examples and
+tests a comparable declarative front-end::
+
+    net = MininetBuilder(sim)
+    s1, s2 = net.switch(), net.switch()
+    h1, h2 = net.host(), net.host()
+    net.link(s1, s2)
+    net.link(h1, s1)
+    net.link(h2, s2)
+    topo = net.build()
+
+plus canned builders mirroring Mininet's ``--topo`` presets (``single``,
+``linear``, ``tree``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Union
+
+from repro.errors import TopologyError
+from repro.net.hosts import Host
+from repro.net.switch import SoftSwitch
+from repro.net.topology import Topology
+from repro.sim.latency import LatencyModel
+from repro.sim.simulator import Simulator
+
+
+class MininetBuilder:
+    """Declarative topology construction with auto-named nodes."""
+
+    def __init__(self, sim: Simulator,
+                 link_latency: Optional[LatencyModel] = None):
+        self._topology = Topology(sim, link_latency=link_latency)
+        self._host_names = itertools.count(1)
+        self._built = False
+
+    def switch(self, dpid: Optional[int] = None, **kwargs) -> SoftSwitch:
+        """Add a switch (auto-assigned dpid if omitted)."""
+        self._check_open()
+        return self._topology.add_switch(dpid, **kwargs)
+
+    def host(self, name: Optional[str] = None, ip: Optional[str] = None) -> Host:
+        """Add a host (auto-named ``h1``, ``h2``, ... if unnamed)."""
+        self._check_open()
+        if name is None:
+            name = f"h{next(self._host_names)}"
+        return self._topology.add_host(name, ip=ip)
+
+    def link(self, a: Union[SoftSwitch, Host], b: Union[SoftSwitch, Host],
+             latency: Optional[LatencyModel] = None):
+        """Connect two nodes."""
+        self._check_open()
+        return self._topology.add_link(a, b, latency=latency)
+
+    def build(self) -> Topology:
+        """Finalize and return the topology (builder becomes read-only)."""
+        self._validate()
+        self._built = True
+        return self._topology
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._built:
+            raise TopologyError("builder already built; create a new one")
+
+    def _validate(self) -> None:
+        for host in self._topology.host_list():
+            if host.link is None:
+                raise TopologyError(f"host {host.name} has no link")
+
+
+def single_topology(sim: Simulator, hosts: int = 2) -> Topology:
+    """Mininet's ``--topo single,N``: one switch, N hosts."""
+    if hosts < 1:
+        raise TopologyError("need at least one host")
+    net = MininetBuilder(sim)
+    switch = net.switch()
+    for _ in range(hosts):
+        net.link(switch, net.host())
+    return net.build()
+
+
+def tree_topology(sim: Simulator, depth: int = 2, fanout: int = 2) -> Topology:
+    """Mininet's ``--topo tree,depth,fanout``: a fanout-ary switch tree with
+    hosts at the leaves."""
+    if depth < 1 or fanout < 1:
+        raise TopologyError("tree needs depth >= 1 and fanout >= 1")
+    net = MininetBuilder(sim)
+
+    def grow(level: int) -> SoftSwitch:
+        node = net.switch()
+        if level == depth:
+            for _ in range(fanout):
+                net.link(node, net.host())
+        else:
+            for _ in range(fanout):
+                net.link(node, grow(level + 1))
+        return node
+
+    grow(1)
+    return net.build()

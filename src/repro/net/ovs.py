@@ -1,0 +1,118 @@
+"""The OVS replicating proxy on the control path.
+
+The paper implements trigger replication "using programmable soft switches
+(or OVSes)" configured as a transparent proxy (§VI-A): each hardware switch's
+control channel terminates at an OVS on the server, which forwards traffic to
+the primary controller normally and replicates it toward the secondaries.
+
+:class:`ReplicatingProxy` is that OVS. It is deliberately policy-free: JURY's
+:class:`~repro.core.replicator.Replicator` registers hooks to decide *what*
+gets replicated, to *which* secondaries, and with what encapsulation. Without
+hooks the proxy is an invisible bump in the wire, so vanilla (non-JURY)
+clusters use the same wiring.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.channel import ControlChannel
+from repro.net.switch import SoftSwitch
+from repro.sim.simulator import Simulator
+
+SwitchToControllerHook = Callable[[Any], None]
+ControllerToSwitchHook = Callable[[str, Any], None]
+
+
+def _is_handshake_reply(message: Any) -> bool:
+    from repro.openflow.messages import BarrierReply, EchoReply, FeaturesReply, Hello
+
+    return isinstance(message, (Hello, FeaturesReply, EchoReply, BarrierReply))
+
+
+class ReplicatingProxy:
+    """Transparent control-channel proxy with replication hooks.
+
+    One proxy fronts one switch. ``switch_channel`` carries switch traffic;
+    ``controller_channels`` maps controller id to that controller's channel.
+    ``primary_id`` names the controller that normally governs the switch.
+    """
+
+    def __init__(self, sim: Simulator, switch: SoftSwitch, primary_id: str):
+        self.sim = sim
+        self.switch = switch
+        self.primary_id = primary_id
+        self.switch_channel: Optional[ControlChannel] = None
+        self.controller_channels: Dict[str, ControlChannel] = {}
+        self._channel_owner: Dict[int, str] = {}
+        self.on_switch_to_controller: Optional[SwitchToControllerHook] = None
+        self.on_controller_to_switch: Optional[ControllerToSwitchHook] = None
+        # Counters for replication-overhead accounting.
+        self.forwarded_to_primary = 0
+        self.forwarded_to_switch = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect_switch(self, channel: ControlChannel) -> None:
+        """Attach the channel whose far end is the switch."""
+        self.switch_channel = channel
+
+    def connect_controller(self, controller_id: str, channel: ControlChannel) -> None:
+        """Attach a channel whose far end is controller ``controller_id``."""
+        self.controller_channels[controller_id] = channel
+        self._channel_owner[id(channel)] = controller_id
+
+    def set_primary(self, controller_id: str) -> None:
+        """Repoint the switch at a different primary (failover)."""
+        self.primary_id = controller_id
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def handle_control_message(self, channel: ControlChannel, message: Any) -> None:
+        """Bidirectional dispatch based on which channel delivered it."""
+        if channel is self.switch_channel:
+            self._from_switch(message)
+        else:
+            sender = self._channel_owner.get(id(channel), "?")
+            self._from_controller(sender, message)
+
+    def _from_switch(self, message: Any) -> None:
+        if _is_handshake_reply(message):
+            # Handshake traffic reaches every connected controller — in the
+            # real ANY_CONTROLLER_ONE_MASTER setup the switch holds a
+            # connection to each of them.
+            for channel in self.controller_channels.values():
+                channel.send(self, message)
+        else:
+            primary = self.controller_channels.get(self.primary_id)
+            if primary is not None:
+                self.forwarded_to_primary += 1
+                primary.send(self, message)
+        if self.on_switch_to_controller is not None:
+            self.on_switch_to_controller(message)
+
+    def _from_controller(self, sender_id: str, message: Any) -> None:
+        if self.on_controller_to_switch is not None:
+            self.on_controller_to_switch(sender_id, message)
+        if self.switch_channel is not None:
+            self.forwarded_to_switch += 1
+            self.switch_channel.send(self, message)
+
+    # ------------------------------------------------------------------
+    # Used by JURY's replicator
+    # ------------------------------------------------------------------
+    def send_to_controller(self, controller_id: str, message: Any) -> bool:
+        """Send ``message`` up a specific controller channel.
+
+        Returns ``False`` if that controller has no channel here.
+        """
+        channel = self.controller_channels.get(controller_id)
+        if channel is None:
+            return False
+        channel.send(self, message)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReplicatingProxy(switch={self.switch.name}, primary={self.primary_id})"

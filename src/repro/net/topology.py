@@ -1,0 +1,187 @@
+"""Topology builders: the paper's linear Mininet network and the physical
+three-tier testbed.
+
+A :class:`Topology` owns switches, hosts, and links, assigns port numbers,
+and can export a :mod:`networkx` graph of the switch fabric (controllers use
+an equivalent graph built from their *own* EdgesDB view — never this
+ground truth — so tests can compare discovered vs. actual topology).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.net.hosts import Host
+from repro.net.links import Link
+from repro.net.switch import SoftSwitch
+from repro.sim.latency import Fixed, LatencyModel
+from repro.sim.simulator import Simulator
+
+Node = Union[SoftSwitch, Host]
+
+
+class Topology:
+    """A mutable network of switches, hosts, and links."""
+
+    def __init__(self, sim: Simulator, link_latency: Optional[LatencyModel] = None):
+        self.sim = sim
+        self.link_latency = link_latency if link_latency is not None else Fixed(0.05)
+        self.switches: Dict[int, SoftSwitch] = {}
+        self.hosts: Dict[str, Host] = {}
+        self.links: List[Link] = []
+        self._next_port: Dict[int, itertools.count] = {}
+        self._link_names = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_switch(self, dpid: Optional[int] = None, **kwargs) -> SoftSwitch:
+        """Create and register a switch; dpids auto-assign if omitted."""
+        if dpid is None:
+            dpid = max(self.switches, default=0) + 1
+        if dpid in self.switches:
+            raise TopologyError(f"duplicate dpid {dpid}")
+        switch = SoftSwitch(self.sim, dpid, **kwargs)
+        self.switches[dpid] = switch
+        self._next_port[dpid] = itertools.count(1)
+        return switch
+
+    def add_host(self, name: str, ip: Optional[str] = None,
+                 mac: Optional[str] = None) -> Host:
+        """Create and register a host with auto-derived MAC/IP if omitted."""
+        if name in self.hosts:
+            raise TopologyError(f"duplicate host {name}")
+        index = len(self.hosts) + 1
+        host = Host(
+            self.sim,
+            name,
+            mac=mac or f"00:00:00:00:{index // 256:02x}:{index % 256:02x}",
+            ip=ip or f"10.0.{index // 256}.{index % 256}",
+        )
+        self.hosts[name] = host
+        return host
+
+    def _alloc_port(self, switch: SoftSwitch) -> int:
+        return next(self._next_port[switch.dpid])
+
+    def add_link(self, a: Node, b: Node,
+                 latency: Optional[LatencyModel] = None) -> Link:
+        """Link two nodes, assigning the next free port on each switch end."""
+        port_a = self._alloc_port(a) if isinstance(a, SoftSwitch) else 1
+        port_b = self._alloc_port(b) if isinstance(b, SoftSwitch) else 1
+        name = f"l{next(self._link_names)}"
+        link = Link(self.sim, a, port_a, b, port_b,
+                    latency=latency or self.link_latency, name=name)
+        if isinstance(a, SoftSwitch):
+            a.attach_port(port_a, link)
+        else:
+            a.attach(link)
+        if isinstance(b, SoftSwitch):
+            b.attach_port(port_b, link)
+        else:
+            b.attach(link)
+        self.links.append(link)
+        return link
+
+    # ------------------------------------------------------------------
+    # Queries and events
+    # ------------------------------------------------------------------
+    def switch_graph(self) -> nx.Graph:
+        """Ground-truth graph of the switch fabric (up links only)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.switches)
+        for link in self.links:
+            if not link.up:
+                continue
+            if isinstance(link.node_a, SoftSwitch) and isinstance(link.node_b, SoftSwitch):
+                graph.add_edge(link.node_a.dpid, link.node_b.dpid, link=link)
+        return graph
+
+    def host_location(self, host: Host) -> Tuple[int, int]:
+        """Return ``(dpid, port)`` where ``host`` attaches."""
+        if host.link is None:
+            raise TopologyError(f"host {host.name} is not attached")
+        link = host.link
+        other = link.node_b if link.node_a is host else link.node_a
+        if not isinstance(other, SoftSwitch):
+            raise TopologyError(f"host {host.name} is not attached to a switch")
+        return other.dpid, link.endpoint_for(other)
+
+    def link_between(self, dpid_a: int, dpid_b: int) -> Optional[Link]:
+        """The switch-to-switch link between two dpids, if one exists."""
+        for link in self.links:
+            ends = {getattr(link.node_a, "dpid", None), getattr(link.node_b, "dpid", None)}
+            if ends == {dpid_a, dpid_b}:
+                return link
+        return None
+
+    def fail_link(self, dpid_a: int, dpid_b: int) -> None:
+        """Tear down the switch-to-switch link between two dpids."""
+        link = self.link_between(dpid_a, dpid_b)
+        if link is None:
+            raise TopologyError(f"no link between s{dpid_a} and s{dpid_b}")
+        link.fail()
+
+    def restore_link(self, dpid_a: int, dpid_b: int) -> None:
+        """Restore a previously failed link."""
+        link = self.link_between(dpid_a, dpid_b)
+        if link is None:
+            raise TopologyError(f"no link between s{dpid_a} and s{dpid_b}")
+        link.restore()
+
+    def host_list(self) -> List[Host]:
+        """Hosts in insertion order."""
+        return list(self.hosts.values())
+
+
+def linear_topology(sim: Simulator, n_switches: int = 24,
+                    hosts_per_switch: int = 1,
+                    link_latency: Optional[LatencyModel] = None) -> Topology:
+    """The paper's Mininet workload network: a 24-switch linear chain with a
+    host per switch (§VII, "24 Mininet switches and hosts, arranged in a
+    linear topology")."""
+    if n_switches < 1:
+        raise TopologyError("need at least one switch")
+    topo = Topology(sim, link_latency=link_latency)
+    previous = None
+    for i in range(1, n_switches + 1):
+        switch = topo.add_switch(i)
+        if previous is not None:
+            topo.add_link(previous, switch)
+        for h in range(hosts_per_switch):
+            suffix = f"h{i}" if hosts_per_switch == 1 else f"h{i}_{h + 1}"
+            host = topo.add_host(suffix)
+            topo.add_link(switch, host)
+        previous = switch
+    return topo
+
+
+def three_tier_topology(sim: Simulator, edge: int = 8, agg: int = 4, core: int = 2,
+                        hosts_per_edge: int = 2,
+                        link_latency: Optional[LatencyModel] = None) -> Topology:
+    """The paper's physical testbed fabric: 8 edge, 4 aggregate, 2 core
+    switches in a three-tiered design (§VII, experimental setup).
+
+    Each edge switch uplinks to two aggregates; each aggregate uplinks to
+    every core.
+    """
+    if edge < 1 or agg < 2 or core < 1:
+        raise TopologyError("three-tier needs edge>=1, agg>=2, core>=1")
+    topo = Topology(sim, link_latency=link_latency)
+    core_switches = [topo.add_switch() for _ in range(core)]
+    agg_switches = [topo.add_switch() for _ in range(agg)]
+    edge_switches = [topo.add_switch() for _ in range(edge)]
+    for agg_switch in agg_switches:
+        for core_switch in core_switches:
+            topo.add_link(agg_switch, core_switch)
+    for i, edge_switch in enumerate(edge_switches):
+        topo.add_link(edge_switch, agg_switches[i % agg])
+        topo.add_link(edge_switch, agg_switches[(i + 1) % agg])
+        for h in range(hosts_per_edge):
+            host = topo.add_host(f"h{i + 1}_{h + 1}")
+            topo.add_link(edge_switch, host)
+    return topo

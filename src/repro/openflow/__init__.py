@@ -1,0 +1,73 @@
+"""OpenFlow 1.0-style southbound protocol.
+
+Implements the subset of OpenFlow the paper's systems exercise: the
+connection handshake (HELLO / FEATURES), PACKET_IN, FLOW_MOD, PACKET_OUT,
+ECHO, match-field prerequisite validation (the root cause of the "ODL
+incorrect FLOW_MOD" fault), priority-ordered flow tables, and the
+encapsulation path JURY's OVS replication uses for ODL.
+"""
+
+from repro.openflow.actions import (
+    Action,
+    ActionController,
+    ActionDrop,
+    ActionFlood,
+    ActionOutput,
+)
+from repro.openflow.constants import (
+    OFPP_CONTROLLER,
+    OFPP_FLOOD,
+    OFPP_LOCAL,
+    OFPP_NONE,
+    FlowModCommand,
+    FlowState,
+)
+from repro.openflow.encap import EncapStats, decapsulate_packet_in, encapsulate_packet_in
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    Hello,
+    OpenFlowMessage,
+    PacketIn,
+    PacketOut,
+    RestRequest,
+)
+
+__all__ = [
+    "Action",
+    "ActionController",
+    "ActionDrop",
+    "ActionFlood",
+    "ActionOutput",
+    "BarrierReply",
+    "BarrierRequest",
+    "EchoReply",
+    "EchoRequest",
+    "EncapStats",
+    "FeaturesReply",
+    "FeaturesRequest",
+    "FlowEntry",
+    "FlowMod",
+    "FlowModCommand",
+    "FlowState",
+    "FlowTable",
+    "Hello",
+    "Match",
+    "OFPP_CONTROLLER",
+    "OFPP_FLOOD",
+    "OFPP_LOCAL",
+    "OFPP_NONE",
+    "OpenFlowMessage",
+    "PacketIn",
+    "PacketOut",
+    "RestRequest",
+    "decapsulate_packet_in",
+    "encapsulate_packet_in",
+]

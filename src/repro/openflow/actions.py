@@ -1,0 +1,54 @@
+"""OpenFlow actions applied by the soft switch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.openflow.constants import OFPP_CONTROLLER, OFPP_FLOOD
+
+
+@dataclass(frozen=True)
+class ActionOutput:
+    """Forward the packet out of a specific port."""
+
+    port: int
+
+    def canonical(self) -> Tuple:
+        return ("output", self.port)
+
+
+@dataclass(frozen=True)
+class ActionFlood:
+    """Forward out of every port except the ingress port."""
+
+    def canonical(self) -> Tuple:
+        return ("output", OFPP_FLOOD)
+
+
+@dataclass(frozen=True)
+class ActionController:
+    """Punt the packet to the controller as a PACKET_IN."""
+
+    def canonical(self) -> Tuple:
+        return ("output", OFPP_CONTROLLER)
+
+
+@dataclass(frozen=True)
+class ActionDrop:
+    """Explicitly drop the packet (empty action list in real OpenFlow).
+
+    The "undesirable FLOW_MOD" synthetic T2 fault swaps a forwarding action
+    for this one.
+    """
+
+    def canonical(self) -> Tuple:
+        return ("drop",)
+
+
+Action = Union[ActionOutput, ActionFlood, ActionController, ActionDrop]
+
+
+def canonical_actions(actions: Tuple[Action, ...]) -> Tuple:
+    """Hashable canonical form of an action list for consensus comparison."""
+    return tuple(action.canonical() for action in actions)

@@ -1,0 +1,34 @@
+"""OpenFlow constants (reserved ports, commands, flow-entry states)."""
+
+from __future__ import annotations
+
+import enum
+
+# Reserved output "ports" (OpenFlow 1.0 ofp_port values).
+OFPP_LOCAL = 0xFFFE
+OFPP_FLOOD = 0xFFFB
+OFPP_CONTROLLER = 0xFFFD
+OFPP_NONE = 0xFFFF
+
+
+class FlowModCommand(enum.Enum):
+    """FLOW_MOD commands supported by the soft switch."""
+
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+    DELETE_STRICT = "delete_strict"
+
+
+class FlowState(enum.Enum):
+    """Lifecycle of a flow rule in the controller's flow store.
+
+    ONOS keeps rules in ``PENDING_ADD`` until the switch's reported entries
+    match the store; an inconsistency strands the rule in ``PENDING_ADD``
+    (Appendix fault 4).
+    """
+
+    PENDING_ADD = "pending_add"
+    ADDED = "added"
+    PENDING_REMOVE = "pending_remove"
+    REMOVED = "removed"

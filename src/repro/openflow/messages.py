@@ -1,0 +1,162 @@
+"""OpenFlow control messages and the northbound REST request record.
+
+Each message reports a ``wire_size()`` in bytes so channels can account for
+the network-overhead results in §VII-B.2. Sizes approximate OpenFlow 1.0
+encodings (header 8 bytes, flow_mod body 64+, packet_in 18 + frame).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.openflow.actions import Action, canonical_actions
+from repro.openflow.constants import FlowModCommand
+from repro.openflow.match import Match
+
+_xid_counter = itertools.count(1)
+
+
+def next_xid() -> int:
+    """Monotonic OpenFlow transaction id (shared across the process)."""
+    return next(_xid_counter)
+
+
+@dataclass
+class OpenFlowMessage:
+    """Base class: every southbound message carries a transaction id."""
+
+    xid: int = field(default_factory=next_xid, kw_only=True)
+
+    def wire_size(self) -> int:
+        return 8  # ofp_header
+
+
+@dataclass
+class Hello(OpenFlowMessage):
+    """Version negotiation — first message in either direction."""
+
+
+@dataclass
+class EchoRequest(OpenFlowMessage):
+    """Liveness probe."""
+
+
+@dataclass
+class EchoReply(OpenFlowMessage):
+    """Liveness response."""
+
+
+@dataclass
+class FeaturesRequest(OpenFlowMessage):
+    """Controller asks the switch for its datapath description."""
+
+
+@dataclass
+class FeaturesReply(OpenFlowMessage):
+    """Switch identifies itself; acceptance marks the switch *connected*.
+
+    In ONOS the controller then writes the switch entry to the shared cache —
+    the write that the database-locking fault makes fail.
+    """
+
+    dpid: int = 0
+    ports: Tuple[int, ...] = ()
+
+    def wire_size(self) -> int:
+        return 32 + 48 * len(self.ports)
+
+
+@dataclass
+class BarrierRequest(OpenFlowMessage):
+    """Flush marker."""
+
+
+@dataclass
+class BarrierReply(OpenFlowMessage):
+    """Flush acknowledgment."""
+
+
+@dataclass
+class PacketIn(OpenFlowMessage):
+    """Table-miss (or action-directed) punt of a data packet to the controller."""
+
+    dpid: int = 0
+    in_port: int = 0
+    packet: Optional[Packet] = None
+    buffer_id: Optional[int] = None
+
+    def wire_size(self) -> int:
+        frame = self.packet.size if self.packet is not None else 0
+        return 18 + frame
+
+
+@dataclass
+class FlowMod(OpenFlowMessage):
+    """Install, modify, or delete a flow rule on a switch."""
+
+    dpid: int = 0
+    command: FlowModCommand = FlowModCommand.ADD
+    match: Match = field(default_factory=Match)
+    actions: Tuple[Action, ...] = ()
+    priority: int = 100
+    idle_timeout: float = 0.0
+    cookie: int = 0
+
+    def wire_size(self) -> int:
+        return 72 + 8 * len(self.actions)
+
+    def canonical(self) -> Tuple:
+        """Canonical body for consensus comparison at the validator."""
+        return (
+            "flow_mod",
+            self.dpid,
+            self.command.value,
+            self.match.canonical(),
+            canonical_actions(self.actions),
+            self.priority,
+        )
+
+
+@dataclass
+class PacketOut(OpenFlowMessage):
+    """Controller-directed transmission of a (possibly buffered) packet."""
+
+    dpid: int = 0
+    in_port: int = 0
+    packet: Optional[Packet] = None
+    buffer_id: Optional[int] = None
+    actions: Tuple[Action, ...] = ()
+
+    def wire_size(self) -> int:
+        frame = self.packet.size if self.packet is not None else 0
+        return 16 + 8 * len(self.actions) + frame
+
+    def canonical(self) -> Tuple:
+        return (
+            "packet_out",
+            self.dpid,
+            self.buffer_id,
+            canonical_actions(self.actions),
+        )
+
+
+@dataclass
+class RestRequest:
+    """A northbound (REST API) trigger — external, like PACKET_INs.
+
+    ``operation`` is one of ``"add_flow"``, ``"delete_flow"``,
+    ``"update_link"``, etc.; ``params`` are operation-specific.
+    """
+
+    operation: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    request_id: int = field(default_factory=next_xid)
+
+    def wire_size(self) -> int:
+        return 256  # typical small HTTP request
+
+    def canonical(self) -> Tuple:
+        return ("rest", self.operation, tuple(sorted(self.params.items(), key=repr)))

@@ -1,0 +1,31 @@
+"""JURY's policy framework (§V, Table 2).
+
+Administrators centralize fine-grained checks on controller actions in a
+constraint language of four directives — Controller, Trigger, Cache, and
+Destination. The validator evaluates policies after consensus, against
+exactly one (the primary's) matching response per trigger.
+
+Policies follow first-match semantics: the first policy matching a cache
+write decides (``allow="Yes"`` whitelists, ``allow="No"`` raises an alarm);
+non-matching writes are implicitly allowed.
+"""
+
+from repro.policy.builtin import (
+    match_hierarchy_policy,
+    no_internal_cache_changes,
+    stranded_flow_policy,
+)
+from repro.policy.engine import PolicyEngine
+from repro.policy.language import Policy, PolicyViolation, PolicyWrite
+from repro.policy.parser import parse_policies
+
+__all__ = [
+    "Policy",
+    "PolicyEngine",
+    "PolicyViolation",
+    "PolicyWrite",
+    "match_hierarchy_policy",
+    "no_internal_cache_changes",
+    "parse_policies",
+    "stranded_flow_policy",
+]

@@ -1,0 +1,70 @@
+"""Ready-made policies for the paper's validation scenarios.
+
+* :func:`no_internal_cache_changes` — Fig 3: alarm when any controller
+  proactively (internal trigger) modifies a cache such as EdgesDB. Detects
+  the T3 "faulty proactive action" fault.
+* :func:`match_hierarchy_policy` — requires FlowsDB entries to respect the
+  OpenFlow 1.0 match-field prerequisite hierarchy. Detects the "ODL
+  incorrect FLOW_MOD" fault before the switch/store divergence can happen.
+* :func:`stranded_flow_policy` — flags flow rules that remain in
+  PENDING_ADD after repeated reconciliation attempts (Appendix fault 4).
+"""
+
+from __future__ import annotations
+
+from repro.datastore.caches import EDGESDB, FLOWSDB
+from repro.openflow.constants import FlowState
+from repro.openflow.match import Match
+from repro.policy.language import TRIGGER_INTERNAL, Policy, PolicyWrite
+
+
+def no_internal_cache_changes(cache: str = EDGESDB,
+                              controller: str = "*") -> Policy:
+    """Alarm if a controller proactively modifies ``cache`` (Fig 3)."""
+    return Policy(
+        allow=False,
+        controller=controller,
+        trigger=TRIGGER_INTERNAL,
+        cache=cache,
+        name=f"no-internal-{cache}-changes",
+    )
+
+
+def _has_hierarchy_violation(write: PolicyWrite) -> bool:
+    match_canonical = write.value.get("match")
+    if match_canonical is None:
+        return False
+    try:
+        match = Match.from_canonical(match_canonical)
+    except TypeError:
+        return True  # unparseable match is itself suspicious
+    return bool(match.hierarchy_violations())
+
+
+def match_hierarchy_policy() -> Policy:
+    """Alarm on FlowsDB entries whose match violates field prerequisites.
+
+    "We use a policy that specifies the correct hierarchy of match fields in
+    the cache entry" (§VII-A1, ODL incorrect FLOW_MOD).
+    """
+    return Policy(
+        allow=False,
+        cache=FLOWSDB,
+        entry_predicate=_has_hierarchy_violation,
+        name="flow-match-hierarchy",
+    )
+
+
+def _is_stranded(write: PolicyWrite, max_attempts: int) -> bool:
+    return (write.value.get("state") == FlowState.PENDING_ADD.value
+            and write.value.get("attempts", 0) >= max_attempts)
+
+
+def stranded_flow_policy(max_attempts: int = 2) -> Policy:
+    """Alarm on flow rules stuck in PENDING_ADD after reconciliation retries."""
+    return Policy(
+        allow=False,
+        cache=FLOWSDB,
+        entry_predicate=lambda write: _is_stranded(write, max_attempts),
+        name="stranded-pending-add",
+    )

@@ -1,0 +1,90 @@
+"""Policy evaluation engine.
+
+The validator calls :meth:`PolicyEngine.check_decision` with the consensus
+outcome for a trigger; the engine parses the primary's cache writes into
+:class:`~repro.policy.language.PolicyWrite` records ("exactly one of the
+matching responses" is checked per policy, §V) and scans the policy list.
+Evaluation is deliberately a linear scan — the paper measures validation
+time growing linearly from 200 µs at 100 policies to 1.2 ms at 1K and
+11.2 ms at 10K, which is the behaviour the policy benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.policy.language import Policy, PolicyViolation, PolicyWrite
+
+
+class PolicyEngine:
+    """An ordered list of policies with first-match semantics."""
+
+    def __init__(self, policies: Iterable[Policy] = ()):
+        self.policies: List[Policy] = list(policies)
+        self.checks_performed = 0
+
+    def add(self, policy: Policy) -> None:
+        """Append a policy (later policies only see writes earlier ones
+        didn't match)."""
+        self.policies.append(policy)
+
+    def __len__(self) -> int:
+        return len(self.policies)
+
+    # ------------------------------------------------------------------
+    def check_decision(self, outcome, external: bool,
+                       mastership_lookup: Optional[Callable] = None
+                       ) -> List[PolicyViolation]:
+        """Check the primary's response from a consensus outcome."""
+        writes = extract_writes(
+            outcome.primary_cache_entry,
+            controller=outcome.primary_id or "?",
+            external=external,
+            mastership_lookup=mastership_lookup)
+        return self.check_writes(writes)
+
+    def check_writes(self, writes: Iterable[PolicyWrite]) -> List[PolicyViolation]:
+        """First-match evaluation of each write against the policy list."""
+        violations: List[PolicyViolation] = []
+        for write in writes:
+            self.checks_performed += 1
+            for policy in self.policies:
+                if policy.matches(write):
+                    if not policy.allow:
+                        violations.append(PolicyViolation(policy, write))
+                    break
+        return violations
+
+
+def extract_writes(cache_entry: Tuple, controller: str, external: bool,
+                   mastership_lookup: Optional[Callable] = None
+                   ) -> List[PolicyWrite]:
+    """Parse canonical cache-event tuples into policy-checkable writes."""
+    writes: List[PolicyWrite] = []
+    for canonical in cache_entry:
+        if not canonical or canonical[0] != "cache":
+            continue
+        _, cache, key, op, value_canonical = canonical
+        value = dict(value_canonical) if isinstance(value_canonical, tuple) else {}
+        destination = _destination_of(key, value, controller, mastership_lookup)
+        writes.append(PolicyWrite(
+            cache=cache, key=key, op=op, value=value,
+            controller=controller, external=external,
+            destination=destination))
+    return writes
+
+
+def _destination_of(key: Any, value: dict, controller: str,
+                    mastership_lookup: Optional[Callable]) -> str:
+    """LOCAL if the affected switch is mastered by the acting controller."""
+    dpid = None
+    if isinstance(key, tuple) and len(key) >= 2 and key[0] in ("flow", "switch"):
+        dpid = key[1]
+    elif isinstance(key, tuple) and key and key[0] == "edge":
+        dpid = key[1]
+    elif isinstance(value, dict) and "dpid" in value:
+        dpid = value["dpid"]
+    if dpid is None or mastership_lookup is None:
+        return "network"
+    master = mastership_lookup(dpid)
+    return "local" if master == controller else "remote"

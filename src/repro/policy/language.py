@@ -1,0 +1,107 @@
+"""The policy constraint language (Table 2).
+
+A :class:`Policy` constrains controller actions along four directives:
+
+==============  =====================================================
+Controller      CONTROLLERID | ``*``
+Trigger         INTERNAL | EXTERNAL | ``*``
+Cache           ArpDB | HostsDB | EdgesDB | FlowsDB | ... | ``*``
+Destination     LOCAL | REMOTE | ``*``
+==============  =====================================================
+
+plus an operation filter (create/update/delete) and an optional entry
+pattern or predicate over the written value. ``allow=False`` policies raise
+alarms on match (Fig 3); ``allow=True`` policies whitelist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import PolicyError
+
+TRIGGER_INTERNAL = "internal"
+TRIGGER_EXTERNAL = "external"
+WILDCARD = "*"
+
+DEST_LOCAL = "local"
+DEST_REMOTE = "remote"
+
+
+@dataclass(frozen=True)
+class PolicyWrite:
+    """One cache write as seen by the policy engine."""
+
+    cache: str
+    key: Tuple
+    op: str
+    value: Dict[str, Any]
+    controller: str
+    external: bool
+    destination: str  # "local" | "remote" | "network"
+
+    @property
+    def trigger(self) -> str:
+        return TRIGGER_EXTERNAL if self.external else TRIGGER_INTERNAL
+
+
+@dataclass(frozen=True)
+class PolicyViolation:
+    """A deny policy matched a write."""
+
+    policy: "Policy"
+    write: PolicyWrite
+
+    def __str__(self) -> str:
+        name = self.policy.name or "<unnamed>"
+        return (f"policy {name!r} violated: controller={self.write.controller} "
+                f"trigger={self.write.trigger} cache={self.write.cache} "
+                f"op={self.write.op} dest={self.write.destination}")
+
+
+@dataclass(frozen=True)
+class Policy:
+    """One constraint in JURY's policy language."""
+
+    allow: bool = False
+    controller: str = WILDCARD
+    trigger: str = WILDCARD
+    cache: str = WILDCARD
+    operation: str = WILDCARD
+    entry: str = WILDCARD
+    destination: str = WILDCARD
+    #: Optional predicate over the write; the policy only matches writes for
+    #: which it returns True. Used e.g. for match-field hierarchy checks.
+    entry_predicate: Optional[Callable[[PolicyWrite], bool]] = field(
+        default=None, compare=False)
+    name: str = ""
+
+    def __post_init__(self):
+        if self.trigger not in (WILDCARD, TRIGGER_INTERNAL, TRIGGER_EXTERNAL):
+            raise PolicyError(f"invalid trigger directive: {self.trigger!r}")
+        if self.destination not in (WILDCARD, DEST_LOCAL, DEST_REMOTE):
+            raise PolicyError(f"invalid destination directive: {self.destination!r}")
+        if self.operation not in (WILDCARD, "create", "update", "delete"):
+            raise PolicyError(f"invalid operation directive: {self.operation!r}")
+
+    # ------------------------------------------------------------------
+    def matches(self, write: PolicyWrite) -> bool:
+        """Does this policy apply to the given cache write?"""
+        if self.controller != WILDCARD and self.controller != write.controller:
+            return False
+        if self.trigger != WILDCARD and self.trigger != write.trigger:
+            return False
+        if self.cache != WILDCARD and self.cache != write.cache:
+            return False
+        if self.operation != WILDCARD and self.operation != write.op:
+            return False
+        if (self.destination != WILDCARD
+                and self.destination != write.destination):
+            return False
+        if self.entry != WILDCARD and not fnmatch(str(write.key), self.entry):
+            return False
+        if self.entry_predicate is not None and not self.entry_predicate(write):
+            return False
+        return True

@@ -1,0 +1,65 @@
+"""XML policy parser (Fig 3 format).
+
+Example::
+
+    <Policy allow="No">
+      <Controller id="*"/>
+      <Action type="Internal"/>
+      <Cache name="EdgesDB" entry="*,*" operation="*"/>
+      <Destination value="*"/>
+    </Policy>
+
+Multiple policies wrap in a ``<Policies>`` root. Unknown elements raise
+:class:`~repro.errors.PolicyError`; omitted directives default to ``*``.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List
+
+from repro.errors import PolicyError
+from repro.policy.language import WILDCARD, Policy
+
+
+def parse_policies(text: str) -> List[Policy]:
+    """Parse one ``<Policy>`` or a ``<Policies>`` list from XML text."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise PolicyError(f"malformed policy XML: {exc}") from exc
+    if root.tag == "Policy":
+        return [_parse_policy(root)]
+    if root.tag == "Policies":
+        return [_parse_policy(node) for node in root if node.tag == "Policy"]
+    raise PolicyError(f"unexpected root element <{root.tag}>")
+
+
+def _parse_policy(node: ET.Element) -> Policy:
+    allow_text = node.get("allow", "No").strip().lower()
+    if allow_text not in ("yes", "no", "true", "false"):
+        raise PolicyError(f"invalid allow attribute: {allow_text!r}")
+    fields = {
+        "allow": allow_text in ("yes", "true"),
+        "name": node.get("name", ""),
+    }
+    for child in node:
+        if child.tag == "Controller":
+            fields["controller"] = child.get("id", WILDCARD)
+        elif child.tag == "Action":
+            trigger = child.get("type", WILDCARD).strip().lower()
+            fields["trigger"] = WILDCARD if trigger == WILDCARD else trigger
+        elif child.tag == "Cache":
+            fields["cache"] = child.get("name", WILDCARD)
+            fields["entry"] = child.get("entry", WILDCARD)
+            operation = child.get("operation", WILDCARD).strip().lower()
+            fields["operation"] = operation
+        elif child.tag == "Destination":
+            value = child.get("value", WILDCARD).strip().lower()
+            fields["destination"] = value
+        else:
+            raise PolicyError(f"unknown policy element <{child.tag}>")
+    # Normalize "entry" patterns like "*,*" to a wildcard over the whole key.
+    if fields.get("entry") in ("*,*", "*, *"):
+        fields["entry"] = WILDCARD
+    return Policy(**fields)

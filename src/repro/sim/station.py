@@ -1,0 +1,197 @@
+"""Single-server FIFO service stations.
+
+Controller message pipelines are modeled as service stations: each incoming
+unit of work (a PACKET_IN to process, a FLOW_MOD to emit, a store write to
+replicate) occupies the server for a sampled service time. Stations expose
+the two behaviours the paper's throughput experiments hinge on:
+
+* **Saturation** — once work arrives faster than the service rate, the queue
+  grows, and with a bounded queue the excess is dropped, so the completion
+  rate plateaus at the service rate (Fig 4f/4g/4h).
+* **Overload collapse** — Cbench's blocking bursts overwhelm ONOS: the TCP
+  window closes and the FLOW_MOD output falls to *zero*, not to the service
+  rate (Fig 4e). Stations model this with an optional collapse threshold:
+  when the backlog exceeds it, the station stalls for a recovery period,
+  serving nothing and dropping everything that arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.latency import LatencyModel
+from repro.sim.simulator import Simulator
+
+
+def _BACKGROUND_WORK(work):  # sentinel "done" callback for hold()
+    return None
+
+
+@dataclass
+class StationStats:
+    """Counters maintained by a :class:`ServiceStation`."""
+
+    submitted: int = 0
+    completed: int = 0
+    dropped: int = 0
+    stalled_drops: int = 0
+    busy_time: float = 0.0
+    completion_times: list = field(default_factory=list)
+
+    def throughput(self, window: float) -> float:
+        """Completions per millisecond over ``window`` ms."""
+        if window <= 0:
+            return 0.0
+        return self.completed / window
+
+
+class ServiceStation:
+    """A single-server FIFO queue with optional capacity and collapse.
+
+    Parameters
+    ----------
+    sim:
+        The driving simulator.
+    service_time:
+        Distribution of per-item service times (ms).
+    capacity:
+        Maximum queued items (excluding the one in service). ``None`` means
+        unbounded. Arrivals beyond capacity are dropped.
+    collapse_threshold:
+        If set, a backlog beyond this many items stalls the station for
+        ``collapse_recovery`` ms, during which every arrival is dropped and
+        the existing queue is discarded. Models TCP zero-window collapse.
+    collapse_recovery:
+        Stall duration in ms after a collapse.
+    name:
+        Label for diagnostics.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service_time: LatencyModel,
+        capacity: Optional[int] = None,
+        collapse_threshold: Optional[int] = None,
+        collapse_recovery: float = 5000.0,
+        name: str = "station",
+        record_completions: bool = False,
+    ):
+        self.sim = sim
+        self.service_time = service_time
+        self.capacity = capacity
+        self.collapse_threshold = collapse_threshold
+        self.collapse_recovery = collapse_recovery
+        self.name = name
+        self.record_completions = record_completions
+        self.stats = StationStats()
+        self._rng = sim.fork_rng(f"station/{name}")
+        self._queue: list = []
+        self._busy = False
+        self._stalled_until = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        """Items waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    @property
+    def stalled(self) -> bool:
+        """True while the station is recovering from an overload collapse."""
+        return self.sim.now < self._stalled_until
+
+    def submit(self, work: Any, done: Callable[[Any], None],
+               service_override: Optional[float] = None) -> bool:
+        """Enqueue ``work``; call ``done(work)`` when service completes.
+
+        ``service_override`` replaces the sampled service time for this item
+        (used to model fixed-cost background work such as mastership-update
+        processing). Returns ``False`` (and counts a drop) if the item was
+        rejected because the station is stalled or the queue is full.
+        """
+        self.stats.submitted += 1
+        if self.stalled:
+            self.stats.dropped += 1
+            self.stats.stalled_drops += 1
+            return False
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            self.stats.dropped += 1
+            return False
+        self._queue.append((work, done, service_override))
+        if self.collapse_threshold is not None and len(self._queue) > self.collapse_threshold:
+            self._collapse()
+            return False
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def hold(self, duration: float) -> None:
+        """Occupy the server for ``duration`` ms of background work.
+
+        Background holds contend for the server like real items but are not
+        counted as arrivals or completions — they just steal capacity (e.g.
+        mastership-update processing at the primary under JURY replication).
+        """
+        if self.stalled:
+            return
+        self._queue.append((None, _BACKGROUND_WORK, duration))
+        self.stats.submitted += 1  # balanced back out in _finish
+        if not self._busy:
+            self._start_next()
+
+    # ------------------------------------------------------------------
+    def _collapse(self) -> None:
+        """Discard the backlog and stall — the zero-window state."""
+        discarded = len(self._queue)
+        self.stats.dropped += discarded
+        self.stats.stalled_drops += discarded
+        self._queue.clear()
+        self._stalled_until = self.sim.now + self.collapse_recovery
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        work, done, service_override = self._queue.pop(0)
+        if done is _BACKGROUND_WORK:
+            delay = service_override
+        elif service_override is not None:
+            delay = service_override
+        else:
+            delay = self.service_time.sample(self._rng)
+        self.stats.busy_time += delay
+        self.sim.schedule(delay, self._finish, work, done)
+
+    def _finish(self, work: Any, done: Callable[[Any], None]) -> None:
+        if done is _BACKGROUND_WORK:
+            self.stats.submitted -= 1  # holds are not real traffic
+            if not self.stalled:
+                self._start_next()
+            else:
+                self._busy = False
+            return
+        self.stats.completed += 1
+        if self.record_completions:
+            self.stats.completion_times.append(self.sim.now)
+        # A handler may return a float: extra milliseconds the server stays
+        # busy after this item. This is how synchronous store-replication
+        # cost (Infinispan) occupies the controller pipeline.
+        extra = done(work)
+        if self.stalled:
+            # Collapsed mid-service: drop the remaining queue handling.
+            self._busy = False
+            return
+        if isinstance(extra, (int, float)) and not isinstance(extra, bool) and extra > 0:
+            self.stats.busy_time += extra
+            self.sim.schedule(extra, self._start_next)
+        else:
+            self._start_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceStation({self.name!r}, backlog={self.backlog}, "
+            f"completed={self.stats.completed}, dropped={self.stats.dropped})"
+        )

@@ -1,0 +1,29 @@
+"""tcpreplay-style throughput workload (§VII-B.1).
+
+"We use tcpreplay to initiate new TCP connections for 10s from several
+Mininet hosts simultaneously. Each TCP packet results in a TCAM miss, which
+subsequently generates a PACKET_IN and elicits a FLOW_MOD."
+
+A thin specialization of :class:`~repro.workloads.traffic.TrafficDriver`
+with the 10-second window as default and no churn.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import Topology
+from repro.sim.simulator import Simulator
+from repro.workloads.traffic import TrafficDriver
+
+
+class TcpReplayDriver(TrafficDriver):
+    """Fresh TCP connections for a fixed window; every packet misses."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 packet_in_rate_per_s: float, duration_ms: float = 10000.0,
+                 seed_label: str = "tcpreplay"):
+        super().__init__(
+            sim, topology,
+            packet_in_rate_per_s=packet_in_rate_per_s,
+            duration_ms=duration_ms,
+            seed_label=seed_label,
+        )

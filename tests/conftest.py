@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controllers.onos import build_onos_cluster
+from repro.harness.experiment import build_experiment
+from repro.net.topology import linear_topology
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def small_topo(sim):
+    """A 4-switch linear topology with one host per switch."""
+    return linear_topology(sim, 4)
+
+
+@pytest.fixture
+def onos3(sim, small_topo):
+    """A 3-node ONOS cluster wired to the small topology, discovery settled."""
+    cluster, store = build_onos_cluster(sim, n=3)
+    cluster.connect_topology(small_topo)
+    cluster.start()
+    sim.run(until=2500.0)
+    return cluster, store
+
+
+@pytest.fixture
+def warm_jury_experiment():
+    """A warmed-up 5-node ONOS experiment with JURY (k=4)."""
+    exp = build_experiment(kind="onos", n=5, k=4, switches=8, seed=77,
+                           timeout_ms=250.0)
+    exp.warmup()
+    return exp
+
+
+def discover_and_learn(experiment, extra_ms: float = 500.0):
+    """Drive an ARP from each host so the cluster learns every location."""
+    hosts = experiment.topology.host_list()
+    for index, host in enumerate(hosts):
+        target = hosts[(index + 1) % len(hosts)]
+        experiment.sim.schedule(index * 2.0, host.send_arp_request, target.ip)
+    experiment.run(2 * len(hosts) + extra_ms)

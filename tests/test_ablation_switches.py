@@ -1,0 +1,62 @@
+"""Tests for the ablation switches on the deployment/validator."""
+
+import pytest
+
+from repro.harness.experiment import build_experiment
+
+
+def drive(experiment, count=4):
+    hosts = experiment.topology.host_list()
+    for i in range(count):
+        experiment.sim.schedule(i * 40.0, hosts[i % len(hosts)].open_connection,
+                                hosts[(i + 3) % len(hosts)])
+    experiment.run(1500.0)
+
+
+def test_taint_classification_flag_controls_external_detection():
+    """Without taint-based classification, a trigger is external only once
+    its response count exceeds k+2 — tainted singletons decide as internal."""
+    exp = build_experiment(kind="onos", n=5, k=4, switches=8, seed=180,
+                           timeout_ms=250.0, taint_classification=False)
+    exp.warmup()
+    drive(exp)
+    validator = exp.validator
+    # Full-count triggers (2k+2 > k+2) still classify as external.
+    full = [r for r in validator.results if not r.timed_out and r.external]
+    assert full
+    # But LLDP-style triggers with only k tainted replica results (k <= k+2)
+    # now decide as internal — classification lost its taint signal.
+    small = [r for r in validator.results
+             if r.timed_out and r.n_responses <= validator.k + 2]
+    assert small
+    assert any(not r.external for r in small)
+
+
+def test_taint_classification_default_uses_taint():
+    exp = build_experiment(kind="onos", n=5, k=4, switches=8, seed=180,
+                           timeout_ms=250.0, taint_classification=True)
+    exp.warmup()
+    drive(exp)
+    validator = exp.validator
+    # With taint classification every replicated trigger counts as external,
+    # even those with few responses.
+    small_external = [r for r in validator.results
+                      if r.n_responses <= validator.k + 2 and r.external]
+    assert small_external
+
+
+def test_state_aware_flag_passthrough():
+    exp = build_experiment(kind="onos", n=3, k=2, switches=4, seed=181,
+                           state_aware=False)
+    assert exp.validator.state_aware is False
+    exp = build_experiment(kind="onos", n=3, k=2, switches=4, seed=181)
+    assert exp.validator.state_aware is True
+
+
+def test_warmup_without_arp_learns_no_hosts():
+    exp = build_experiment(kind="onos", n=3, k=None, switches=4, seed=182)
+    exp.warmup(arp=False)
+    c1 = exp.cluster.controller("c1")
+    assert len(c1.store.entries("HostsDB")) == 0
+    # Topology discovery still happened.
+    assert len(c1.store.entries("EdgesDB")) > 0

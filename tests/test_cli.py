@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FAULTS, build_parser, main
+
+
+def test_list_faults(capsys):
+    assert main(["list-faults"]) == 0
+    out = capsys.readouterr().out
+    assert "crash" in out
+    assert "odl-flow-mod-drop" in out
+    for name in FAULTS:
+        assert name in out
+
+
+def test_validate_command(capsys):
+    code = main(["validate", "--nodes", "3", "-k", "2", "--switches", "4",
+                 "--rate", "500", "--duration", "400", "--seed", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "triggers validated" in out
+    assert "false-positive rate" in out
+
+
+def test_faults_command_detects(capsys):
+    code = main(["faults", "crash", "--nodes", "5", "-k", "4",
+                 "--switches", "6", "--seed", "4"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "YES" in out
+    assert "primary_omission" in out
+
+
+def test_faults_command_unknown_name(capsys):
+    code = main(["faults", "no-such-fault"])
+    assert code == 2
+    assert "unknown fault" in capsys.readouterr().err
+
+
+def test_throughput_command(capsys):
+    code = main(["throughput", "--cluster-sizes", "1", "2",
+                 "--switches", "6", "--rate", "800", "--duration", "400",
+                 "--seed", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "n=1" in out and "n=2" in out
+
+
+def test_detection_command_renders_cdf(capsys):
+    code = main(["detection", "--nodes", "3", "-k", "2", "--switches", "4",
+                 "--rate", "600", "--duration", "500", "--seed", "6"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "p95=" in out
+    assert "k=2" in out  # CDF legend
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

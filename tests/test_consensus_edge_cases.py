@@ -1,0 +1,118 @@
+"""Additional consensus/sanity edge cases beyond the core unit tests."""
+
+from repro.core.alarms import AlarmReason
+from repro.core.consensus import evaluate_consensus, sanity_check
+from repro.core.responses import Response, ResponseKind
+
+
+CACHE = (("cache", "FlowsDB", ("flow", 2, (), 100), "create",
+          (("actions", (("output", 1),)), ("command", "add"), ("dpid", 2),
+           ("match", ()), ("priority", 100), ("state", "pending_add"))),)
+NET = (("flow_mod", 2, "add", (), (("output", 1),), 100),)
+
+
+def response(cid, kind, entry, **kwargs):
+    defaults = dict(trigger_id=("ext", 1), state_digest=(("c1", 1),))
+    defaults.update(kwargs)
+    return Response(cid, defaults.pop("trigger_id"), kind, entry, **defaults)
+
+
+def test_remote_master_network_write_not_held_against_primary():
+    """REST via a non-master: the remote master's FLOW_MOD merges into the
+    sanity view but is excluded from the replica comparison."""
+    responses = [
+        response("c1", ResponseKind.CACHE_UPDATE, CACHE, origin="c1"),
+        response("c2", ResponseKind.NETWORK_WRITE, NET),  # remote master
+        response("c3", ResponseKind.REPLICA_RESULT, (CACHE, ()),
+                 tainted=True, primary_hint="c1"),
+        response("c4", ResponseKind.REPLICA_RESULT, (CACHE, ()),
+                 tainted=True, primary_hint="c1"),
+    ]
+    outcome = evaluate_consensus(responses, k=2, external=True)
+    assert outcome.ok
+    assert outcome.primary_id == "c1"
+    # Full network entry still available for the sanity check.
+    assert outcome.primary_network_entry == NET
+    assert sanity_check(outcome.primary_cache_entry,
+                        outcome.primary_network_entry, "c1").ok
+
+
+def test_network_bundles_from_multiple_responses_merge():
+    net_a = (("flow_mod", 2, "add", (), (("output", 1),), 100),)
+    net_b = (("packet_out", 2, 5, (("output", 1),)),)
+    responses = [
+        response("c1", ResponseKind.NETWORK_WRITE, net_a),
+        response("c1", ResponseKind.NETWORK_WRITE, net_b),
+        response("c1", ResponseKind.CACHE_UPDATE, CACHE, origin="c1"),
+    ]
+    outcome = evaluate_consensus(responses, k=0, external=True)
+    assert set(outcome.primary_network_entry) == set(net_a) | set(net_b)
+
+
+def test_majority_tie_is_inconclusive_not_alarmed():
+    other = ((("cache", "X", "k", "create", 1),), ())
+    responses = [
+        response("c1", ResponseKind.CACHE_UPDATE, CACHE, origin="c1"),
+        response("c2", ResponseKind.REPLICA_RESULT, (CACHE, ()),
+                 tainted=True, primary_hint="c1"),
+        response("c3", ResponseKind.REPLICA_RESULT, (CACHE, ()),
+                 tainted=True, primary_hint="c1"),
+        response("c4", ResponseKind.REPLICA_RESULT, other,
+                 tainted=True, primary_hint="c1"),
+        response("c5", ResponseKind.REPLICA_RESULT, other,
+                 tainted=True, primary_hint="c1"),
+    ]
+    outcome = evaluate_consensus(responses, k=4, external=True)
+    assert outcome.ok  # 2-2 split: no majority, avert the alarm
+
+
+def test_declared_non_determinism_beats_identical_wrong_replicas():
+    wrong = ((("cache", "X", "k", "create", 99),), ())
+    responses = [
+        response("c1", ResponseKind.CACHE_UPDATE, CACHE, origin="c1"),
+        response("c2", ResponseKind.REPLICA_RESULT, wrong, tainted=True,
+                 primary_hint="c1", declared_non_deterministic=True),
+        response("c3", ResponseKind.REPLICA_RESULT, wrong, tainted=True,
+                 primary_hint="c1", declared_non_deterministic=True),
+    ]
+    outcome = evaluate_consensus(responses, k=2, external=True)
+    assert outcome.ok
+    assert outcome.non_deterministic
+
+
+def test_state_aware_off_compares_everything():
+    lagging = ((), ())
+    responses = [
+        response("c1", ResponseKind.CACHE_UPDATE, CACHE, origin="c1",
+                 state_digest=(("c1", 5),)),
+        response("c1", ResponseKind.NETWORK_WRITE, NET,
+                 state_digest=(("c1", 5),)),
+        response("c2", ResponseKind.REPLICA_RESULT, lagging, tainted=True,
+                 primary_hint="c1", state_digest=(("c1", 1),)),
+        response("c3", ResponseKind.REPLICA_RESULT, lagging, tainted=True,
+                 primary_hint="c1", state_digest=(("c1", 1),)),
+    ]
+    aware = evaluate_consensus(responses, k=2, external=True,
+                               state_aware=True)
+    assert aware.ok  # different views: inconclusive
+    naive = evaluate_consensus(responses, k=2, external=True,
+                               state_aware=False)
+    assert not naive.ok  # naive majority: false positive
+    assert naive.reason == AlarmReason.CONSENSUS_MISMATCH
+
+
+def test_sanity_multiple_promised_flow_mods():
+    cache2 = CACHE + (
+        ("cache", "FlowsDB", ("flow", 3, (), 100), "create",
+         (("actions", (("output", 2),)), ("command", "add"), ("dpid", 3),
+          ("match", ()), ("priority", 100), ("state", "pending_add"))),)
+    net2 = NET + (("flow_mod", 3, "add", (), (("output", 2),), 100),)
+    assert sanity_check(cache2, net2, "c1").ok
+    # One of the two missing -> mismatch.
+    assert not sanity_check(cache2, NET, "c1").ok
+
+
+def test_sanity_tolerates_non_flow_cache_writes():
+    host_write = (("cache", "HostsDB", ("host", "aa"), "create",
+                   (("dpid", 1), ("ip", "10.0.0.1"))),)
+    assert sanity_check(host_write, (), "c1").ok

@@ -1,0 +1,74 @@
+"""Tests for trigger contexts and taints."""
+
+from repro.controllers.context import (
+    Taint,
+    TriggerContext,
+    new_external_trigger_id,
+)
+
+
+def test_external_trigger_ids_unique():
+    a = TriggerContext.external_trigger()
+    b = TriggerContext.external_trigger()
+    assert a.trigger_id != b.trigger_id
+    assert a.trigger_id[0] == "ext"
+    assert a.external and not a.shadow
+
+
+def test_external_trigger_honors_preassigned_id():
+    tau = new_external_trigger_id()
+    ctx = TriggerContext.external_trigger(trigger_id=tau)
+    assert ctx.trigger_id == tau
+
+
+def test_internal_trigger_carries_controller_id():
+    ctx = TriggerContext.internal_trigger("c3")
+    assert ctx.trigger_id[0] == "int"
+    assert ctx.trigger_id[1] == "c3"
+    assert not ctx.external
+
+
+def test_replica_context_is_shadow_and_tainted():
+    taint = Taint(trigger_id=("ext", 7), primary_id="c1")
+    ctx = TriggerContext.replica_of(taint, received_at=5.0)
+    assert ctx.shadow
+    assert ctx.tainted
+    assert ctx.trigger_id == ("ext", 7)
+    assert ctx.received_at == 5.0
+
+
+def test_capture_and_combined_canonical():
+    taint = Taint(trigger_id=("ext", 8), primary_id="c1")
+    ctx = TriggerContext.replica_of(taint)
+    ctx.capture_cache(("cache", "X", "k", "create", 1))
+    ctx.capture_network(("flow_mod", 1, "add", (), (), 100))
+    ctx.capture_network(("packet_out", 1, None, ()))
+    cache_part, network_part = ctx.combined_canonical()
+    assert len(cache_part) == 1
+    assert len(network_part) == 2
+
+
+def test_combined_canonical_order_insensitive():
+    taint = Taint(trigger_id=("ext", 9), primary_id="c1")
+    a = TriggerContext.replica_of(taint)
+    b = TriggerContext.replica_of(taint)
+    items = [("flow_mod", 2, "add", (), (), 1), ("packet_out", 1, None, ())]
+    a.capture_network(items[0])
+    a.capture_network(items[1])
+    b.capture_network(items[1])
+    b.capture_network(items[0])
+    assert a.combined_canonical() == b.combined_canonical()
+
+
+def test_taint_is_hashable_and_printable():
+    taint = Taint(trigger_id=("ext", 1), primary_id="c1")
+    assert {taint: 1}[taint] == 1
+    assert "c1" in str(taint)
+
+
+def test_pending_cost_accumulates():
+    ctx = TriggerContext.external_trigger()
+    assert ctx.pending_cost == 0.0
+    ctx.pending_cost += 1.5
+    ctx.pending_cost += 0.5
+    assert ctx.pending_cost == 2.0

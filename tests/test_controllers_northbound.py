@@ -1,0 +1,74 @@
+"""Tests for the northbound REST API."""
+
+import pytest
+
+from repro.controllers.northbound import NorthboundApi
+from repro.controllers.onos import build_onos_cluster
+from repro.errors import ClusterError
+from repro.net.topology import linear_topology
+from repro.openflow.actions import ActionOutput
+from repro.openflow.match import Match
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def api_cluster():
+    sim = Simulator(seed=14)
+    topo = linear_topology(sim, 3)
+    cluster, _ = build_onos_cluster(sim, n=3)
+    cluster.connect_topology(topo)
+    cluster.start()
+    sim.run(until=2500.0)
+    return NorthboundApi(cluster), cluster, topo, sim
+
+
+def test_add_flow_installs_on_master(api_cluster):
+    api, cluster, topo, sim = api_cluster
+    match = Match.for_destination("11:11:11:11:11:11")
+    api.add_flow("c1", 1, match, (ActionOutput(1),), priority=60)
+    sim.run(until=sim.now + 300.0)
+    assert topo.switches[1].table.find(match, 60) is not None
+
+
+def test_add_flow_via_non_master_reaches_remote_switch(api_cluster):
+    api, cluster, topo, sim = api_cluster
+    match = Match.for_destination("22:22:22:22:22:22")
+    # dpid 2 is mastered by c2; call via c3.
+    api.add_flow("c3", 2, match, (ActionOutput(1),), priority=61)
+    sim.run(until=sim.now + 300.0)
+    assert topo.switches[2].table.find(match, 61) is not None
+
+
+def test_delete_flow(api_cluster):
+    api, cluster, topo, sim = api_cluster
+    match = Match.for_destination("33:33:33:33:33:33")
+    api.add_flow("c1", 1, match, (ActionOutput(1),), priority=62)
+    sim.run(until=sim.now + 300.0)
+    api.delete_flow("c1", 1, match, priority=62)
+    sim.run(until=sim.now + 300.0)
+    assert topo.switches[1].table.find(match, 62) is None
+
+
+def test_rest_request_counter(api_cluster):
+    api, cluster, topo, sim = api_cluster
+    match = Match.for_destination("44:44:44:44:44:44")
+    api.add_flow("c1", 1, match, (ActionOutput(1),))
+    sim.run(until=sim.now + 300.0)
+    assert api.requests_sent == 1
+    assert cluster.controller("c1").rest_requests == 1
+
+
+def test_unknown_controller_rejected(api_cluster):
+    api, cluster, topo, sim = api_cluster
+    with pytest.raises(ClusterError):
+        api.add_flow("c9", 1, Match(), ())
+
+
+def test_requests_have_latency(api_cluster):
+    api, cluster, topo, sim = api_cluster
+    match = Match.for_destination("55:55:55:55:55:55")
+    api.add_flow("c1", 1, match, (ActionOutput(1),))
+    # Immediately after the call the controller has not yet seen it.
+    assert cluster.controller("c1").rest_requests == 0
+    sim.run(until=sim.now + 300.0)
+    assert cluster.controller("c1").rest_requests == 1

@@ -1,0 +1,206 @@
+"""Unit tests for consensus evaluation and the sanity check."""
+
+from repro.core.alarms import AlarmReason
+from repro.core.consensus import evaluate_consensus, sanity_check
+from repro.core.responses import Response, ResponseKind
+
+
+def replica(cid, entry, digest=(1,), primary="c1"):
+    return Response(controller_id=cid, trigger_id=("ext", 1),
+                    kind=ResponseKind.REPLICA_RESULT, entry=entry,
+                    tainted=True, state_digest=digest, primary_hint=primary)
+
+
+def cache_relay(cid, entry, origin="c1", digest=(1,)):
+    return Response(controller_id=cid, trigger_id=("ext", 1),
+                    kind=ResponseKind.CACHE_UPDATE, entry=entry,
+                    state_digest=digest, origin=origin)
+
+
+def network(cid, entry, digest=(1,)):
+    return Response(controller_id=cid, trigger_id=("ext", 1),
+                    kind=ResponseKind.NETWORK_WRITE, entry=entry,
+                    state_digest=digest)
+
+
+CACHE = (("cache", "FlowsDB", ("flow", 1), "create", (("state", "pending_add"),)),)
+NET = (("flow_mod", 1, "add", (), (), 100),)
+COMBINED = (CACHE, NET)
+
+
+def test_agreement_passes():
+    responses = [
+        network("c1", NET),
+        cache_relay("c1", CACHE),
+        cache_relay("c2", CACHE),
+        replica("c2", COMBINED),
+        replica("c3", COMBINED),
+    ]
+    outcome = evaluate_consensus(responses, k=2, external=True)
+    assert outcome.ok
+    assert outcome.primary_id == "c1"
+    assert outcome.compared_replicas == 2
+
+
+def test_primary_deviation_flagged():
+    bad_combined = (CACHE, (("flow_mod", 1, "add", (), (("drop",),), 100),))
+    responses = [
+        network("c1", bad_combined[1]),
+        cache_relay("c1", CACHE),
+        replica("c2", COMBINED),
+        replica("c3", COMBINED),
+    ]
+    outcome = evaluate_consensus(responses, k=2, external=True)
+    assert not outcome.ok
+    assert outcome.reason == AlarmReason.CONSENSUS_MISMATCH
+    assert outcome.offending == "c1"
+
+
+def test_primary_omission_detected_with_majority_replicas():
+    responses = [replica("c2", COMBINED), replica("c3", COMBINED)]
+    outcome = evaluate_consensus(responses, k=2, external=True)
+    assert not outcome.ok
+    assert outcome.reason == AlarmReason.PRIMARY_OMISSION
+    assert outcome.offending == "c1"  # from the taint hint
+
+
+def test_empty_everywhere_is_benign():
+    responses = [replica("c2", ((), ())), replica("c3", ((), ()))]
+    outcome = evaluate_consensus(responses, k=2, external=True)
+    assert outcome.ok
+
+
+def test_single_lagging_replica_does_not_trigger_omission():
+    """One of k=4 replicas externalized; the rest saw nothing to do."""
+    responses = [
+        replica("c2", COMBINED),
+        replica("c3", ((), ())),
+        replica("c4", ((), ())),
+    ]
+    outcome = evaluate_consensus(responses, k=4, external=True)
+    assert outcome.ok
+
+
+def test_state_aware_grouping_averts_false_positive():
+    """Replicas in a different state than the primary are not compared."""
+    responses = [
+        network("c1", NET, digest=(1,)),
+        cache_relay("c1", CACHE, digest=(1,)),
+        replica("c2", ((), ()), digest=(2,)),  # lagging view, divergent output
+        replica("c3", ((), ()), digest=(2,)),
+    ]
+    outcome = evaluate_consensus(responses, k=2, external=True)
+    assert outcome.ok
+    assert outcome.compared_replicas == 0
+
+
+def test_non_determinism_all_distinct_is_ok():
+    responses = [
+        network("c1", NET),
+        cache_relay("c1", CACHE),
+        replica("c2", (CACHE, (("packet_out", 1, 1, ()),))),
+        replica("c3", (CACHE, (("packet_out", 1, 2, ()),))),
+    ]
+    outcome = evaluate_consensus(responses, k=2, external=True)
+    assert outcome.ok
+    assert outcome.non_deterministic
+
+
+def test_corrupted_cache_relay_blamed():
+    corrupt = (("cache", "FlowsDB", ("flow", 1), "create", (("state", "bogus"),)),)
+    responses = [
+        cache_relay("c1", CACHE, origin="c1"),
+        cache_relay("c2", CACHE, origin="c1"),
+        cache_relay("c3", corrupt, origin="c1"),
+        replica("c2", COMBINED),
+        replica("c3", COMBINED),
+        network("c1", NET),
+    ]
+    outcome = evaluate_consensus(responses, k=2, external=True)
+    assert not outcome.ok
+    assert outcome.reason == AlarmReason.CONSENSUS_MISMATCH
+    assert outcome.offending == "c3"
+
+
+def test_internal_trigger_relay_agreement():
+    responses = [
+        cache_relay("c1", CACHE, origin="c1"),
+        cache_relay("c2", CACHE, origin="c1"),
+        cache_relay("c3", CACHE, origin="c1"),
+    ]
+    outcome = evaluate_consensus(responses, k=2, external=False)
+    assert outcome.ok
+    assert outcome.primary_id == "c1"
+    assert outcome.primary_cache_entry == CACHE
+
+
+def test_k_zero_degenerates_gracefully():
+    responses = [network("c1", NET), cache_relay("c1", CACHE)]
+    outcome = evaluate_consensus(responses, k=0, external=True)
+    assert outcome.ok
+
+
+# ----------------------------------------------------------------------
+# Sanity check
+# ----------------------------------------------------------------------
+
+def flow_cache_entry(dpid=1, state="pending_add", actions=(("output", 2),),
+                     op="create", attempts=None):
+    fields = [("actions", actions), ("command", "add"),
+              ("dpid", dpid), ("match", ()), ("priority", 100),
+              ("state", state)]
+    if attempts is not None:
+        fields.append(("attempts", attempts))
+    return (("cache", "FlowsDB", ("flow", dpid, (), 100), op,
+             tuple(sorted(fields))),)
+
+
+def test_sanity_passes_when_flow_mod_present():
+    cache = flow_cache_entry()
+    net = (("flow_mod", 1, "add", (), (("output", 2),), 100),)
+    assert sanity_check(cache, net, "c1").ok
+
+
+def test_sanity_flags_missing_flow_mod():
+    cache = flow_cache_entry()
+    outcome = sanity_check(cache, (), "c1")
+    assert not outcome.ok
+    assert outcome.reason == AlarmReason.SANITY_MISMATCH
+    assert outcome.offending == "c1"
+
+
+def test_sanity_flags_mismatched_actions():
+    cache = flow_cache_entry(actions=(("output", 2),))
+    net = (("flow_mod", 1, "add", (), (("drop",),), 100),)
+    outcome = sanity_check(cache, net, "c1")
+    assert not outcome.ok
+
+
+def test_sanity_flags_unjustified_flow_mod():
+    net = (("flow_mod", 1, "add", (), (("output", 2),), 100),)
+    outcome = sanity_check((), net, "c1")
+    assert not outcome.ok
+    assert "no matching cache" in outcome.detail
+
+
+def test_sanity_ignores_packet_outs():
+    net = (("packet_out", 1, 5, (("output", 2),)),)
+    assert sanity_check((), net, "c1").ok
+
+
+def test_sanity_ignores_reconciliation_updates():
+    added = flow_cache_entry(state="added", op="update")
+    assert sanity_check(added, (), "c1").ok
+    stranded = flow_cache_entry(state="pending_add", op="update", attempts=2)
+    assert sanity_check(stranded, (), "c1").ok
+
+
+def test_sanity_delete_requires_delete_flow_mod():
+    cache = (("cache", "FlowsDB", ("flow", 1, (), 100), "delete", None),)
+    assert not sanity_check(cache, (), "c1").ok
+    net = (("flow_mod", 1, "delete", (), (), 100),)
+    assert sanity_check(cache, net, "c1").ok
+
+
+def test_sanity_empty_everything_is_ok():
+    assert sanity_check((), (), None).ok

@@ -1,0 +1,143 @@
+"""Integration tests for the full JURY pipeline on a live cluster."""
+
+import pytest
+
+from repro.core.responses import ResponseKind
+from repro.harness.experiment import build_experiment
+from repro.openflow.actions import ActionOutput
+from repro.openflow.match import Match
+
+
+@pytest.fixture(scope="module")
+def traffic_run():
+    """One warmed-up JURY experiment with a little traffic, shared read-only."""
+    exp = build_experiment(kind="onos", n=5, k=4, switches=8, seed=21,
+                           timeout_ms=250.0, with_northbound=True)
+    exp.warmup()
+    hosts = exp.topology.host_list()
+    for i in range(6):
+        exp.sim.schedule(i * 30.0, hosts[i % 8].open_connection,
+                         hosts[(i + 3) % 8])
+    exp.run(1500.0)
+    return exp
+
+
+def test_no_false_alarms_on_benign_traffic(traffic_run):
+    assert traffic_run.validator.triggers_alarmed == 0
+    assert traffic_run.validator.triggers_decided > 0
+
+
+def test_secondaries_ran_shadow_executions(traffic_run):
+    assert traffic_run.jury.total_shadow_triggers() > 0
+
+
+def test_full_consensus_reached_for_flow_triggers(traffic_run):
+    validator = traffic_run.validator
+    full = [r for r in validator.results if not r.timed_out and r.external]
+    assert full, "expected at least one full 2k+2 consensus"
+    k = traffic_run.jury.k
+    assert all(r.n_responses >= 2 * k + 2 for r in full)
+
+
+def test_replication_respects_k():
+    exp = build_experiment(kind="onos", n=5, k=2, switches=4, seed=22)
+    exp.warmup()
+    hosts = exp.topology.host_list()
+    hosts[0].open_connection(hosts[2])
+    exp.run(1000.0)
+    # Each external trigger shadows on exactly k secondaries.
+    k = exp.jury.k
+    validator = exp.validator
+    for result in validator.results:
+        if result.external and not result.timed_out:
+            assert result.n_responses == 2 * k + 2
+
+
+def test_shadow_execution_causes_no_side_effects():
+    exp = build_experiment(kind="onos", n=3, k=2, switches=4, seed=23)
+    exp.warmup()
+    hosts = exp.topology.host_list()
+    hosts[0].open_connection(hosts[3])
+    exp.run(1000.0)
+    # Every switch rule was installed exactly once (no duplicates from
+    # secondaries), and FLOW_MOD counts match the primary-only emission.
+    switches = exp.topology.switches.values()
+    total_switch_rules = sum(len(s.table) for s in switches)
+    total_flow_mods = sum(s.flow_mods_received for s in switches)
+    assert total_flow_mods == total_switch_rules
+
+
+def test_rest_triggers_are_replicated_and_validated():
+    exp = build_experiment(kind="onos", n=5, k=4, switches=4, seed=24,
+                           timeout_ms=250.0, with_northbound=True)
+    exp.warmup()
+    decided_before = exp.validator.triggers_decided
+    match = Match.for_destination("aa:bb:cc:dd:ee:01")
+    exp.northbound.add_flow("c1", 1, match, (ActionOutput(1),), priority=99)
+    exp.run(1200.0)
+    assert exp.validator.triggers_decided > decided_before
+    assert exp.validator.triggers_alarmed == 0
+    assert exp.topology.switches[1].table.find(match, 99) is not None
+
+
+def test_rest_to_non_master_installs_via_remote_master():
+    exp = build_experiment(kind="onos", n=3, k=2, switches=4, seed=25,
+                           timeout_ms=250.0, with_northbound=True)
+    exp.warmup()
+    # dpid 2 is mastered by c2; send the REST call to c1.
+    match = Match.for_destination("aa:bb:cc:dd:ee:02")
+    exp.northbound.add_flow("c1", 2, match, (ActionOutput(1),), priority=98)
+    exp.run(1200.0)
+    assert exp.topology.switches[2].table.find(match, 98) is not None
+    assert exp.validator.triggers_alarmed == 0
+
+
+def test_validator_counters_consistent(traffic_run):
+    validator = traffic_run.validator
+    assert validator.responses_received >= validator.triggers_decided
+    assert validator.triggers_decided == len(validator.results)
+    assert validator.triggers_alarmed == sum(
+        1 for r in validator.results if r.alarmed)
+
+
+def test_network_overhead_counters_populated(traffic_run):
+    jury = traffic_run.jury
+    assert jury.replication_counter.bytes > 0
+    assert jury.validator_counter.bytes > 0
+
+
+def test_odl_jury_round_trip():
+    exp = build_experiment(kind="odl", n=3, k=2, switches=4, seed=26,
+                           timeout_ms=1200.0)
+    exp.warmup()
+    hosts = exp.topology.host_list()
+    flow_id = hosts[0].open_connection(hosts[3])
+    exp.run(3000.0)
+    assert hosts[3].received_by_flow.get(flow_id) == 1
+    assert exp.validator.triggers_decided > 0
+    assert exp.validator.triggers_alarmed == 0
+    # ODL replication is encapsulated: decapsulation samples were recorded.
+    assert exp.jury.decapsulation_samples()
+
+
+def test_onos_replication_not_encapsulated(traffic_run):
+    assert traffic_run.jury.decapsulation_samples() == []
+
+
+def test_deployment_rejects_bad_k():
+    from repro.errors import ValidationError
+
+    with pytest.raises(ValidationError):
+        build_experiment(kind="onos", n=3, k=5, switches=2, seed=1)
+
+
+def test_deployment_requires_wired_topology():
+    from repro.controllers.onos import build_onos_cluster
+    from repro.core.deployment import JuryDeployment
+    from repro.errors import ValidationError
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator(seed=1)
+    cluster, _ = build_onos_cluster(sim, n=3)
+    with pytest.raises(ValidationError):
+        JuryDeployment(cluster, k=2)

@@ -1,0 +1,117 @@
+"""Tests for trigger replication and the per-replica JURY module."""
+
+import pytest
+
+from repro.core.responses import ResponseKind
+from repro.harness.experiment import build_experiment
+from repro.openflow.messages import PacketIn
+
+
+@pytest.fixture
+def exp():
+    experiment = build_experiment(kind="onos", n=5, k=3, switches=4, seed=66,
+                                  timeout_ms=250.0, with_northbound=True)
+    experiment.warmup()
+    return experiment
+
+
+def responses_for(validator, predicate):
+    matching = []
+    for result in validator.results:
+        for alarm in result.alarms:
+            matching.extend(alarm.responses)
+    return [r for r in matching if predicate(r)]
+
+
+def test_replicator_fans_out_to_k_secondaries(exp):
+    shadows_before = exp.jury.total_shadow_triggers()
+    hosts = exp.topology.host_list()
+    hosts[0].open_connection(hosts[2])
+    exp.run(800.0)
+    shadows = exp.jury.total_shadow_triggers() - shadows_before
+    # Each PACKET_IN along the path shadowed at exactly k secondaries.
+    assert shadows > 0
+    assert shadows % exp.jury.k == 0
+
+
+def test_replicated_triggers_tagged_with_same_tau(exp):
+    """The primary's context and the replicas' taints share one τ."""
+    hosts = exp.topology.host_list()
+    hosts[0].open_connection(hosts[1])
+    exp.run(800.0)
+    # Full consensus means primary + replica responses were keyed together.
+    full = [r for r in exp.validator.results
+            if r.external and not r.timed_out]
+    assert full
+    assert all(r.n_responses == 2 * exp.jury.k + 2 for r in full)
+
+
+def test_lldp_probes_not_validated(exp):
+    """LLDP PACKET_OUTs are whitelisted: no network-only trigger noise."""
+    decided_before = exp.validator.triggers_decided
+    exp.run(2000.0)  # two LLDP rounds, no traffic
+    results = exp.validator.results[decided_before:]
+    # LLDP PACKET_INs that rewrite nothing decide empty at the timer; none
+    # may alarm (a probe emission is not a T2 network-only write).
+    assert all(r.ok for r in results)
+
+
+def test_module_jitter_positive_and_load_sensitive(exp):
+    module = exp.jury.modules["c1"]
+    samples = [module._jitter() for _ in range(200)]
+    assert all(s > 0 for s in samples)
+    median = sorted(samples)[100]
+    profile = module.controller.profile
+    assert median < profile.jitter_median_ms * 5
+
+
+def test_replicator_skips_duplicate_switch_connects(exp):
+    replicator = exp.jury.replicators[1]
+    from repro.openflow.messages import FeaturesReply
+
+    count_before = replicator.triggers_replicated
+    # A duplicate FEATURES_REPLY for an already-seen dpid is not replicated.
+    replicator._on_switch_trigger(FeaturesReply(dpid=1, ports=(1,)))
+    assert replicator.triggers_replicated == count_before
+
+
+def test_dead_controller_ignores_replicated_triggers(exp):
+    controller = exp.cluster.controller("c2")
+    controller.alive = False
+    module = exp.jury.modules["c2"]
+    shadows_before = module.shadow_triggers
+    hosts = exp.topology.host_list()
+    for host in hosts:
+        host.open_connection(hosts[0] if host is not hosts[0] else hosts[1])
+    exp.run(800.0)
+    assert module.shadow_triggers == shadows_before
+
+
+def test_validator_channel_counts_bytes(exp):
+    before = exp.jury.validator_counter.bytes
+    hosts = exp.topology.host_list()
+    hosts[0].open_connection(hosts[3])
+    exp.run(800.0)
+    assert exp.jury.validator_counter.bytes > before
+
+
+def test_mastership_chatter_charges_store_counter(exp):
+    before = exp.store.counter.bytes
+    hosts = exp.topology.host_list()
+    hosts[0].open_connection(hosts[3])
+    exp.run(800.0)
+    assert exp.store.counter.bytes > before
+
+
+def test_promise_holds_network_bundle_for_slow_flow_mod(exp):
+    """A FLOW_MOD delayed in egress still lands in the same bundle."""
+    from repro.sim.latency import Fixed
+
+    controller = exp.cluster.controller("c1")
+    # Make egress slow (but below the promise hold cap).
+    controller.egress.service_time = Fixed(20.0)
+    hosts = exp.topology.host_list()
+    src = hosts[0]  # attached to s1, mastered by c1
+    src.open_connection(hosts[3])
+    exp.run(1500.0)
+    assert exp.validator.triggers_alarmed == 0

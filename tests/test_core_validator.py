@@ -1,0 +1,221 @@
+"""Tests for the validator: Algorithm 1's counting, timers, and decisions."""
+
+import pytest
+
+from repro.core.responses import Response, ResponseKind
+from repro.core.timeouts import StaticTimeout
+from repro.core.validator import Validator
+from repro.sim.simulator import Simulator
+
+
+CACHE = (("cache", "FlowsDB", ("flow", 1, (), 100), "create",
+          (("actions", (("output", 2),)), ("command", "add"), ("dpid", 1),
+           ("match", ()), ("priority", 100), ("state", "pending_add"))),)
+NET = (("flow_mod", 1, "add", (), (("output", 2),), 100),)
+COMBINED = (CACHE, NET)
+
+
+def full_response_set(tau=("ext", 1), k=2, primary="c1",
+                      secondaries=("c2", "c3")):
+    """The 2k+2 responses of a healthy external trigger."""
+    responses = [
+        Response(primary, tau, ResponseKind.NETWORK_WRITE, NET,
+                 state_digest=(1,), trigger_received_at=0.0),
+        Response(primary, tau, ResponseKind.CACHE_UPDATE, CACHE,
+                 state_digest=(1,), origin=primary),
+    ]
+    for sid in secondaries:
+        responses.append(Response(sid, tau, ResponseKind.CACHE_UPDATE, CACHE,
+                                  state_digest=(1,), origin=primary))
+        responses.append(Response(sid, tau, ResponseKind.REPLICA_RESULT,
+                                  COMBINED, tainted=True, state_digest=(1,),
+                                  primary_hint=primary,
+                                  trigger_received_at=0.0))
+    return responses
+
+
+def test_external_trigger_decides_at_full_count():
+    sim = Simulator()
+    validator = Validator(sim, k=2, timeout=StaticTimeout(100.0))
+    for response in full_response_set():
+        validator.ingest(response)
+    assert validator.triggers_decided == 1
+    result = validator.results[0]
+    assert result.ok
+    assert result.external
+    assert not result.timed_out
+    assert result.n_responses == 6  # 2k+2
+
+
+def test_external_classification_by_taint():
+    sim = Simulator()
+    validator = Validator(sim, k=2, timeout=StaticTimeout(10.0))
+    tau = ("ext", 5)
+    validator.ingest(Response("c2", tau, ResponseKind.REPLICA_RESULT,
+                              ((), ()), tainted=True, primary_hint="c1"))
+    sim.run()
+    assert validator.results[0].external
+
+
+def test_internal_trigger_decides_on_timer():
+    sim = Simulator()
+    validator = Validator(sim, k=2, timeout=StaticTimeout(50.0))
+    tau = ("int", "c1", 9)
+    for cid in ("c1", "c2", "c3"):
+        validator.ingest(Response(cid, tau, ResponseKind.CACHE_UPDATE, CACHE,
+                                  origin="c1"))
+    assert validator.triggers_decided == 0  # k+1 < 2k+2: waits for the timer
+    validator.ingest(Response("c1", tau, ResponseKind.NETWORK_WRITE, NET))
+    sim.run()
+    result = validator.results[0]
+    assert result.timed_out
+    assert not result.external  # k+2 responses, no taint
+    assert result.ok
+
+
+def test_internal_t2_missing_network_write_alarms():
+    sim = Simulator()
+    validator = Validator(sim, k=2, timeout=StaticTimeout(50.0))
+    tau = ("int", "c1", 10)
+    for cid in ("c1", "c2", "c3"):
+        validator.ingest(Response(cid, tau, ResponseKind.CACHE_UPDATE, CACHE,
+                                  origin="c1"))
+    sim.run()
+    result = validator.results[0]
+    assert not result.ok
+    assert result.alarms[0].reason.value == "sanity_mismatch"
+
+
+def test_primary_omission_alarm_on_timeout():
+    sim = Simulator()
+    validator = Validator(sim, k=2, timeout=StaticTimeout(50.0))
+    tau = ("ext", 2)
+    for sid in ("c2", "c3"):
+        validator.ingest(Response(sid, tau, ResponseKind.REPLICA_RESULT,
+                                  COMBINED, tainted=True, primary_hint="c1",
+                                  state_digest=(1,)))
+    sim.run()
+    result = validator.results[0]
+    assert not result.ok
+    alarm = result.alarms[0]
+    assert alarm.reason.value == "primary_omission"
+    assert alarm.offending_controller == "c1"
+
+
+def test_late_response_after_decision_is_ignored():
+    sim = Simulator()
+    validator = Validator(sim, k=2, timeout=StaticTimeout(10.0))
+    tau = ("ext", 3)
+    validator.ingest(Response("c2", tau, ResponseKind.REPLICA_RESULT,
+                              ((), ()), tainted=True))
+    sim.run()  # timer fires, decision made
+    decided = validator.triggers_decided
+    validator.ingest(Response("c3", tau, ResponseKind.REPLICA_RESULT,
+                              ((), ()), tainted=True))
+    assert validator.triggers_decided == decided
+
+
+def test_detection_time_uses_trigger_receipt():
+    sim = Simulator()
+    validator = Validator(sim, k=2, timeout=StaticTimeout(1000.0))
+    sim.schedule(40.0, lambda: [validator.ingest(r)
+                                for r in full_response_set(tau=("ext", 7))])
+    sim.run()
+    result = validator.results[0]
+    # Responses carried trigger_received_at=0; decided at t=40.
+    assert abs(result.detection_ms - 40.0) < 1e-9
+
+
+def test_controller_state_maintained():
+    sim = Simulator()
+    validator = Validator(sim, k=2, timeout=StaticTimeout(10.0))
+    validator.ingest(Response("c1", ("ext", 8), ResponseKind.CACHE_UPDATE,
+                              CACHE, origin="c1"))
+    assert validator.state["c1"].cache_updates == 1
+    assert validator.state["c1"].last_entry == CACHE
+    sim.run()
+
+
+def test_policy_engine_invoked():
+    from repro.policy import PolicyEngine, no_internal_cache_changes
+
+    sim = Simulator()
+    engine = PolicyEngine([no_internal_cache_changes("FlowsDB")])
+    validator = Validator(sim, k=2, timeout=StaticTimeout(30.0),
+                          policy_engine=engine)
+    tau = ("int", "c1", 11)
+    for cid in ("c1", "c2", "c3"):
+        validator.ingest(Response(cid, tau, ResponseKind.CACHE_UPDATE, CACHE,
+                                  origin="c1"))
+    validator.ingest(Response("c1", tau, ResponseKind.NETWORK_WRITE, NET))
+    sim.run()
+    result = validator.results[0]
+    assert not result.ok
+    assert any(a.reason.value == "policy_violation" for a in result.alarms)
+
+
+def test_on_alarm_callback():
+    sim = Simulator()
+    validator = Validator(sim, k=1, timeout=StaticTimeout(10.0))
+    seen = []
+    validator.on_alarm = seen.append
+    validator.ingest(Response("c2", ("ext", 12), ResponseKind.REPLICA_RESULT,
+                              COMBINED, tainted=True, primary_hint="c1"))
+    sim.run()
+    assert len(seen) == 1
+
+
+def test_false_positive_rate():
+    sim = Simulator()
+    validator = Validator(sim, k=2, timeout=StaticTimeout(10.0))
+    for i in range(4):
+        for response in full_response_set(tau=("ext", 100 + i)):
+            validator.ingest(response)
+    assert validator.false_positive_rate() == 0.0
+    # one alarmed trigger
+    validator.ingest(Response("c2", ("ext", 999), ResponseKind.REPLICA_RESULT,
+                              COMBINED, tainted=True, primary_hint="c1"))
+    validator.ingest(Response("c3", ("ext", 999), ResponseKind.REPLICA_RESULT,
+                              COMBINED, tainted=True, primary_hint="c1"))
+    sim.run()
+    assert validator.false_positive_rate() == pytest.approx(1.0 / 5.0)
+
+
+def test_keep_results_flag():
+    sim = Simulator()
+    validator = Validator(sim, k=2, timeout=StaticTimeout(10.0),
+                          keep_results=False)
+    for response in full_response_set():
+        validator.ingest(response)
+    assert validator.triggers_decided == 1
+    assert validator.results == []
+
+
+def test_pending_count():
+    sim = Simulator()
+    validator = Validator(sim, k=2, timeout=StaticTimeout(10.0))
+    validator.ingest(Response("c2", ("ext", 1), ResponseKind.REPLICA_RESULT,
+                              ((), ()), tainted=True))
+    assert validator.pending_count == 1
+    sim.run()
+    assert validator.pending_count == 0
+
+
+def test_late_response_cannot_reopen_decided_trigger():
+    """Regression: a promise-held FLOW_MOD emerging after the decision must
+    be dropped — re-opening the trigger would judge it alone and raise a
+    spurious 'unjustified FLOW_MOD' sanity alarm."""
+    sim = Simulator()
+    validator = Validator(sim, k=2, timeout=StaticTimeout(10.0))
+    tau = ("ext", 400)
+    validator.ingest(Response("c2", tau, ResponseKind.REPLICA_RESULT,
+                              ((), ()), tainted=True))
+    sim.run()  # decision on the timer
+    decided = validator.triggers_decided
+    # The primary's FLOW_MOD bundle arrives late.
+    validator.ingest(Response("c1", tau, ResponseKind.NETWORK_WRITE, NET))
+    sim.run()  # no new timer may decide this tau again
+    assert validator.triggers_decided == decided
+    assert validator.late_responses == 1
+    assert validator.pending_count == 0
+    assert not validator.alarms

@@ -1,0 +1,98 @@
+"""Tests for the paper's §VIII future-work extensions implemented here:
+declared non-determinism, adaptive timeouts in deployment, Active-Passive HA.
+"""
+
+import pytest
+
+from repro.controllers.base import ControllerApp
+from repro.controllers.cluster import ControllerCluster, HaMode
+from repro.controllers.onos import build_onos_cluster
+from repro.core.timeouts import AdaptiveTimeout
+from repro.datastore.caches import ARPDB
+from repro.harness.experiment import build_experiment
+from repro.net.topology import linear_topology
+from repro.sim.simulator import Simulator
+
+
+class CoinFlipApp(ControllerApp):
+    """A deliberately non-deterministic app that declares itself as such."""
+
+    name = "coinflip"
+
+    def handle_packet_in(self, message, ctx):
+        packet = message.packet
+        if packet is None or not packet.is_arp:
+            return False
+        ctx.non_deterministic = True  # §VIII: the app identifies itself
+        # Each replica writes its own (random) token.
+        token = self.controller._rng.random()
+        self.controller.cache_write(ARPDB, ("coin", packet.src_mac),
+                                    {"token": token}, ctx=ctx)
+        return True
+
+
+def test_declared_non_determinism_suppresses_alarms():
+    exp = build_experiment(kind="onos", n=5, k=4, switches=4, seed=140,
+                           timeout_ms=250.0)
+    for controller in exp.cluster.controllers.values():
+        controller.apps.insert(0, CoinFlipApp(controller))
+    exp.warmup(arp=False)
+    hosts = exp.topology.host_list()
+    hosts[0].send_arp_request(hosts[1].ip)
+    exp.run(1500.0)
+    validator = exp.validator
+    assert validator.triggers_decided > 0
+    # Replicas wrote *different* tokens than the primary, but the declared
+    # non-determinism stops the majority comparison.
+    assert validator.triggers_alarmed == 0
+
+
+def test_undeclared_non_determinism_with_collisions_can_alarm():
+    """Without the declaration and with only 2 identical-but-wrong replicas,
+    majority voting applies (the paper's acknowledged limitation)."""
+    from repro.core.responses import Response, ResponseKind
+    from repro.core.consensus import evaluate_consensus
+
+    cache = (("cache", "ArpDB", ("coin",), "create", (("token", 1),)),)
+    other = (("cache", "ArpDB", ("coin",), "create", (("token", 2),)),)
+    responses = [
+        Response("c1", ("ext", 1), ResponseKind.CACHE_UPDATE, cache,
+                 state_digest=(1,), origin="c1"),
+        Response("c2", ("ext", 1), ResponseKind.REPLICA_RESULT,
+                 (other, ()), tainted=True, state_digest=(1,)),
+        Response("c3", ("ext", 1), ResponseKind.REPLICA_RESULT,
+                 (other, ()), tainted=True, state_digest=(1,)),
+    ]
+    outcome = evaluate_consensus(responses, k=2, external=True)
+    assert not outcome.ok  # false positive the paper accepts as unavoidable
+
+
+def test_adaptive_timeout_deployment_integration():
+    exp = build_experiment(kind="onos", n=5, k=4, switches=4, seed=141)
+    exp.jury.validator.timeout = AdaptiveTimeout(initial_ms=200.0, window=100)
+    exp.warmup()
+    hosts = exp.topology.host_list()
+    for i in range(8):
+        exp.sim.schedule(i * 25.0, hosts[i % 4].open_connection,
+                         hosts[(i + 2) % 4])
+    exp.run(2000.0)
+    timeout = exp.jury.validator.timeout
+    assert len(timeout.window) > 10
+    assert timeout.current() != 200.0  # adapted to observed latencies
+
+
+def test_active_passive_mode_single_active():
+    sim = Simulator(seed=142)
+    topo = linear_topology(sim, 4)
+    cluster = ControllerCluster(sim, ha_mode=HaMode.ACTIVE_PASSIVE)
+    reference, store = build_onos_cluster(sim, n=3)
+    for controller in reference.controllers.values():
+        controller.cluster = None
+        cluster.add_controller(controller)
+    cluster.connect_topology(topo)
+    cluster.start()
+    sim.run(until=2500.0)
+    assert all(master == "c1" for master in cluster.mastership.values())
+    # Failover promotes a passive replica for every switch.
+    cluster.crash("c1")
+    assert all(master == "c2" for master in cluster.mastership.values())

@@ -1,0 +1,264 @@
+"""Integration tests: every fault in the paper is detected and attributed.
+
+These are the Table 1 / §VII-A1 claims: T1 faults via consensus, T2 via the
+network/cache sanity check, T3 via administrator policies — in the worst
+case configuration shape (full replication).
+"""
+
+import pytest
+
+from repro.core.alarms import AlarmReason
+from repro.faults import (
+    CrashFault,
+    FaultClass,
+    FaultyProactiveFault,
+    FlowDeletionFailureFault,
+    FlowInstantiationFailureFault,
+    LinkDetectionInconsistencyFault,
+    LinkFailureFault,
+    OdlFlowModDropFault,
+    OdlIncorrectFlowModFault,
+    OnosDatabaseLockFault,
+    OnosMasterElectionFault,
+    PendingAddFault,
+    ResponseCorruptionFault,
+    ResponseOmissionFault,
+    TimingFault,
+    UndesirableFlowModFault,
+)
+from repro.faults.base import run_scenario
+from repro.faults.injector import FaultDriver, default_policy_engine
+from repro.harness.experiment import build_experiment
+
+
+def build(kind="onos", seed=50):
+    exp = build_experiment(
+        kind=kind, n=7, k=6, switches=12, seed=seed,
+        timeout_ms=250.0 if kind == "onos" else 1200.0,
+        policy_engine=default_policy_engine(), with_northbound=True)
+    exp.warmup()
+    return exp
+
+
+def assert_detected(kind, scenario):
+    exp = build(kind)
+    result = run_scenario(exp, scenario)
+    assert result.detected, (
+        f"{scenario.name} not detected; alarms={result.all_alarms}")
+    if scenario.expected_offender is not None:
+        assert result.attribution_correct, (
+            f"{scenario.name} misattributed: {result.matching_alarms}")
+    return result
+
+
+# --- Real faults (§III-B) ---------------------------------------------
+
+def test_onos_database_locking_detected():
+    result = assert_detected("onos", OnosDatabaseLockFault("c1"))
+    assert result.matching_alarms[0].reason == AlarmReason.PRIMARY_OMISSION
+
+
+def test_onos_master_election_detected():
+    assert_detected("onos", OnosMasterElectionFault(1, 2))
+
+
+def test_odl_flow_mod_drop_detected():
+    result = assert_detected("odl", OdlFlowModDropFault("c1"))
+    assert result.matching_alarms[0].reason == AlarmReason.SANITY_MISMATCH
+
+
+def test_odl_incorrect_flow_mod_detected_by_policy():
+    result = assert_detected("odl", OdlIncorrectFlowModFault("c1"))
+    assert result.matching_alarms[0].reason == AlarmReason.POLICY_VIOLATION
+
+
+def test_odl_incorrect_flow_mod_undetected_without_policy():
+    """T3 is invisible to consensus and sanity — policies are required."""
+    exp = build_experiment(kind="odl", n=7, k=6, switches=12, seed=51,
+                           timeout_ms=1200.0, policy_engine=None,
+                           with_northbound=True)
+    exp.warmup()
+    result = run_scenario(exp, OdlIncorrectFlowModFault("c1"))
+    assert not result.detected
+
+
+# --- Synthetic faults (§VII-A1) ---------------------------------------
+
+def test_synthetic_link_failure_detected():
+    result = assert_detected("onos", LinkFailureFault(1, 2))
+    assert result.matching_alarms[0].reason == AlarmReason.CONSENSUS_MISMATCH
+
+
+def test_synthetic_undesirable_flow_mod_detected():
+    assert_detected("onos", UndesirableFlowModFault("c2"))
+
+
+def test_synthetic_faulty_proactive_detected():
+    result = assert_detected("onos", FaultyProactiveFault("c3"))
+    assert result.matching_alarms[0].reason == AlarmReason.POLICY_VIOLATION
+
+
+def test_synthetic_faulty_proactive_needs_policy():
+    exp = build_experiment(kind="onos", n=7, k=6, switches=12, seed=52,
+                           timeout_ms=250.0, policy_engine=None)
+    exp.warmup()
+    result = run_scenario(exp, FaultyProactiveFault("c3"))
+    assert not result.detected  # T3: consensus/sanity cannot see it
+
+
+# --- Appendix faults ---------------------------------------------------
+
+def test_flow_deletion_failure_detected():
+    assert_detected("odl", FlowDeletionFailureFault("c1"))
+
+
+def test_link_detection_inconsistency_detected():
+    assert_detected("onos", LinkDetectionInconsistencyFault(2, 3))
+
+
+def test_flow_instantiation_failure_detected():
+    assert_detected("odl", FlowInstantiationFailureFault("c1"))
+
+
+def test_pending_add_detected():
+    result = assert_detected("onos", PendingAddFault(4))
+    assert result.matching_alarms[0].reason == AlarmReason.POLICY_VIOLATION
+
+
+# --- Generic failure classes (§III-B) ----------------------------------
+
+def test_crash_reported_as_omission():
+    result = assert_detected("onos", CrashFault("c1"))
+    assert result.matching_alarms[0].reason == AlarmReason.PRIMARY_OMISSION
+
+
+def test_response_omission_detected():
+    assert_detected("onos", ResponseOmissionFault("c2"))
+
+
+def test_timing_fault_detected():
+    assert_detected("onos", TimingFault("c3"))
+
+
+def test_response_corruption_detected():
+    result = assert_detected("onos", ResponseCorruptionFault("c1"))
+    assert result.matching_alarms[0].reason == AlarmReason.CONSENSUS_MISMATCH
+
+
+# --- Detection latency bounds (§VII-A1) ---------------------------------
+
+def test_onos_detection_within_timeout_bound():
+    """ONOS faults detected in sub-second time, ~the validation timeout."""
+    exp = build("onos")
+    result = run_scenario(exp, OnosDatabaseLockFault("c1"))
+    assert result.detected
+    assert result.detection_ms < 2 * 250.0 + 100.0
+
+
+def test_odl_detection_within_timeout_bound():
+    exp = build("odl")
+    result = run_scenario(exp, OdlFlowModDropFault("c1"))
+    assert result.detected
+    assert result.detection_ms < 2 * 1200.0 + 100.0
+
+
+# --- The driver (repetitions) -------------------------------------------
+
+def test_fault_driver_repeats_and_aggregates():
+    driver = FaultDriver(lambda seed: build_experiment(
+        kind="onos", n=5, k=4, switches=8, seed=seed, timeout_ms=250.0,
+        policy_engine=default_policy_engine(), with_northbound=True))
+    report = driver.run(lambda: UndesirableFlowModFault("c2"), repetitions=3)
+    assert report.runs == 3
+    assert report.detected == 3
+    assert report.detection_rate == 1.0
+    assert report.attribution_correct == 3
+    assert report.max_detection_ms is not None
+
+
+def test_fault_classes_assigned():
+    assert OnosDatabaseLockFault().fault_class == FaultClass.T1
+    assert OdlFlowModDropFault().fault_class == FaultClass.T2
+    assert OdlIncorrectFlowModFault().fault_class == FaultClass.T3
+    assert UndesirableFlowModFault().fault_class == FaultClass.T2
+    assert FaultyProactiveFault().fault_class == FaultClass.T3
+
+
+def test_store_desync_detected_by_staleness_monitor():
+    from repro.faults import StoreDesyncFault
+
+    result = assert_detected("onos", StoreDesyncFault("c2"))
+    assert result.matching_alarms[0].reason == AlarmReason.STALE_REPLICA
+
+
+def test_store_desync_invisible_to_per_trigger_consensus():
+    """With the staleness monitor off, the desync passes silently —
+    state-aware consensus cannot distinguish it from transient asynchrony."""
+    from repro.faults import StoreDesyncFault
+
+    exp = build_experiment(kind="onos", n=7, k=6, switches=12, seed=53,
+                           timeout_ms=250.0, with_northbound=True)
+    exp.warmup()
+    exp.validator.staleness_threshold = None
+    scenario = StoreDesyncFault("c2")
+    scenario.inject(exp)
+    exp.validator.staleness_threshold = None  # inject() re-enables it
+    result = run_scenario(exp, _NoopInject(scenario))
+    stale = [a for a in result.all_alarms
+             if a.reason == AlarmReason.STALE_REPLICA]
+    assert not stale
+
+
+class _NoopInject:
+    """Wraps an already-injected scenario so run_scenario skips inject()."""
+
+    def __init__(self, scenario):
+        self._scenario = scenario
+        self.name = scenario.name
+        self.expected_reasons = scenario.expected_reasons
+        self.expected_offender = None
+
+    def inject(self, experiment):
+        pass
+
+    def trigger(self, experiment):
+        self._scenario.trigger(experiment)
+
+    def settle_ms(self, experiment):
+        return self._scenario.settle_ms(experiment)
+
+
+def test_fault_combination_all_members_detected():
+    """§VII-A1: combinations of faults in different parts of the network."""
+    from repro.faults import UndesirableFlowModFault, FaultyProactiveFault
+    from repro.faults.combination import run_combination
+
+    exp = build("onos")
+    results = run_combination(exp, [
+        UndesirableFlowModFault("c2"),
+        FaultyProactiveFault("c3"),
+    ])
+    assert len(results) == 2
+    for result in results:
+        assert result.detected, result.scenario
+        assert result.attribution_correct
+
+
+def test_fault_combination_attribution_separates_offenders():
+    from repro.faults import UndesirableFlowModFault
+    from repro.faults.combination import run_combination
+
+    exp = build("onos", seed=54)
+    results = run_combination(exp, [
+        UndesirableFlowModFault("c2", dpid=2),
+        UndesirableFlowModFault("c4", dpid=4),
+    ])
+    blamed = {r.matching_alarms[0].offending_controller for r in results}
+    assert blamed == {"c2", "c4"}
+
+
+def test_combination_requires_members():
+    from repro.faults.combination import CombinationScenario
+
+    with pytest.raises(ValueError):
+        CombinationScenario([])

@@ -1,0 +1,66 @@
+"""JURY over *vanilla* (proactive) ODL: multi-write trigger aggregation.
+
+A single host-discovery ARP makes proactive ODL write HostsDB plus one
+FlowsDB rule per mastered switch — several cache writes and FLOW_MODs for
+ONE external trigger. JURY's module aggregates them into single responses
+per replica, so Algorithm 1's counting still holds and benign proactive
+provisioning does not alarm.
+"""
+
+import pytest
+
+from repro.controllers.odl import build_odl_cluster
+from repro.controllers.profile import odl_profile
+from repro.core.deployment import JuryDeployment
+from repro.net.topology import linear_topology
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def proactive_jury():
+    sim = Simulator(seed=170)
+    topo = linear_topology(sim, 4)
+    cluster, store = build_odl_cluster(sim, n=3,
+                                       profile=odl_profile(proactive=True))
+    cluster.connect_topology(topo)
+    jury = JuryDeployment(cluster, k=2, timeout_ms=1500.0)
+    cluster.start()
+    sim.run(until=3000.0)
+    return sim, topo, cluster, jury
+
+
+def test_host_discovery_validates_cleanly(proactive_jury):
+    sim, topo, cluster, jury = proactive_jury
+    hosts = topo.host_list()
+    hosts[0].send_arp_request(hosts[2].ip)
+    sim.run(until=sim.now + 4000.0)
+    validator = jury.validator
+    assert validator.triggers_decided > 0
+    assert validator.triggers_alarmed == 0
+
+
+def test_multi_write_trigger_aggregated_into_single_responses(proactive_jury):
+    sim, topo, cluster, jury = proactive_jury
+    hosts = topo.host_list()
+    hosts[0].send_arp_request(hosts[2].ip)
+    sim.run(until=sim.now + 4000.0)
+    # Find a full-consensus external trigger: even with several cache
+    # writes, it must count exactly 2k+2 responses.
+    k = jury.k
+    full = [r for r in jury.validator.results
+            if r.external and not r.timed_out]
+    assert full
+    assert all(r.n_responses == 2 * k + 2 for r in full)
+
+
+def test_proactive_rules_install_and_forward(proactive_jury):
+    sim, topo, cluster, jury = proactive_jury
+    hosts = topo.host_list()
+    for index, host in enumerate(hosts):
+        sim.schedule(index * 10.0, host.send_arp_request,
+                     hosts[(index + 1) % 4].ip)
+    sim.run(until=sim.now + 6000.0)
+    flow_id = hosts[0].open_connection(hosts[3])
+    sim.run(until=sim.now + 2000.0)
+    assert hosts[3].received_by_flow.get(flow_id) == 1
+    assert jury.validator.triggers_alarmed == 0

@@ -1,0 +1,110 @@
+"""Tests for the OVS replicating proxy."""
+
+from repro.net.channel import ControlChannel
+from repro.net.ovs import ReplicatingProxy
+from repro.net.packet import tcp_packet
+from repro.net.switch import SoftSwitch
+from repro.openflow.messages import FeaturesReply, FlowMod, Hello, PacketIn
+from repro.sim.latency import Fixed
+from repro.sim.simulator import Simulator
+
+
+class Endpoint:
+    def __init__(self):
+        self.received = []
+
+    def handle_control_message(self, channel, message):
+        self.received.append(message)
+
+
+def build_proxy(sim, controllers=("c1", "c2", "c3"), primary="c1"):
+    switch = SoftSwitch(sim, dpid=1)
+    proxy = ReplicatingProxy(sim, switch, primary_id=primary)
+    switch_end = Endpoint()
+    switch_channel = ControlChannel(sim, switch_end, proxy, latency=Fixed(0.1))
+    proxy.connect_switch(switch_channel)
+    ends = {}
+    for cid in controllers:
+        end = Endpoint()
+        channel = ControlChannel(sim, proxy, end, latency=Fixed(0.1))
+        proxy.connect_controller(cid, channel)
+        ends[cid] = end
+    return proxy, switch_end, switch_channel, ends
+
+
+def packet_in():
+    return PacketIn(dpid=1, in_port=1,
+                    packet=tcp_packet("a", "b", "1.1.1.1", "2.2.2.2", 1, 2))
+
+
+def test_packet_in_goes_to_primary_only():
+    sim = Simulator()
+    proxy, switch_end, switch_channel, ends = build_proxy(sim)
+    switch_channel.send(switch_end, packet_in())
+    sim.run()
+    assert len(ends["c1"].received) == 1
+    assert ends["c2"].received == []
+    assert ends["c3"].received == []
+    assert proxy.forwarded_to_primary == 1
+
+
+def test_handshake_replies_broadcast():
+    sim = Simulator()
+    proxy, switch_end, switch_channel, ends = build_proxy(sim)
+    switch_channel.send(switch_end, Hello())
+    switch_channel.send(switch_end, FeaturesReply(dpid=1, ports=(1,)))
+    sim.run()
+    for end in ends.values():
+        kinds = [type(m) for m in end.received]
+        assert kinds == [Hello, FeaturesReply]
+
+
+def test_controller_to_switch_forwarded():
+    sim = Simulator()
+    proxy, switch_end, switch_channel, ends = build_proxy(sim)
+    # A controller sends a FLOW_MOD down its channel to the proxy.
+    c2_channel = proxy.controller_channels["c2"]
+    c2_channel.send(ends["c2"], FlowMod(dpid=1))
+    sim.run()
+    assert len(switch_end.received) == 1
+    assert proxy.forwarded_to_switch == 1
+
+
+def test_switch_to_controller_hook_fires():
+    sim = Simulator()
+    proxy, switch_end, switch_channel, ends = build_proxy(sim)
+    seen = []
+    proxy.on_switch_to_controller = seen.append
+    message = packet_in()
+    switch_channel.send(switch_end, message)
+    sim.run()
+    assert seen == [message]
+
+
+def test_controller_to_switch_hook_identifies_sender():
+    sim = Simulator()
+    proxy, switch_end, switch_channel, ends = build_proxy(sim)
+    seen = []
+    proxy.on_controller_to_switch = lambda sender, msg: seen.append(sender)
+    proxy.controller_channels["c3"].send(ends["c3"], FlowMod(dpid=1))
+    sim.run()
+    assert seen == ["c3"]
+
+
+def test_set_primary_redirects():
+    sim = Simulator()
+    proxy, switch_end, switch_channel, ends = build_proxy(sim)
+    proxy.set_primary("c2")
+    switch_channel.send(switch_end, packet_in())
+    sim.run()
+    assert len(ends["c2"].received) == 1
+    assert ends["c1"].received == []
+
+
+def test_send_to_controller_by_id():
+    sim = Simulator()
+    proxy, switch_end, switch_channel, ends = build_proxy(sim)
+    assert proxy.send_to_controller("c2", FlowMod(dpid=1))
+    assert not proxy.send_to_controller("c99", FlowMod(dpid=1))
+    sim.run()
+    assert len(ends["c2"].received) == 1

@@ -1,0 +1,194 @@
+"""Tests for the soft switch datapath and control plane."""
+
+from repro.net.links import Link
+from repro.net.packet import tcp_packet
+from repro.net.switch import SoftSwitch
+from repro.openflow.actions import ActionDrop, ActionFlood, ActionOutput
+from repro.openflow.constants import FlowModCommand
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    Hello,
+    PacketIn,
+    PacketOut,
+)
+from repro.sim.simulator import Simulator
+
+
+class Sink:
+    def __init__(self):
+        self.received = []
+
+    def receive_packet(self, packet, port):
+        self.received.append((packet, port))
+
+
+class FakeChannel:
+    """Captures messages the switch sends to its controller."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, sender, message):
+        self.sent.append(message)
+
+
+def build_switch(sim, ports=2):
+    switch = SoftSwitch(sim, dpid=1)
+    sinks = []
+    for port in range(1, ports + 1):
+        sink = Sink()
+        link = Link(sim, switch, port, sink, 1)
+        switch.attach_port(port, link)
+        sinks.append(sink)
+    channel = FakeChannel()
+    switch.connect_control(channel)
+    return switch, sinks, channel
+
+
+def tcp(sport=1):
+    return tcp_packet("aa", "bb", "10.0.0.1", "10.0.0.2", sport, 80)
+
+
+def test_table_miss_punts_with_buffer():
+    sim = Simulator()
+    switch, sinks, channel = build_switch(sim)
+    switch.receive_packet(tcp(), port=1)
+    assert switch.packet_ins_sent == 1
+    message = channel.sent[0]
+    assert isinstance(message, PacketIn)
+    assert message.dpid == 1
+    assert message.in_port == 1
+    assert message.buffer_id is not None
+
+
+def test_flow_mod_install_then_forward():
+    sim = Simulator()
+    switch, sinks, channel = build_switch(sim)
+    packet = tcp()
+    switch.handle_control_message(channel, FlowMod(
+        dpid=1, match=Match.for_flow(packet, in_port=1),
+        actions=(ActionOutput(2),)))
+    switch.receive_packet(packet, port=1)
+    sim.run()
+    assert sinks[1].received  # delivered out port 2
+    assert switch.packet_ins_sent == 0
+    assert switch.packets_forwarded == 1
+
+
+def test_packet_out_releases_buffered_packet():
+    sim = Simulator()
+    switch, sinks, channel = build_switch(sim)
+    switch.receive_packet(tcp(), port=1)
+    buffer_id = channel.sent[0].buffer_id
+    switch.handle_control_message(channel, PacketOut(
+        dpid=1, buffer_id=buffer_id, in_port=1, actions=(ActionOutput(2),)))
+    sim.run()
+    assert len(sinks[1].received) == 1
+    assert switch.packet_outs_received == 1
+
+
+def test_packet_out_with_explicit_packet():
+    sim = Simulator()
+    switch, sinks, channel = build_switch(sim)
+    switch.handle_control_message(channel, PacketOut(
+        dpid=1, packet=tcp(), actions=(ActionOutput(1),)))
+    sim.run()
+    assert len(sinks[0].received) == 1
+
+
+def test_flood_excludes_ingress_port():
+    sim = Simulator()
+    switch, sinks, channel = build_switch(sim, ports=3)
+    switch.handle_control_message(channel, FlowMod(
+        dpid=1, match=Match(), actions=(ActionFlood(),), priority=1))
+    switch.receive_packet(tcp(), port=1)
+    sim.run()
+    assert sinks[0].received == []
+    assert len(sinks[1].received) == 1
+    assert len(sinks[2].received) == 1
+
+
+def test_drop_action_counts_drop():
+    sim = Simulator()
+    switch, sinks, channel = build_switch(sim)
+    switch.handle_control_message(channel, FlowMod(
+        dpid=1, match=Match(), actions=(ActionDrop(),), priority=1))
+    switch.receive_packet(tcp(), port=1)
+    sim.run()
+    assert switch.packets_dropped == 1
+    assert all(not s.received for s in sinks)
+
+
+def test_of10_silent_field_strip_on_install():
+    sim = Simulator()
+    switch, sinks, channel = build_switch(sim)
+    bad = Match(nw_src="10.0.0.1", nw_dst="10.0.0.2")
+    switch.handle_control_message(channel, FlowMod(
+        dpid=1, match=bad, actions=(ActionOutput(2),)))
+    assert switch.stripped_flow_mods == 1
+    assert len(switch.table) == 1
+    # The installed rule is broader than requested: any packet matches.
+    installed = switch.table.lookup(tcp(), in_port=1)
+    assert installed is not None
+
+
+def test_strict_switch_rejects_bad_match():
+    sim = Simulator()
+    switch = SoftSwitch(sim, dpid=2, of10_silent_field_strip=False)
+    channel = FakeChannel()
+    switch.connect_control(channel)
+    bad = Match(nw_src="10.0.0.1")
+    switch.handle_control_message(channel, FlowMod(dpid=2, match=bad, actions=()))
+    assert switch.rejected_flow_mods == 1
+    assert len(switch.table) == 0
+
+
+def test_flow_mod_delete():
+    sim = Simulator()
+    switch, sinks, channel = build_switch(sim)
+    packet = tcp()
+    match = Match.for_flow(packet, in_port=1)
+    switch.handle_control_message(channel, FlowMod(
+        dpid=1, match=match, actions=(ActionOutput(2),)))
+    switch.handle_control_message(channel, FlowMod(
+        dpid=1, command=FlowModCommand.DELETE, match=match))
+    assert len(switch.table) == 0
+
+
+def test_handshake_replies():
+    sim = Simulator()
+    switch, sinks, channel = build_switch(sim)
+    switch.handle_control_message(channel, Hello())
+    switch.handle_control_message(channel, FeaturesRequest(xid=7))
+    switch.handle_control_message(channel, EchoRequest(xid=8))
+    switch.handle_control_message(channel, BarrierRequest(xid=9))
+    kinds = [type(m) for m in channel.sent]
+    assert kinds == [Hello, FeaturesReply, EchoReply, BarrierReply]
+    features = channel.sent[1]
+    assert features.dpid == 1
+    assert features.ports == (1, 2)
+    assert features.xid == 7
+
+
+def test_no_controller_drops_miss():
+    sim = Simulator()
+    switch = SoftSwitch(sim, dpid=3)
+    switch.receive_packet(tcp(), port=1)
+    assert switch.packets_dropped == 1
+
+
+def test_installed_flow_canonicals():
+    sim = Simulator()
+    switch, sinks, channel = build_switch(sim)
+    match = Match.for_destination("bb")
+    switch.handle_control_message(channel, FlowMod(
+        dpid=1, match=match, actions=(ActionOutput(2),), priority=9))
+    canonicals = switch.installed_flow_canonicals()
+    assert (match.canonical(), (("output", 2),), 9) in canonicals

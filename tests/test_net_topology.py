@@ -1,0 +1,135 @@
+"""Tests for topology builders and manipulation."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.topology import Topology, linear_topology, three_tier_topology
+from repro.sim.simulator import Simulator
+
+
+def test_linear_topology_structure():
+    sim = Simulator()
+    topo = linear_topology(sim, 24)
+    assert len(topo.switches) == 24
+    assert len(topo.hosts) == 24
+    graph = topo.switch_graph()
+    assert graph.number_of_edges() == 23
+    assert nx.is_connected(graph)
+    # A chain: exactly two leaves.
+    leaves = [n for n in graph if graph.degree(n) == 1]
+    assert len(leaves) == 2
+
+
+def test_linear_topology_host_locations():
+    sim = Simulator()
+    topo = linear_topology(sim, 4)
+    for i in range(1, 5):
+        dpid, port = topo.host_location(topo.hosts[f"h{i}"])
+        assert dpid == i
+
+
+def test_three_tier_structure():
+    sim = Simulator()
+    topo = three_tier_topology(sim)  # 8 edge, 4 agg, 2 core
+    assert len(topo.switches) == 14
+    graph = topo.switch_graph()
+    assert nx.is_connected(graph)
+    # 4 agg x 2 core + 8 edge x 2 agg = 24 fabric links.
+    assert graph.number_of_edges() == 24
+    assert len(topo.hosts) == 16  # 2 per edge switch
+
+
+def test_three_tier_has_redundant_paths():
+    sim = Simulator()
+    topo = three_tier_topology(sim)
+    graph = topo.switch_graph()
+    # Removing one aggregate must not disconnect the fabric.
+    agg = 3  # cores are 1..2, aggs 3..6
+    graph.remove_node(agg)
+    assert nx.is_connected(graph)
+
+
+def test_duplicate_dpid_rejected():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_switch(1)
+    with pytest.raises(TopologyError):
+        topo.add_switch(1)
+
+
+def test_duplicate_host_rejected():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add_host("h1")
+    with pytest.raises(TopologyError):
+        topo.add_host("h1")
+
+
+def test_auto_dpid_assignment():
+    sim = Simulator()
+    topo = Topology(sim)
+    s1 = topo.add_switch()
+    s2 = topo.add_switch()
+    assert s2.dpid == s1.dpid + 1
+
+
+def test_port_allocation_sequential():
+    sim = Simulator()
+    topo = Topology(sim)
+    s1, s2, s3 = topo.add_switch(), topo.add_switch(), topo.add_switch()
+    topo.add_link(s1, s2)
+    topo.add_link(s1, s3)
+    assert sorted(s1.ports) == [1, 2]
+
+
+def test_fail_and_restore_link():
+    sim = Simulator()
+    topo = linear_topology(sim, 3)
+    topo.fail_link(1, 2)
+    graph = topo.switch_graph()
+    assert not graph.has_edge(1, 2)
+    topo.restore_link(1, 2)
+    assert topo.switch_graph().has_edge(1, 2)
+
+
+def test_fail_unknown_link_raises():
+    sim = Simulator()
+    topo = linear_topology(sim, 3)
+    with pytest.raises(TopologyError):
+        topo.fail_link(1, 3)
+
+
+def test_link_between():
+    sim = Simulator()
+    topo = linear_topology(sim, 3)
+    assert topo.link_between(1, 2) is not None
+    assert topo.link_between(2, 1) is not None  # order-insensitive
+    assert topo.link_between(1, 3) is None
+
+
+def test_host_location_unattached_raises():
+    sim = Simulator()
+    topo = Topology(sim)
+    host = topo.add_host("h1")
+    with pytest.raises(TopologyError):
+        topo.host_location(host)
+
+
+def test_unique_macs_and_ips():
+    sim = Simulator()
+    topo = linear_topology(sim, 10)
+    macs = {h.mac for h in topo.host_list()}
+    ips = {h.ip for h in topo.host_list()}
+    assert len(macs) == 10
+    assert len(ips) == 10
+
+
+def test_invalid_linear_size():
+    with pytest.raises(TopologyError):
+        linear_topology(Simulator(), 0)
+
+
+def test_invalid_three_tier_params():
+    with pytest.raises(TopologyError):
+        three_tier_topology(Simulator(), agg=1)

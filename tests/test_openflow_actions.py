@@ -1,0 +1,61 @@
+"""Dedicated tests for OpenFlow actions and constants."""
+
+from repro.openflow.actions import (
+    ActionController,
+    ActionDrop,
+    ActionFlood,
+    ActionOutput,
+    canonical_actions,
+)
+from repro.openflow.constants import (
+    OFPP_CONTROLLER,
+    OFPP_FLOOD,
+    OFPP_LOCAL,
+    OFPP_NONE,
+    FlowModCommand,
+    FlowState,
+)
+
+
+def test_action_canonicals_are_distinct():
+    canonicals = {
+        ActionOutput(1).canonical(),
+        ActionOutput(2).canonical(),
+        ActionFlood().canonical(),
+        ActionController().canonical(),
+        ActionDrop().canonical(),
+    }
+    assert len(canonicals) == 5
+
+
+def test_flood_and_controller_use_reserved_ports():
+    assert ActionFlood().canonical() == ("output", OFPP_FLOOD)
+    assert ActionController().canonical() == ("output", OFPP_CONTROLLER)
+
+
+def test_reserved_ports_in_of10_range():
+    for port in (OFPP_LOCAL, OFPP_FLOOD, OFPP_CONTROLLER, OFPP_NONE):
+        assert 0xFF00 <= port <= 0xFFFF
+    assert len({OFPP_LOCAL, OFPP_FLOOD, OFPP_CONTROLLER, OFPP_NONE}) == 4
+
+
+def test_actions_hashable_and_equal_by_value():
+    assert ActionOutput(3) == ActionOutput(3)
+    assert ActionOutput(3) != ActionOutput(4)
+    assert len({ActionDrop(), ActionDrop()}) == 1
+
+
+def test_canonical_actions_preserves_order():
+    actions = (ActionOutput(2), ActionDrop(), ActionOutput(1))
+    assert canonical_actions(actions) == (
+        ("output", 2), ("drop",), ("output", 1))
+
+
+def test_flow_mod_commands_complete():
+    assert {c.value for c in FlowModCommand} == {
+        "add", "modify", "delete", "delete_strict"}
+
+
+def test_flow_states_cover_onos_lifecycle():
+    assert {s.value for s in FlowState} == {
+        "pending_add", "added", "pending_remove", "removed"}

@@ -1,0 +1,117 @@
+"""Tests for OpenFlow messages, canonical forms, and encapsulation."""
+
+import random
+
+import pytest
+
+from repro.errors import OpenFlowError
+from repro.net.packet import tcp_packet
+from repro.openflow.actions import ActionDrop, ActionOutput, canonical_actions
+from repro.openflow.constants import FlowModCommand
+from repro.openflow.encap import (
+    EncapStats,
+    decapsulate_packet_in,
+    encapsulate_packet_in,
+)
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    FeaturesReply,
+    FlowMod,
+    PacketIn,
+    PacketOut,
+    RestRequest,
+    next_xid,
+)
+
+
+def test_xids_are_unique_and_monotonic():
+    a, b = next_xid(), next_xid()
+    assert b > a
+
+
+def test_flow_mod_canonical_stable():
+    match = Match.for_destination("bb")
+    fm1 = FlowMod(dpid=3, match=match, actions=(ActionOutput(2),), priority=50)
+    fm2 = FlowMod(dpid=3, match=match, actions=(ActionOutput(2),), priority=50)
+    assert fm1.canonical() == fm2.canonical()
+    assert fm1.xid != fm2.xid  # xid not part of canonical identity
+
+
+def test_flow_mod_canonical_distinguishes_actions():
+    match = Match.for_destination("bb")
+    good = FlowMod(dpid=3, match=match, actions=(ActionOutput(2),))
+    bad = FlowMod(dpid=3, match=match, actions=(ActionDrop(),))
+    assert good.canonical() != bad.canonical()
+
+
+def test_canonical_actions():
+    assert canonical_actions((ActionOutput(4), ActionDrop())) == (
+        ("output", 4), ("drop",))
+
+
+def test_wire_sizes_positive_and_sensible():
+    packet = tcp_packet("a", "b", "1.1.1.1", "2.2.2.2", 1, 2, size=74)
+    pin = PacketIn(dpid=1, in_port=2, packet=packet)
+    assert pin.wire_size() == 18 + 74
+    fm = FlowMod(dpid=1, actions=(ActionOutput(1),))
+    assert fm.wire_size() > 64
+    fr = FeaturesReply(dpid=1, ports=(1, 2, 3))
+    assert fr.wire_size() > 32
+
+
+def test_packet_out_canonical_includes_buffer():
+    po = PacketOut(dpid=2, buffer_id=9, actions=(ActionOutput(1),))
+    assert po.canonical() == ("packet_out", 2, 9, (("output", 1),))
+
+
+def test_rest_request_canonical():
+    req = RestRequest("add_flow", {"dpid": 1})
+    assert req.canonical()[0] == "rest"
+    assert req.wire_size() == 256
+
+
+def test_encap_decap_roundtrip():
+    rng = random.Random(1)
+    packet = tcp_packet("a", "b", "1.1.1.1", "2.2.2.2", 1, 2)
+    inner = PacketIn(dpid=5, in_port=3, packet=packet, buffer_id=11)
+    outer = encapsulate_packet_in(inner, ovs_dpid=99, ovs_port=1)
+    assert outer.dpid == 99
+    assert outer.wire_size() > inner.wire_size()
+    recovered, cost = decapsulate_packet_in(outer, rng)
+    assert recovered is inner
+    assert cost > 0
+
+
+def test_decap_rejects_plain_packet_in():
+    rng = random.Random(1)
+    packet = tcp_packet("a", "b", "1.1.1.1", "2.2.2.2", 1, 2)
+    plain = PacketIn(dpid=5, in_port=3, packet=packet)
+    with pytest.raises(OpenFlowError):
+        decapsulate_packet_in(plain, rng)
+
+
+def test_decap_cost_distribution_matches_fig4i():
+    """80% of decapsulations under 150 µs (= 0.15 ms), §VII-B.2."""
+    rng = random.Random(42)
+    packet = tcp_packet("a", "b", "1.1.1.1", "2.2.2.2", 1, 2)
+    inner = PacketIn(dpid=5, in_port=3, packet=packet)
+    outer = encapsulate_packet_in(inner, ovs_dpid=99, ovs_port=1)
+    costs = sorted(decapsulate_packet_in(outer, rng)[1] for _ in range(5000))
+    p80 = costs[int(0.8 * len(costs))]
+    assert p80 < 0.15
+    assert costs[-1] < 2.0  # bounded tail
+
+
+def test_encap_stats_record():
+    stats = EncapStats()
+    stats.record(0.1)
+    stats.record(0.2)
+    assert stats.count == 2
+    assert abs(stats.total_ms - 0.3) < 1e-9
+    assert stats.samples_ms == [0.1, 0.2]
+
+
+def test_flow_mod_delete_command():
+    fm = FlowMod(dpid=1, command=FlowModCommand.DELETE,
+                 match=Match.for_destination("bb"))
+    assert fm.canonical()[2] == "delete"

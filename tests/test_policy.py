@@ -1,0 +1,226 @@
+"""Tests for the policy language, engine, parser, and builtin policies."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.builtin import (
+    match_hierarchy_policy,
+    no_internal_cache_changes,
+    stranded_flow_policy,
+)
+from repro.policy.engine import PolicyEngine, extract_writes
+from repro.policy.language import Policy, PolicyWrite
+from repro.policy.parser import parse_policies
+
+
+def write(cache="EdgesDB", key=("edge", 1, 1, 2, 1), op="update",
+          value=None, controller="c1", external=False, destination="local"):
+    return PolicyWrite(cache=cache, key=key, op=op, value=value or {},
+                       controller=controller, external=external,
+                       destination=destination)
+
+
+# ----------------------------------------------------------------------
+# Language
+# ----------------------------------------------------------------------
+
+def test_wildcard_policy_matches_everything():
+    policy = Policy()
+    assert policy.matches(write())
+    assert policy.matches(write(cache="FlowsDB", external=True))
+
+
+def test_controller_directive():
+    policy = Policy(controller="c2")
+    assert not policy.matches(write(controller="c1"))
+    assert policy.matches(write(controller="c2"))
+
+
+def test_trigger_directive():
+    internal_only = Policy(trigger="internal")
+    assert internal_only.matches(write(external=False))
+    assert not internal_only.matches(write(external=True))
+
+
+def test_cache_and_operation_directives():
+    policy = Policy(cache="FlowsDB", operation="delete")
+    assert policy.matches(write(cache="FlowsDB", op="delete"))
+    assert not policy.matches(write(cache="FlowsDB", op="create"))
+    assert not policy.matches(write(cache="EdgesDB", op="delete"))
+
+
+def test_destination_directive():
+    policy = Policy(destination="remote")
+    assert policy.matches(write(destination="remote"))
+    assert not policy.matches(write(destination="local"))
+    assert not policy.matches(write(destination="network"))
+
+
+def test_entry_pattern():
+    policy = Policy(entry="*edge*")
+    assert policy.matches(write(key=("edge", 1, 1, 2, 1)))
+    assert not policy.matches(write(key=("flow", 1)))
+
+
+def test_entry_predicate():
+    policy = Policy(entry_predicate=lambda w: w.value.get("alive") is False)
+    assert policy.matches(write(value={"alive": False}))
+    assert not policy.matches(write(value={"alive": True}))
+
+
+def test_invalid_directives_rejected():
+    with pytest.raises(PolicyError):
+        Policy(trigger="sometimes")
+    with pytest.raises(PolicyError):
+        Policy(destination="everywhere")
+    with pytest.raises(PolicyError):
+        Policy(operation="upsert")
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+def test_engine_first_match_semantics():
+    engine = PolicyEngine([
+        Policy(allow=True, controller="c1", cache="EdgesDB"),   # whitelist c1
+        Policy(allow=False, cache="EdgesDB"),                    # deny others
+    ])
+    assert engine.check_writes([write(controller="c1")]) == []
+    violations = engine.check_writes([write(controller="c2")])
+    assert len(violations) == 1
+    assert violations[0].write.controller == "c2"
+
+
+def test_engine_non_matching_writes_allowed():
+    engine = PolicyEngine([Policy(allow=False, cache="FlowsDB")])
+    assert engine.check_writes([write(cache="HostsDB")]) == []
+
+
+def test_engine_counts_checks():
+    engine = PolicyEngine([Policy()])
+    engine.check_writes([write(), write()])
+    assert engine.checks_performed == 2
+
+
+def test_extract_writes_parses_canonicals():
+    cache_entry = (
+        ("cache", "FlowsDB", ("flow", 2, (), 100), "create",
+         (("dpid", 2), ("state", "pending_add"))),
+    )
+    writes = extract_writes(cache_entry, controller="c1", external=True,
+                            mastership_lookup=lambda dpid: "c1")
+    assert len(writes) == 1
+    parsed = writes[0]
+    assert parsed.cache == "FlowsDB"
+    assert parsed.op == "create"
+    assert parsed.value["state"] == "pending_add"
+    assert parsed.destination == "local"
+
+
+def test_extract_writes_remote_destination():
+    cache_entry = (("cache", "FlowsDB", ("flow", 2, (), 100), "create", ()),)
+    writes = extract_writes(cache_entry, controller="c1", external=False,
+                            mastership_lookup=lambda dpid: "c9")
+    assert writes[0].destination == "remote"
+
+
+def test_extract_writes_without_mastership():
+    cache_entry = (("cache", "HostsDB", ("host", "aa"), "create", ()),)
+    writes = extract_writes(cache_entry, controller="c1", external=True)
+    assert writes[0].destination == "network"
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+FIG3 = """
+<Policy allow="No">
+  <Controller id="*"/>
+  <Action type="Internal"/>
+  <Cache name="EdgesDB" entry="*,*" operation="*"/>
+  <Destination value="*"/>
+</Policy>
+"""
+
+
+def test_parse_fig3_policy():
+    policies = parse_policies(FIG3)
+    assert len(policies) == 1
+    policy = policies[0]
+    assert not policy.allow
+    assert policy.trigger == "internal"
+    assert policy.cache == "EdgesDB"
+    assert policy.matches(write(cache="EdgesDB", external=False))
+    assert not policy.matches(write(cache="EdgesDB", external=True))
+
+
+def test_parse_policies_list():
+    text = f"<Policies>{FIG3}{FIG3}</Policies>"
+    assert len(parse_policies(text)) == 2
+
+
+def test_parse_defaults_to_wildcards():
+    policies = parse_policies('<Policy allow="No"/>')
+    assert policies[0].cache == "*"
+    assert policies[0].controller == "*"
+
+
+def test_parse_allow_yes():
+    policies = parse_policies('<Policy allow="Yes"><Cache name="X"/></Policy>')
+    assert policies[0].allow
+
+
+def test_parse_rejects_malformed():
+    with pytest.raises(PolicyError):
+        parse_policies("<Policy")
+    with pytest.raises(PolicyError):
+        parse_policies("<Wrong/>")
+    with pytest.raises(PolicyError):
+        parse_policies('<Policy allow="No"><Bogus/></Policy>')
+    with pytest.raises(PolicyError):
+        parse_policies('<Policy allow="maybe"/>')
+
+
+# ----------------------------------------------------------------------
+# Builtin policies
+# ----------------------------------------------------------------------
+
+def test_no_internal_cache_changes_matches_fig3():
+    policy = no_internal_cache_changes("EdgesDB")
+    assert policy.matches(write(cache="EdgesDB", external=False))
+    assert not policy.matches(write(cache="EdgesDB", external=True))
+    assert not policy.matches(write(cache="FlowsDB", external=False))
+
+
+def test_match_hierarchy_policy_flags_bad_match():
+    policy = match_hierarchy_policy()
+    bad = write(cache="FlowsDB",
+                value={"match": (("nw_src", "10.0.0.1"),)})
+    good = write(cache="FlowsDB",
+                 value={"match": (("dl_dst", "aa"),)})
+    assert policy.matches(bad)
+    assert not policy.matches(good)
+    assert not policy.matches(write(cache="FlowsDB", value={}))
+
+
+def test_stranded_flow_policy():
+    policy = stranded_flow_policy(max_attempts=2)
+    stranded = write(cache="FlowsDB",
+                     value={"state": "pending_add", "attempts": 2})
+    fresh = write(cache="FlowsDB", value={"state": "pending_add"})
+    added = write(cache="FlowsDB", value={"state": "added", "attempts": 5})
+    assert policy.matches(stranded)
+    assert not policy.matches(fresh)
+    assert not policy.matches(added)
+
+
+def test_engine_scales_linearly_structure():
+    """10x the policies means ~10x the match work (no index shortcuts)."""
+    small = PolicyEngine([Policy(cache=f"C{i}") for i in range(10)])
+    large = PolicyEngine([Policy(cache=f"C{i}") for i in range(100)])
+    w = write(cache="nomatch")
+    small.check_writes([w])
+    large.check_writes([w])
+    assert len(large) == 10 * len(small)

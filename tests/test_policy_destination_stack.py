@@ -1,0 +1,67 @@
+"""Full-stack tests for the policy Destination directive (Table 2).
+
+LOCAL/REMOTE resolve through the validator's mastership lookup: a flow
+write is LOCAL when the acting controller masters the affected switch.
+"""
+
+import pytest
+
+from repro.harness.experiment import build_experiment
+from repro.openflow.actions import ActionOutput
+from repro.openflow.match import Match
+from repro.policy import Policy, PolicyEngine
+
+
+def build_with_policy(policy, seed=190):
+    exp = build_experiment(kind="onos", n=3, k=2, switches=6, seed=seed,
+                           timeout_ms=250.0,
+                           policy_engine=PolicyEngine([policy]),
+                           with_northbound=True)
+    exp.warmup()
+    return exp
+
+
+def install(exp, via, dpid, mac, priority):
+    exp.northbound.add_flow(via, dpid, Match.for_destination(mac),
+                            (ActionOutput(1),), priority=priority)
+    exp.run(1500.0)
+
+
+def test_remote_flow_policy_fires_only_for_remote_installs():
+    # Deny flow installs whose target switch is NOT mastered by the caller.
+    policy = Policy(allow=False, cache="FlowsDB", destination="remote",
+                    name="no-remote-installs")
+    exp = build_with_policy(policy)
+    # dpid 1 is mastered by c1: a local install via c1 — allowed.
+    install(exp, "c1", 1, "aa:00:00:00:00:01", 71)
+    assert exp.validator.triggers_alarmed == 0
+    # dpid 2 is mastered by c2: install via c1 is remote — denied.
+    install(exp, "c1", 2, "aa:00:00:00:00:02", 72)
+    violations = [a for a in exp.validator.alarms
+                  if a.reason.value == "policy_violation"]
+    assert violations
+    assert "no-remote-installs" in violations[0].detail
+
+
+def test_local_flow_policy_fires_only_for_local_installs():
+    policy = Policy(allow=False, cache="FlowsDB", destination="local",
+                    name="no-local-installs")
+    exp = build_with_policy(policy, seed=191)
+    install(exp, "c1", 2, "aa:00:00:00:00:03", 73)  # remote: allowed
+    assert exp.validator.triggers_alarmed == 0
+    install(exp, "c1", 1, "aa:00:00:00:00:04", 74)  # local: denied
+    assert any(a.reason.value == "policy_violation"
+               for a in exp.validator.alarms)
+
+
+def test_controller_scoped_policy():
+    policy = Policy(allow=False, controller="c2", cache="FlowsDB",
+                    name="c2-may-not-install")
+    exp = build_with_policy(policy, seed=192)
+    install(exp, "c1", 1, "aa:00:00:00:00:05", 75)
+    assert exp.validator.triggers_alarmed == 0
+    install(exp, "c2", 2, "aa:00:00:00:00:06", 76)
+    violations = [a for a in exp.validator.alarms
+                  if a.reason.value == "policy_violation"]
+    assert violations
+    assert violations[0].offending_controller == "c2"

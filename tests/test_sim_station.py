@@ -1,0 +1,126 @@
+"""Tests for service stations: queueing, saturation, collapse, holds."""
+
+from repro.sim.latency import Fixed
+from repro.sim.simulator import Simulator
+from repro.sim.station import ServiceStation
+
+
+def make(sim, service=1.0, **kwargs):
+    return ServiceStation(sim, Fixed(service), **kwargs)
+
+
+def test_fifo_service_order():
+    sim = Simulator()
+    station = make(sim)
+    done = []
+    for i in range(3):
+        station.submit(i, done.append)
+    sim.run()
+    assert done == [0, 1, 2]
+    assert sim.now == 3.0  # serialized at 1 ms each
+
+
+def test_completion_rate_limited_by_service_time():
+    sim = Simulator()
+    station = make(sim, service=2.0)
+    for i in range(10):
+        sim.schedule(i * 0.1, station.submit, i, lambda w: None)
+    sim.run(until=10.0)
+    # 10 ms window / 2 ms service = at most 5 completions.
+    assert station.stats.completed == 5
+
+
+def test_bounded_queue_drops():
+    sim = Simulator()
+    station = make(sim, capacity=2)
+    accepted = [station.submit(i, lambda w: None) for i in range(5)]
+    # First goes into service; two queue; rest dropped.
+    assert accepted == [True, True, True, False, False]
+    assert station.stats.dropped == 2
+    sim.run()
+    assert station.stats.completed == 3
+
+
+def test_collapse_on_overload():
+    sim = Simulator()
+    station = make(sim, collapse_threshold=3, collapse_recovery=100.0)
+    for i in range(6):
+        station.submit(i, lambda w: None)
+    assert station.stalled
+    # Everything queued was discarded; arrivals during the stall are dropped.
+    assert not station.submit(99, lambda w: None)
+    sim.run(until=50.0)
+    assert station.stats.completed <= 1  # at most the one already in service
+    # After recovery the station accepts again.
+    sim.run(until=150.0)
+    assert station.submit(100, lambda w: None)
+
+
+def test_done_return_value_extends_busy_time():
+    sim = Simulator()
+    station = make(sim, service=1.0)
+    done_times = []
+
+    def slow_handler(work):
+        done_times.append(sim.now)
+        return 4.0  # synchronous store cost
+
+    station.submit("a", slow_handler)
+    station.submit("b", slow_handler)
+    sim.run()
+    # b starts only after a's service (1) + extra (4).
+    assert done_times == [1.0, 6.0]
+
+
+def test_done_returning_true_is_not_extra_time():
+    sim = Simulator()
+    station = make(sim, service=1.0)
+    done_times = []
+
+    def bool_handler(work):
+        done_times.append(sim.now)
+        return True  # e.g. a submit() result leaking through
+
+    station.submit("a", bool_handler)
+    station.submit("b", bool_handler)
+    sim.run()
+    assert done_times == [1.0, 2.0]
+
+
+def test_hold_steals_capacity_without_counting():
+    sim = Simulator()
+    station = make(sim, service=1.0)
+    done = []
+    station.submit("a", done.append)
+    station.hold(10.0)
+    station.submit("b", done.append)
+    sim.run()
+    assert done == ["a", "b"]
+    assert sim.now == 12.0  # 1 + 10 (hold) + 1
+    assert station.stats.completed == 2  # holds are not completions
+    assert station.stats.submitted == 2  # nor arrivals
+
+
+def test_service_override():
+    sim = Simulator()
+    station = make(sim, service=1.0)
+    station.submit("x", lambda w: None, service_override=7.0)
+    sim.run()
+    assert sim.now == 7.0
+
+
+def test_backlog_property():
+    sim = Simulator()
+    station = make(sim)
+    for i in range(4):
+        station.submit(i, lambda w: None)
+    assert station.backlog == 3  # one in service
+
+
+def test_record_completions():
+    sim = Simulator()
+    station = ServiceStation(sim, Fixed(2.0), record_completions=True)
+    station.submit(1, lambda w: None)
+    station.submit(2, lambda w: None)
+    sim.run()
+    assert station.stats.completion_times == [2.0, 4.0]

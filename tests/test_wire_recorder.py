@@ -1,0 +1,209 @@
+"""Tests for the OpenFlow wire encoding and control-plane record/replay."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import OpenFlowError, WorkloadError
+from repro.net.packet import lldp_probe, tcp_packet
+from repro.openflow import wire
+from repro.openflow.actions import ActionDrop, ActionFlood, ActionOutput
+from repro.openflow.constants import FlowModCommand
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    EchoRequest,
+    FeaturesReply,
+    FlowMod,
+    Hello,
+    PacketIn,
+    PacketOut,
+)
+
+
+def roundtrip(message):
+    decoded, rest = wire.decode(wire.encode(message))
+    assert rest == b""
+    return decoded
+
+
+def test_header_only_messages_roundtrip():
+    for message in (Hello(), EchoRequest(), BarrierReply()):
+        decoded = roundtrip(message)
+        assert type(decoded) is type(message)
+        assert decoded.xid == message.xid
+
+
+def test_features_reply_roundtrip():
+    decoded = roundtrip(FeaturesReply(dpid=42, ports=(1, 2, 3)))
+    assert decoded.dpid == 42
+    assert decoded.ports == (1, 2, 3)
+
+
+def test_packet_in_roundtrip_with_tcp_packet():
+    packet = tcp_packet("aa", "bb", "10.0.0.1", "10.0.0.2", 5, 80,
+                        flow_id=9)
+    message = PacketIn(dpid=3, in_port=2, packet=packet, buffer_id=17)
+    decoded = roundtrip(message)
+    assert decoded.dpid == 3
+    assert decoded.buffer_id == 17
+    assert decoded.packet == packet
+
+
+def test_packet_in_roundtrip_with_lldp():
+    message = PacketIn(dpid=1, in_port=1,
+                       packet=lldp_probe(7, 2, controller_id="c3"))
+    decoded = roundtrip(message)
+    assert decoded.packet.payload.src_dpid == 7
+    assert decoded.packet.payload.controller_id == "c3"
+
+
+def test_flow_mod_roundtrip():
+    packet = tcp_packet("aa", "bb", "10.0.0.1", "10.0.0.2", 5, 80)
+    message = FlowMod(dpid=4, command=FlowModCommand.DELETE,
+                      match=Match.for_flow(packet, in_port=1),
+                      actions=(ActionOutput(3), ActionDrop(), ActionFlood()),
+                      priority=77, idle_timeout=5.0, cookie=99)
+    decoded = roundtrip(message)
+    assert decoded.command == FlowModCommand.DELETE
+    assert decoded.match == message.match
+    assert decoded.actions == message.actions
+    assert decoded.priority == 77
+    assert decoded.cookie == 99
+
+
+def test_packet_out_roundtrip():
+    message = PacketOut(dpid=2, in_port=4, buffer_id=None,
+                        actions=(ActionOutput(1),))
+    decoded = roundtrip(message)
+    assert decoded.buffer_id is None
+    assert decoded.actions == (ActionOutput(1),)
+
+
+def test_decode_all_stream():
+    stream = wire.encode(Hello()) + wire.encode(EchoRequest())
+    messages = wire.decode_all(stream)
+    assert [type(m) for m in messages] == [Hello, EchoRequest]
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(OpenFlowError):
+        wire.decode(b"\x00\x01")
+    with pytest.raises(OpenFlowError):
+        wire.decode(b"\x09" + wire.encode(Hello())[1:])  # bad version
+    truncated = wire.encode(FeaturesReply(dpid=1, ports=(1,)))[:-3]
+    with pytest.raises(OpenFlowError):
+        wire.decode(truncated)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_xid_preserved(xid):
+    decoded = roundtrip(Hello(xid=xid))
+    assert decoded.xid == xid
+
+
+@given(st.integers(min_value=1, max_value=2**32),
+       st.lists(st.integers(min_value=1, max_value=65535), max_size=16))
+def test_features_reply_roundtrip_property(dpid, ports):
+    decoded = roundtrip(FeaturesReply(dpid=dpid, ports=tuple(ports)))
+    assert decoded.dpid == dpid
+    assert decoded.ports == tuple(ports)
+
+
+# ----------------------------------------------------------------------
+# Recorder / replayer
+# ----------------------------------------------------------------------
+
+def build_cluster(seed):
+    from repro.controllers.onos import build_onos_cluster
+    from repro.net.topology import linear_topology
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator(seed=seed)
+    topo = linear_topology(sim, 4)
+    cluster, _ = build_onos_cluster(sim, n=2)
+    cluster.connect_topology(topo)
+    cluster.start()
+    sim.run(until=2500.0)
+    hosts = topo.host_list()
+    for index, host in enumerate(hosts):
+        sim.schedule(index * 2.0, host.send_arp_request,
+                     hosts[(index + 1) % 4].ip)
+    sim.run(until=sim.now + 500.0)
+    return sim, topo, cluster
+
+
+def test_recorder_captures_packet_ins():
+    from repro.workloads.recorder import ControlPlaneRecorder
+
+    sim, topo, cluster = build_cluster(seed=200)
+    recorder = ControlPlaneRecorder(cluster)
+    recorder.start()
+    hosts = topo.host_list()
+    hosts[0].open_connection(hosts[3])
+    sim.run(until=sim.now + 800.0)
+    recorder.stop()
+    assert len(recorder) > 0
+    assert all(isinstance(r.message, PacketIn) for r in recorder.records)
+    # Stopped: further traffic is not recorded.
+    count = len(recorder)
+    hosts[1].open_connection(hosts[2])
+    sim.run(until=sim.now + 800.0)
+    assert len(recorder) == count
+
+
+def test_recording_dump_load_roundtrip():
+    from repro.workloads.recorder import ControlPlaneRecorder
+
+    sim, topo, cluster = build_cluster(seed=201)
+    recorder = ControlPlaneRecorder(cluster)
+    recorder.start()
+    hosts = topo.host_list()
+    hosts[0].open_connection(hosts[3])
+    sim.run(until=sim.now + 800.0)
+    data = recorder.dump()
+    loaded = ControlPlaneRecorder.load(data)
+    assert len(loaded) == len(recorder)
+    for original, reloaded in zip(recorder.records, loaded):
+        assert reloaded.dpid == original.dpid
+        assert abs(reloaded.time_ms - original.time_ms) < 1e-9
+        assert type(reloaded.message) is type(original.message)
+
+
+def test_load_rejects_corrupt_recording():
+    from repro.workloads.recorder import ControlPlaneRecorder
+
+    with pytest.raises(WorkloadError):
+        ControlPlaneRecorder.load(b"\x00" * 7)
+
+
+def test_replay_reproduces_flow_installs():
+    from repro.workloads.recorder import ControlPlaneRecorder, TraceReplayer
+
+    sim, topo, cluster = build_cluster(seed=202)
+    recorder = ControlPlaneRecorder(cluster)
+    recorder.start()
+    hosts = topo.host_list()
+    hosts[0].open_connection(hosts[3])
+    sim.run(until=sim.now + 800.0)
+    recorder.stop()
+    rules_before = sum(len(s.table) for s in topo.switches.values())
+    assert rules_before > 0
+
+    # Replay the recording into a FRESH cluster (same topology shape).
+    sim2, topo2, cluster2 = build_cluster(seed=202)
+    replayer = TraceReplayer(sim2, cluster2,
+                             ControlPlaneRecorder.load(recorder.dump()))
+    replayer.start()
+    sim2.run(until=sim2.now + 1500.0)
+    assert replayer.replayed == len(recorder)
+    rules_after = sum(len(s.table) for s in topo2.switches.values())
+    assert rules_after >= rules_before
+
+
+def test_replay_speedup_validation():
+    from repro.workloads.recorder import TraceReplayer
+
+    sim, topo, cluster = build_cluster(seed=203)
+    with pytest.raises(WorkloadError):
+        TraceReplayer(sim, cluster, [], speedup=0.0)
