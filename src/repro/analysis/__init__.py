@@ -1,0 +1,54 @@
+"""Static determinism & taint-safety analysis for the JURY reproduction.
+
+JURY validates controller actions dynamically by comparing replica
+executions; this package is the static complement — an AST-level pass that
+catches divergence sources and interception bypasses before they ever reach
+the validator. Four paper-grounded rule families:
+
+* **D-rules** — nondeterminism sources (wall clock, global RNG, ``id()``
+  keys, unordered set iteration, threads) that would make honest replicas
+  disagree (false CONSENSUS_MISMATCH, §IV-C).
+* **T-rules** — taint-safety: handler code must externalize only through
+  the interception layer so replicated execution stays side-effect-free
+  (§IV).
+* **S-rules** — static analog of the T2 network/cache sanity check:
+  FLOW_MOD emissions and flow-cache writes must pair up per handler.
+* **H-rules** — hygiene with validator-path teeth (mutable defaults, bare
+  or swallowed excepts, unused imports).
+
+Entry points: :func:`analyze_paths` (library), ``jury-repro analyze`` (CLI).
+Suppress a finding inline with ``# jury: ignore[D101]`` (comma-separated
+ids, or bare ``# jury: ignore`` for all rules on that line); freeze legacy
+findings with a baseline file (``--write-baseline``).
+"""
+
+from repro.analysis.baseline import DEFAULT_BASELINE_PATH, Baseline
+from repro.analysis.engine import Analyzer, analyze_paths, discover_files
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.registry import (
+    ModuleContext,
+    Rule,
+    all_rules,
+    register,
+    rule_catalog,
+)
+from repro.analysis.reporters import render_human, render_json, render_rule_list
+
+__all__ = [
+    "AnalysisReport",
+    "Analyzer",
+    "Baseline",
+    "DEFAULT_BASELINE_PATH",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "discover_files",
+    "register",
+    "render_human",
+    "render_json",
+    "render_rule_list",
+    "rule_catalog",
+]

@@ -1,0 +1,68 @@
+"""Baseline (legacy-finding) files.
+
+A baseline freezes the findings that existed when the gate was introduced so
+they warn humans without blocking CI, while *new* findings still fail the
+build. The file maps fingerprint -> human-readable context, so reviews of
+baseline changes stay meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Set, Union
+
+#: Default checked-in location, next to pyproject at the repo root.
+DEFAULT_BASELINE_PATH = "analysis-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """An immutable-ish set of accepted finding fingerprints."""
+
+    def __init__(self, entries: Dict[str, str]):
+        self._entries = dict(entries)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict) or "fingerprints" not in raw:
+            raise ValueError(f"{path}: not a jury-repro baseline file")
+        entries = raw["fingerprints"]
+        if not isinstance(entries, dict):
+            raise ValueError(f"{path}: 'fingerprints' must be an object")
+        return cls(entries)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable) -> "Baseline":
+        entries = {f.fingerprint(): f"{f.rule_id} {f.anchor} {f.message}"
+                   for f in findings}
+        return cls(entries)
+
+    # ------------------------------------------------------------------
+    def contains(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def fingerprints(self) -> Set[str]:
+        return set(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def write(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "tool": "jury-repro analyze",
+            "note": ("Legacy findings accepted when the gate was "
+                     "introduced; remove entries as the code is fixed."),
+            "fingerprints": dict(sorted(self._entries.items(),
+                                        key=lambda kv: kv[1])),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")

@@ -1,0 +1,106 @@
+"""The analysis engine: file discovery, parsing, rule dispatch, baselining.
+
+``analyze_paths`` is the one-call API used by the CLI, the CI gate, and the
+self-application test: give it files/directories and (optionally) a baseline,
+get back an :class:`AnalysisReport` with per-``file:line`` findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.analysis.registry import ModuleContext, Rule, all_rules
+
+#: Rule id reserved for files the engine itself cannot analyze.
+PARSE_ERROR_RULE = "P001"
+
+
+def discover_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(p for p in path.rglob("*.py")
+                         if "__pycache__" not in p.parts)
+        elif path.suffix == ".py" and path.exists():
+            files.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    unique = sorted({p.resolve() for p in files})
+    return unique
+
+
+def _display_path(path: Path) -> str:
+    """Path relative to the invocation cwd when possible (stable anchors)."""
+    try:
+        return os.path.relpath(path)
+    except ValueError:  # different drive on Windows
+        return str(path)
+
+
+class Analyzer:
+    """Runs a rule set over modules and applies baseline/suppressions."""
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None):
+        self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
+
+    # ------------------------------------------------------------------
+    def analyze_source(self, source: str, path: str = "<memory>") -> List[Finding]:
+        """Analyze one in-memory module (test fixtures, editors)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [Finding(
+                rule_id=PARSE_ERROR_RULE, severity=Severity.ERROR,
+                path=path, line=exc.lineno or 1, column=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}")]
+        module = ModuleContext(path=path, source=source, tree=tree)
+        findings: List[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.run(module))
+        return sorted(findings, key=Finding.sort_key)
+
+    def analyze_paths(self, paths: Sequence[str],
+                      baseline: Optional[Baseline] = None) -> AnalysisReport:
+        """Analyze files/directories; baseline-matched findings are split out."""
+        report = AnalysisReport()
+        all_findings: List[Finding] = []
+        for path in discover_files(paths):
+            display = _display_path(path)
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                all_findings.append(Finding(
+                    rule_id=PARSE_ERROR_RULE, severity=Severity.ERROR,
+                    path=display, line=1, column=1,
+                    message=f"file is unreadable: {exc}"))
+                continue
+            report.files_scanned += 1
+            all_findings.extend(self.analyze_source(source, path=display))
+        all_findings.sort(key=Finding.sort_key)
+        if baseline is None:
+            report.findings = all_findings
+            return report
+        matched_fps = set()
+        for finding in all_findings:
+            fingerprint = finding.fingerprint()
+            if baseline.contains(fingerprint):
+                matched_fps.add(fingerprint)
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+        report.stale_baseline = sorted(baseline.fingerprints() - matched_fps)
+        return report
+
+
+def analyze_paths(paths: Sequence[str],
+                  baseline: Optional[Baseline] = None,
+                  rules: Optional[Iterable[Rule]] = None) -> AnalysisReport:
+    """Module-level convenience wrapper around :class:`Analyzer`."""
+    return Analyzer(rules=rules).analyze_paths(paths, baseline=baseline)

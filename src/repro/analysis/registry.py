@@ -1,0 +1,233 @@
+"""Rule base class, per-module analysis context, and the rule registry.
+
+Rules are small AST visitors registered by module import: each rule module
+calls :func:`register` on its rule classes, and :func:`all_rules` imports the
+four family modules on first use so the catalog is always complete without a
+central hand-maintained list.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from repro.analysis.findings import Finding, Severity
+
+#: ``# jury: ignore`` or ``# jury: ignore[D101]`` / ``[D101, H403]``.
+_SUPPRESS_RE = re.compile(r"#\s*jury:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+#: Matches every rule on the line (blanket ``# jury: ignore``).
+ALL_RULES = "*"
+
+
+class ModuleContext:
+    """One parsed module plus the derived views rules share.
+
+    Parsing, suppression scanning, symbol attribution, and app-code
+    detection happen once here instead of once per rule.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self._suppressions: Optional[Dict[int, set]] = None
+        self._symbols: Optional[List[Tuple[ast.AST, str]]] = None
+        self._app_functions: Optional[set] = None
+
+    # ------------------------------------------------------------------
+    # Suppressions
+    # ------------------------------------------------------------------
+    def suppressions(self) -> Dict[int, set]:
+        """line number -> set of suppressed rule ids (or ``{ALL_RULES}``)."""
+        if self._suppressions is None:
+            table: Dict[int, set] = {}
+            for lineno, line in enumerate(self.lines, start=1):
+                match = _SUPPRESS_RE.search(line)
+                if not match:
+                    continue
+                if match.group(1) is None:
+                    table[lineno] = {ALL_RULES}
+                else:
+                    table[lineno] = {r.strip().upper()
+                                     for r in match.group(1).split(",")
+                                     if r.strip()}
+            self._suppressions = table
+        return self._suppressions
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self.suppressions().get(line)
+        return rules is not None and (ALL_RULES in rules or rule_id in rules)
+
+    # ------------------------------------------------------------------
+    # Symbol attribution
+    # ------------------------------------------------------------------
+    def _symbol_spans(self) -> List[Tuple[ast.AST, str]]:
+        if self._symbols is None:
+            spans: List[Tuple[ast.AST, str]] = []
+
+            def walk(node: ast.AST, prefix: str) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                          ast.ClassDef)):
+                        qualified = f"{prefix}.{child.name}" if prefix else child.name
+                        spans.append((child, qualified))
+                        walk(child, qualified)
+                    else:
+                        walk(child, prefix)
+
+            walk(self.tree, "")
+            self._symbols = spans
+        return self._symbols
+
+    def symbol_at(self, line: int) -> str:
+        """Innermost enclosing ``Class.method`` name for a source line."""
+        best = ""
+        best_start = -1
+        for node, name in self._symbol_spans():
+            end = getattr(node, "end_lineno", node.lineno)
+            if node.lineno <= line <= end and node.lineno > best_start:
+                best, best_start = name, node.lineno
+        return best
+
+    # ------------------------------------------------------------------
+    # App-code detection (T/S rule scope)
+    # ------------------------------------------------------------------
+    @property
+    def is_app_module(self) -> bool:
+        """True when this module is app (handler) code by path convention."""
+        normalized = self.path.replace("\\", "/")
+        return "controllers/apps/" in normalized
+
+    def app_functions(self) -> set:
+        """FunctionDef nodes subject to the taint/sanity rules.
+
+        Every function in a ``controllers/apps/`` module, plus — anywhere —
+        methods of classes deriving from ``ControllerApp``.
+        """
+        if self._app_functions is None:
+            functions: set = set()
+            if self.is_app_module:
+                for node in ast.walk(self.tree):
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        functions.add(node)
+            else:
+                for node in ast.walk(self.tree):
+                    if not isinstance(node, ast.ClassDef):
+                        continue
+                    if not any(_base_name(b).endswith("ControllerApp")
+                               for b in node.bases):
+                        continue
+                    for child in ast.walk(node):
+                        if isinstance(child, (ast.FunctionDef,
+                                              ast.AsyncFunctionDef)):
+                            functions.add(child)
+            self._app_functions = functions
+        return self._app_functions
+
+
+def _base_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted name of a call target (``a.b.c`` for Name roots).
+
+    Calls on intermediate call results render their root as ``()`` so rules
+    can still match trailing attribute chains.
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    elif isinstance(current, ast.Call):
+        parts.append("()")
+    else:
+        parts.append("?")
+    return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set the class attributes and implement :meth:`check`, yielding
+    ``(node, message)`` or ``(node, message, severity)`` tuples; the engine
+    turns them into :class:`Finding` objects with location, symbol, and
+    ordinal attribution.
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.WARNING
+    summary: str = ""
+    #: Which JURY fault class / mechanism the rule guards (docs + reports).
+    rationale: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def run(self, module: ModuleContext) -> Iterable[Finding]:
+        ordinals: Dict[Tuple[str, str], int] = {}
+        for item in self.check(module):
+            node, message = item[0], item[1]
+            severity = item[2] if len(item) > 2 else self.severity
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0) + 1
+            if module.is_suppressed(self.rule_id, line):
+                continue
+            symbol = module.symbol_at(line)
+            key = (symbol, message)
+            ordinal = ordinals.get(key, 0)
+            ordinals[key] = ordinal + 1
+            yield Finding(rule_id=self.rule_id, severity=severity,
+                          path=module.path, line=line, column=column,
+                          message=message, symbol=symbol, ordinal=ordinal)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+_LOADED = False
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    existing = _REGISTRY.get(rule_cls.rule_id)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def _load_builtin_rules() -> None:
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    # Importing the family modules populates the registry via @register.
+    from repro.analysis import (  # noqa: F401  # jury: ignore[H405]
+        rules_determinism,
+        rules_hygiene,
+        rules_sanity,
+        rules_taint,
+    )
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate the full builtin catalog, sorted by rule id."""
+    _load_builtin_rules()
+    return [cls() for _, cls in sorted(_REGISTRY.items())]
+
+
+def rule_catalog() -> List[Type[Rule]]:
+    """The registered rule classes (docs, ``--list-rules``)."""
+    _load_builtin_rules()
+    return [cls for _, cls in sorted(_REGISTRY.items())]

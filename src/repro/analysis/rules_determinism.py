@@ -1,0 +1,216 @@
+"""D-rules: sources of nondeterminism in controller / app code.
+
+JURY's consensus step compares the primary's externalized actions against
+``k`` shadow re-executions; any divergence source — wall-clock reads, the
+process-global RNG, ``id()``-derived values, unordered set iteration that
+reaches emitted output, threads — turns honest executions into
+false-positive CONSENSUS_MISMATCH alarms (or, worse, masks real T1 faults
+as "non-deterministic application logic", §IV-C). These rules flag the
+divergence source at its origin, before it ever reaches the validator.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.findings import Severity
+from repro.analysis.registry import ModuleContext, Rule, dotted_name, register
+
+#: Wall-clock and process-clock reads. ``sim.now`` is the only legitimate
+#: clock in replicated code: simulated time is part of the replicated state.
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today", "date.today",
+}
+
+#: Module-level ``random.*`` draws share one process-global, unseeded-by-us
+#: generator. Seeded instances (``random.Random(seed)``, ``sim.fork_rng``)
+#: are the sanctioned alternative and are not flagged.
+_GLOBAL_RNG_CALLS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular", "getrandbits", "randbytes",
+}
+
+_THREAD_CALLS = {
+    "threading.Thread", "threading.Timer",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+    "ThreadPoolExecutor", "ProcessPoolExecutor",
+    "multiprocessing.Process", "multiprocessing.Pool",
+    "os.fork",
+}
+
+
+@register
+class WallClockRule(Rule):
+    """D101 — wall-clock reads diverge across replicas and re-executions."""
+
+    rule_id = "D101"
+    severity = Severity.ERROR
+    summary = "wall-clock read in replicated code"
+    rationale = ("T1/T3: replicas re-executing a trigger at different wall "
+                 "times externalize different values; use sim.now, which is "
+                 "replicated state.")
+
+    def check(self, module: ModuleContext) -> Iterator[tuple]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _WALL_CLOCK_CALLS:
+                yield (node, f"call to {name}() reads the wall clock; "
+                             "replicated executions must use simulated time "
+                             "(sim.now)")
+
+
+@register
+class GlobalRandomRule(Rule):
+    """D102 — draws from the process-global ``random`` module."""
+
+    rule_id = "D102"
+    severity = Severity.ERROR
+    summary = "unseeded global random draw"
+    rationale = ("T1: the global RNG's state differs per process, so shadow "
+                 "executions diverge from the primary; draw from a seeded "
+                 "random.Random forked per component (sim.fork_rng).")
+
+    def check(self, module: ModuleContext) -> Iterator[tuple]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr in _GLOBAL_RNG_CALLS):
+                yield (node, f"random.{func.attr}() draws from the "
+                             "process-global RNG; use a seeded "
+                             "random.Random instance (sim.fork_rng)")
+
+
+@register
+class IdentityKeyRule(Rule):
+    """D103 — ``id()`` values are process-dependent and reusable."""
+
+    rule_id = "D103"
+    severity = Severity.ERROR
+    summary = "id()-derived value"
+    rationale = ("T1: id() returns a process-specific address that differs "
+                 "across replicas and can be reused after garbage "
+                 "collection; key on a stable identifier instead.")
+
+    def check(self, module: ModuleContext) -> Iterator[tuple]:
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "id"
+                    and len(node.args) == 1):
+                yield (node, "id() produces process-dependent, reusable "
+                             "values; use a stable identifier (e.g. a "
+                             "name or allocated uid) as the key")
+
+
+@register
+class SetIterationRule(Rule):
+    """D104 — iterating a set in arbitrary order.
+
+    Set iteration order depends on insertion history and hash seeding; when
+    the iteration's results feed emitted messages or cache writes, replicas
+    that learned the same facts in a different order externalize different
+    responses. Only locally-provable set expressions are flagged (names
+    bound to set constructors/literals in the same function, or inline set
+    expressions); wrapping the iteration in ``sorted()`` resolves it.
+    """
+
+    rule_id = "D104"
+    severity = Severity.WARNING
+    summary = "unordered set iteration"
+    rationale = ("T1: set iteration order is insertion/hash dependent; "
+                 "sorted() makes the order replica-independent.")
+
+    def check(self, module: ModuleContext) -> Iterator[tuple]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            set_names = _set_bound_names(func)
+            for node in ast.walk(func):
+                iterators = []
+                if isinstance(node, ast.For):
+                    iterators.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.GeneratorExp, ast.DictComp)):
+                    iterators.extend(gen.iter for gen in node.generators)
+                elif (isinstance(node, ast.Call)
+                      and isinstance(node.func, ast.Name)
+                      and node.func.id in ("tuple", "list")
+                      and len(node.args) == 1):
+                    iterators.append(node.args[0])
+                for it in iterators:
+                    if _is_set_expr(it, set_names):
+                        yield (it, "iteration over a set has "
+                                   "insertion/hash-dependent order; wrap "
+                                   "in sorted() if the order can reach "
+                                   "emitted output")
+
+
+def _set_bound_names(func: ast.AST) -> Set[str]:
+    """Names assigned a provably-set value anywhere in ``func``."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            if _builds_set(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if _builds_set(node.value) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _builds_set(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return True
+        if name.split(".")[-1] in ("union", "intersection", "difference",
+                                   "symmetric_difference"):
+            return True
+    return False
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    return _builds_set(node)
+
+
+@register
+class ThreadSpawnRule(Rule):
+    """D105 — spawning OS threads/processes in simulated components."""
+
+    rule_id = "D105"
+    severity = Severity.WARNING
+    summary = "thread/process spawn"
+    rationale = ("T1/T3: preemptive scheduling interleaves cache writes "
+                 "nondeterministically across replicas; use the simulator's "
+                 "event loop (sim.schedule) for concurrency.")
+
+    def check(self, module: ModuleContext) -> Iterator[tuple]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _THREAD_CALLS:
+                yield (node, f"{name}() introduces preemptive scheduling; "
+                             "use the deterministic event loop "
+                             "(sim.schedule) instead")

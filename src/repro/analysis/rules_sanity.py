@@ -1,0 +1,100 @@
+"""S-rules: static analog of JURY's network/cache sanity check (T2).
+
+At runtime the validator's SANITY_CHECK asserts that every FLOW_MOD the
+primary emitted is justified by a flow-cache write and vice versa
+(``repro.core.consensus.sanity_check``). A handler that structurally cannot
+satisfy that pairing — it emits FLOW_MODs but never touches the cache, or
+installs flow-cache state on the packet-in path without ever emitting — will
+trip SANITY_MISMATCH on its very first trigger. Catching the shape
+statically turns a runtime alarm storm into a review comment.
+
+``on_cache_event`` handlers are exempt from S301 by design: the remote-master
+pattern (§II-A1) emits the FLOW_MOD for a *peer's* cache write, which is the
+pairing the validator sees cluster-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.findings import Severity
+from repro.analysis.registry import ModuleContext, Rule, register
+
+_CACHE_MUTATORS = {"cache_write", "cache_delete"}
+_NETWORK_EMITTERS = {"send_flow_mod", "send_packet_out"}
+
+#: Handler entry points dispatched by the controller pipeline.
+_HANDLER_ENTRY_POINTS = {"handle_packet_in", "handle_rest"}
+
+
+def _called_attrs(func: ast.AST) -> Set[str]:
+    """Attribute names invoked anywhere inside ``func`` (incl. lambdas)."""
+    attrs: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attrs.add(node.func.attr)
+    return attrs
+
+
+def _first_call(func: ast.AST, attr: str) -> ast.AST:
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == attr):
+            return node
+    return func
+
+
+@register
+class UnjustifiedFlowModRule(Rule):
+    """S301 — FLOW_MOD emission with no paired cache mutation."""
+
+    rule_id = "S301"
+    severity = Severity.WARNING
+    summary = "send_flow_mod without a cache write in the same handler"
+    rationale = ("T2 sanity: a FLOW_MOD with no matching flow-cache update "
+                 "is exactly what sanity_check alarms on "
+                 "(SANITY_MISMATCH, 'no matching cache update').")
+
+    def check(self, module: ModuleContext) -> Iterator[tuple]:
+        for func in module.app_functions():
+            if func.name == "on_cache_event":
+                continue  # remote-master emission for a peer's cache write
+            attrs = _called_attrs(func)
+            if "send_flow_mod" in attrs and not (attrs & _CACHE_MUTATORS):
+                yield (_first_call(func, "send_flow_mod"),
+                       f"{func.name}() emits a FLOW_MOD but performs no "
+                       "cache_write/cache_delete; the runtime sanity check "
+                       "(T2) will flag the emission as unjustified")
+
+
+@register
+class UnpromisedFlowCacheWriteRule(Rule):
+    """S302 — handler installs flow-cache state but never emits."""
+
+    rule_id = "S302"
+    severity = Severity.WARNING
+    summary = "FlowsDB write in a handler that never emits to the network"
+    rationale = ("T2 sanity: a PENDING_ADD flow-cache write promises a "
+                 "FLOW_MOD; a handler that writes FlowsDB and emits nothing "
+                 "strands the rule and alarms as a missing network write.")
+
+    def check(self, module: ModuleContext) -> Iterator[tuple]:
+        for func in module.app_functions():
+            if func.name not in _HANDLER_ENTRY_POINTS:
+                continue
+            attrs = _called_attrs(func)
+            writes_flowsdb = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "cache_write"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == "FLOWSDB"
+                for node in ast.walk(func))
+            if writes_flowsdb and not (attrs & _NETWORK_EMITTERS):
+                yield (_first_call(func, "cache_write"),
+                       f"{func.name}() writes FlowsDB but emits no network "
+                       "message on any path; the promised FLOW_MOD will be "
+                       "reported missing by the sanity check")

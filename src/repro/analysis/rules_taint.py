@@ -1,0 +1,102 @@
+"""T-rules: taint-safety of app (handler) code.
+
+JURY replays taint-wrapped triggers through secondary controllers and
+promises that "replicated execution has no side effects" — the controller's
+interception layer (``cache_write`` / ``cache_delete`` / ``send_flow_mod`` /
+``send_packet_out``) captures externalizations of shadow contexts instead of
+performing them. Any app-code path that reaches a raw datastore mutation or
+a raw channel transmit bypasses that capture: a replayed trigger would then
+write shared state or the network *for real*, corrupting every replica the
+shadow ran on. These rules statically fence handler code onto the
+interception layer.
+
+Scope: every function in a ``controllers/apps/`` module, plus methods of any
+``ControllerApp`` subclass elsewhere (see ``ModuleContext.app_functions``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Severity
+from repro.analysis.registry import ModuleContext, Rule, dotted_name, register
+
+#: Datastore mutators that bypass shadow capture. Reads (``store.get`` /
+#: ``store.entries``) are harmless — shadow executions are *supposed* to
+#: read replicated state.
+_STORE_MUTATORS = ("put", "delete", "clear", "put_all", "remove")
+
+#: Raw transmit primitives on the controller / channel layer.
+_RAW_TRANSMITS = ("_transmit", "_egress_send")
+
+
+@register
+class DirectStoreWriteRule(Rule):
+    """T201 — raw datastore mutation from handler code."""
+
+    rule_id = "T201"
+    severity = Severity.ERROR
+    summary = "datastore write bypasses shadow capture"
+    rationale = ("Side-effect-free replication (§IV): shadow contexts only "
+                 "suppress writes routed through Controller.cache_write / "
+                 "cache_delete; store.put from an app handler would persist "
+                 "a replayed trigger's write on every secondary.")
+
+    def check(self, module: ModuleContext) -> Iterator[tuple]:
+        for func in module.app_functions():
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = node.func
+                if not isinstance(target, ast.Attribute):
+                    continue
+                if target.attr not in _STORE_MUTATORS:
+                    continue
+                chain = dotted_name(target)
+                parts = chain.split(".")
+                if "store" in parts[:-1]:
+                    yield (node, f"{chain}() mutates the datastore "
+                                 "directly; route through "
+                                 "Controller.cache_write/cache_delete so "
+                                 "shadow execution stays side-effect-free")
+
+
+@register
+class DirectTransmitRule(Rule):
+    """T202 — raw network transmit from handler code."""
+
+    rule_id = "T202"
+    severity = Severity.ERROR
+    summary = "network send bypasses shadow capture"
+    rationale = ("Side-effect-free replication (§IV): only send_flow_mod / "
+                 "send_packet_out capture-and-suppress under a tainted "
+                 "context; a raw channel.send from a handler leaks a "
+                 "replayed trigger's message onto the real network.")
+
+    def check(self, module: ModuleContext) -> Iterator[tuple]:
+        for func in module.app_functions():
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = node.func
+                if not isinstance(target, ast.Attribute):
+                    continue
+                chain = dotted_name(target)
+                parts = chain.split(".")
+                if target.attr in _RAW_TRANSMITS:
+                    yield (node, f"{chain}() transmits below the "
+                                 "interception layer; use send_flow_mod / "
+                                 "send_packet_out")
+                elif target.attr == "send" and (
+                        "channel" in parts[:-1]
+                        or "channel_for" in parts[:-1]
+                        or any(p.endswith("_channel") or p.endswith("channels")
+                               for p in parts[:-1])):
+                    yield (node, f"{chain}() writes a control channel "
+                                 "directly from handler code; use "
+                                 "send_flow_mod / send_packet_out so shadow "
+                                 "execution is captured")
+                elif target.attr == "submit" and "egress" in parts[:-1]:
+                    yield (node, f"{chain}() enqueues the egress station "
+                                 "directly; use send_flow_mod")

@@ -9,6 +9,8 @@ Gives operators the paper's experiments without writing code:
 * ``throughput`` — the Fig 4f/4g cluster-throughput sweep.
 * ``detection`` — the Fig 4a/4c detection-time distribution.
 * ``list-faults`` — show the fault catalog.
+* ``analyze`` — static determinism/taint-safety analysis of controller and
+  app code (the CI gate; see ``docs/static_analysis.md``).
 """
 
 from __future__ import annotations
@@ -176,6 +178,60 @@ def cmd_detection(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    # Imported lazily: the analyzer is stdlib-only and must stay usable in
+    # minimal environments, but the other commands shouldn't pay for it.
+    from repro.analysis import (
+        Baseline,
+        Severity,
+        analyze_paths,
+        render_human,
+        render_json,
+        render_rule_list,
+    )
+    from repro.analysis.baseline import DEFAULT_BASELINE_PATH
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    if not args.paths:
+        print("analyze: at least one PATH is required", file=sys.stderr)
+        return 2
+    fail_on = Severity.parse(args.fail_on)
+
+    baseline_path = args.baseline
+    if baseline_path is None and args.write_baseline:
+        baseline_path = DEFAULT_BASELINE_PATH
+    baseline = None
+    if baseline_path is not None and not args.write_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except FileNotFoundError:
+            print(f"analyze: baseline file not found: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report = analyze_paths(args.paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).write(baseline_path)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
+        return 0
+
+    if args.format == "json":
+        print(render_json(report, fail_on))
+    else:
+        print(render_human(report, fail_on))
+    return 1 if report.count_at_least(fail_on) else 0
+
+
 def cmd_list_faults(args) -> int:
     rows = [[name, FAULTS[name]().fault_class.value,
              "odl" if name in ODL_FAULTS else "onos"]
@@ -230,6 +286,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_faults = commands.add_parser("list-faults", help="show the catalog")
     list_faults.set_defaults(fn=cmd_list_faults)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="static determinism/taint-safety analysis (D/T/S/H rules)")
+    analyze.add_argument("paths", nargs="*", metavar="PATH",
+                         help="files or directories to analyze")
+    analyze.add_argument("--format", choices=("human", "json"),
+                         default="human", help="report format")
+    analyze.add_argument(
+        "--baseline", nargs="?", const="analysis-baseline.json",
+        default=None, metavar="PATH",
+        help="suppress findings recorded in this baseline file "
+             "(default path when the flag is given bare: "
+             "analysis-baseline.json)")
+    analyze.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0")
+    analyze.add_argument(
+        "--fail-on", choices=("warning", "error"), default="error",
+        help="exit non-zero when findings at/above this severity exist")
+    analyze.add_argument("--list-rules", action="store_true",
+                         help="print the rule catalog and exit")
+    analyze.set_defaults(fn=cmd_analyze)
     return parser
 
 

@@ -240,7 +240,6 @@ class ReactiveForwarding(ControllerApp):
 def _actions_from_canonical(canonicals: Tuple) -> Tuple:
     """Rebuild action objects from their canonical tuples."""
     from repro.openflow.actions import ActionDrop, ActionOutput
-    from repro.openflow.constants import OFPP_CONTROLLER, OFPP_FLOOD
 
     actions = []
     for canonical in canonicals:

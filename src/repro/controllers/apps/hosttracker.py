@@ -124,18 +124,23 @@ class HostTracker(ControllerApp):
             switch = cluster.topology.switches.get(dpid)
             if switch is not None:
                 all_ports = switch.port_numbers
+        # fabric_ports / tree_ports are only ever membership-tested, but the
+        # construction and the final port list are kept explicitly sorted:
+        # the resulting PACKET_OUT action order is part of the externalized
+        # response JURY's consensus compares across replicas, so it must not
+        # inherit set/adjacency iteration order (D104).
         fabric_ports = set()
         tree_ports = set()
         if topology is not None:
             graph = topology.topology_graph()
             if dpid in graph:
-                for neighbor in graph.neighbors(dpid):
+                for neighbor in sorted(graph.neighbors(dpid)):
                     port = graph[dpid][neighbor]["ports"].get(dpid)
                     if port is not None:
                         fabric_ports.add(port)
             tree_ports = set(topology.spanning_tree_ports(dpid))
         ports = []
-        for port in all_ports:
+        for port in sorted(all_ports):
             if port == in_port:
                 continue
             if port in fabric_ports and port not in tree_ports:

@@ -231,9 +231,13 @@ class TopologyApp(ControllerApp):
         ports: List[int] = []
         if dpid in graph:
             tree = nx.minimum_spanning_tree(graph)
-            for neighbor in tree.neighbors(dpid):
+            for neighbor in sorted(tree.neighbors(dpid)):
                 port = graph[dpid][neighbor]["ports"].get(dpid)
                 if port is not None:
                     ports.append(port)
+        # Sorted: replicas that learned edges in a different order must
+        # still flood along identical port sequences (shadow executions are
+        # compared verbatim against the primary's PACKET_OUTs).
+        ports.sort()
         self._tree_ports_cache[dpid] = ports
         return ports

@@ -28,7 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.datastore.caches import SWITCHESDB, switch_key, switch_value
 from repro.datastore.events import CacheEvent, CacheOp, cache_canonical
 from repro.datastore.store import DatastoreNode
-from repro.errors import CacheLockError, ControllerError
+from repro.errors import CacheLockError
 from repro.net.channel import ControlChannel
 from repro.openflow.messages import (
     EchoReply,
@@ -123,8 +123,11 @@ class Controller:
         self.egress_drop_prob = 0.0
 
         self._switch_channels: Dict[int, ControlChannel] = {}
-        self._channel_dpid: Dict[int, int] = {}  # id(channel) -> dpid
-        self._handshook: set = set()  # id(channel) we sent FEATURES_REQUEST on
+        # Keyed by the channel's stable uid, never id(channel): id() values
+        # are process addresses, reusable after GC and different on every
+        # replica — a divergence source the D103 analysis rule forbids.
+        self._channel_dpid: Dict[str, int] = {}  # channel.uid -> dpid
+        self._handshook: set = set()  # channel.uid we sent FEATURES_REQUEST on
         self.connected_switches: set = set()
 
         # Recent PACKET_IN arrival times for the utilization estimator.
@@ -182,7 +185,7 @@ class Controller:
     # ------------------------------------------------------------------
     def attach_switch_channel(self, channel: ControlChannel) -> None:
         """Begin the OpenFlow handshake over a fresh control channel."""
-        self._handshook.add(id(channel))
+        self._handshook.add(channel.uid)
         channel.send(self, Hello())
         channel.send(self, FeaturesRequest())
 
@@ -211,13 +214,13 @@ class Controller:
         the primary fails to obtain the lock, omits its response, and JURY's
         validator times the trigger out (§VII-A1).
         """
-        if id(channel) not in self._handshook:
+        if channel.uid not in self._handshook:
             return  # broadcast reply on a channel we never handshook on
         dpid = message.dpid
         if dpid in self.connected_switches:
             return  # duplicate reply (one per controller's FEATURES_REQUEST)
         self._switch_channels[dpid] = channel
-        self._channel_dpid[id(channel)] = dpid
+        self._channel_dpid[channel.uid] = dpid
         ctx = TriggerContext.external_trigger(
             received_at=self.sim.now, description=f"switch-connect s{dpid}",
             trigger_id=getattr(message, "jury_tau", None))
@@ -325,8 +328,8 @@ class Controller:
             for app in self.apps:
                 if app.handle_packet_in(message, ctx):
                     break
-        except CacheLockError:
-            pass  # omitted response; JURY times it out
+        except CacheLockError:  # jury: ignore[H403] — omission is the modeled fault
+            pass  # omitted response; JURY times the trigger out
         self._finish_trigger(ctx)
         return getattr(ctx, "pending_cost", 0.0) - cost_before
 
@@ -338,7 +341,7 @@ class Controller:
             for app in self.apps:
                 if app.handle_rest(request, ctx):
                     break
-        except CacheLockError:
+        except CacheLockError:  # jury: ignore[H403] — omission is the modeled fault
             pass
         self._finish_trigger(ctx)
         return getattr(ctx, "pending_cost", 0.0) - cost_before

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 TriggerId = Tuple  # ("ext", n) for external triggers, ("int", origin, n) internal
 

@@ -8,7 +8,7 @@ cluster in the paper's ``ANY_CONTROLLER_ONE_MASTER`` configuration.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.controllers.apps.forwarding import ReactiveForwarding
 from repro.controllers.apps.hosttracker import HostTracker

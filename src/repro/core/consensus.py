@@ -21,8 +21,8 @@ cache footprint by design).
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.alarms import AlarmReason
 from repro.core.responses import Response, ResponseKind

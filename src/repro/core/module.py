@@ -21,7 +21,7 @@ Responsibilities (§IV, §VI):
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.controllers.base import Controller, NetworkMessageRecord
 from repro.controllers.context import TriggerContext

@@ -19,7 +19,7 @@ Northbound REST triggers are intercepted by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
 from repro.controllers.context import Taint, new_external_trigger_id
 from repro.core.selection import designated_secondaries

@@ -13,7 +13,7 @@ network overhead next to replicated PACKET_INs (§VII-B.2).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 

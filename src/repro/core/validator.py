@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.alarms import Alarm, AlarmReason, ValidationResult
 from repro.core.consensus import ConsensusOutcome, evaluate_consensus, sanity_check
-from repro.core.responses import Response, ResponseKind
+from repro.core.responses import Response
 from repro.core.timeouts import StaticTimeout, TimeoutPolicy
 from repro.sim.simulator import Simulator
 
@@ -56,7 +56,9 @@ class _TriggerRecord:
     responses: List[Tuple[Tuple, Response]] = field(default_factory=list)
     count: int = 0
     first_at: float = 0.0
-    timer = None
+    #: Scheduled θτ event; annotated so it is a per-record dataclass field
+    #: rather than a class attribute shared across records.
+    timer: Optional[object] = None
     decided: bool = False
 
 
@@ -225,8 +227,9 @@ class Validator:
         if self.staleness_threshold is None:
             return []
         responders = {r.controller_id for r in responses}
+        # Sorted so alarm emission order is replica-count deterministic.
         progresses = {cid: self.state[cid].digest_progress
-                      for cid in responders if cid in self.state}
+                      for cid in sorted(responders) if cid in self.state}
         if len(progresses) < 2:
             return []
         frontier = max(progresses.values())

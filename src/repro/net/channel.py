@@ -9,6 +9,7 @@ one. :class:`ByteCounter` feeds the network-overhead results (§VII-B.2).
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Optional, Protocol
 
 from repro.sim.latency import Fixed, LatencyModel
@@ -59,7 +60,15 @@ class ControlChannel:
     name: label used in byte-accounting reports.
     counter: optional shared :class:`ByteCounter` (e.g. "all inter-controller
         traffic"); a per-channel counter is always maintained as well.
+
+    Every channel gets a :attr:`uid` — ``"<name>#<creation ordinal>"`` —
+    that is stable for the lifetime of the channel and deterministic across
+    runs with the same wiring order. Components that need to key state by
+    channel use it instead of ``id(channel)``, whose value is a reusable
+    process address that differs between replicas.
     """
+
+    _uid_counter = itertools.count()
 
     def __init__(
         self,
@@ -75,12 +84,14 @@ class ControlChannel:
         self.b = b
         self.latency = latency if latency is not None else Fixed(0.1)
         self.name = name
+        self.uid = f"{name}#{next(ControlChannel._uid_counter)}"
         self.counter = ByteCounter(name)
         self.shared_counter = counter
         self.up = True
         self._rng = sim.fork_rng(f"chan/{name}")
-        # Per-direction watermark preserving FIFO under jittered latency.
-        self._last_delivery = {id(a): 0.0, id(b): 0.0}
+        # Per-direction watermarks preserving FIFO under jittered latency.
+        self._last_to_a = 0.0
+        self._last_to_b = 0.0
 
     def other(self, endpoint: ChannelEndpoint) -> ChannelEndpoint:
         """The endpoint opposite ``endpoint``."""
@@ -96,8 +107,12 @@ class ControlChannel:
         if self.shared_counter is not None:
             self.shared_counter.add(nbytes)
         arrival = self.sim.now + self.latency.sample(self._rng)
-        arrival = max(arrival, self._last_delivery[id(receiver)])
-        self._last_delivery[id(receiver)] = arrival
+        if receiver is self.a:
+            arrival = max(arrival, self._last_to_a)
+            self._last_to_a = arrival
+        else:
+            arrival = max(arrival, self._last_to_b)
+            self._last_to_b = arrival
         self.sim.schedule_at(arrival, self._deliver, receiver, message)
 
     def _deliver(self, receiver: ChannelEndpoint, message: Any) -> None:

@@ -18,7 +18,7 @@ plus canned builders mirroring Mininet's ``--topo`` presets (``single``,
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Union
+from typing import Optional, Union
 
 from repro.errors import TopologyError
 from repro.net.hosts import Host

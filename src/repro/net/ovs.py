@@ -44,7 +44,8 @@ class ReplicatingProxy:
         self.primary_id = primary_id
         self.switch_channel: Optional[ControlChannel] = None
         self.controller_channels: Dict[str, ControlChannel] = {}
-        self._channel_owner: Dict[int, str] = {}
+        # channel.uid -> controller id (stable identity; never id(channel)).
+        self._channel_owner: Dict[str, str] = {}
         self.on_switch_to_controller: Optional[SwitchToControllerHook] = None
         self.on_controller_to_switch: Optional[ControllerToSwitchHook] = None
         # Counters for replication-overhead accounting.
@@ -61,7 +62,7 @@ class ReplicatingProxy:
     def connect_controller(self, controller_id: str, channel: ControlChannel) -> None:
         """Attach a channel whose far end is controller ``controller_id``."""
         self.controller_channels[controller_id] = channel
-        self._channel_owner[id(channel)] = controller_id
+        self._channel_owner[channel.uid] = controller_id
 
     def set_primary(self, controller_id: str) -> None:
         """Repoint the switch at a different primary (failover)."""
@@ -75,7 +76,7 @@ class ReplicatingProxy:
         if channel is self.switch_channel:
             self._from_switch(message)
         else:
-            sender = self._channel_owner.get(id(channel), "?")
+            sender = self._channel_owner.get(channel.uid, "?")
             self._from_controller(sender, message)
 
     def _from_switch(self, message: Any) -> None:

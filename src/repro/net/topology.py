@@ -10,7 +10,7 @@ ground truth — so tests can compare discovered vs. actual topology).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import networkx as nx
 

@@ -1,0 +1,176 @@
+"""D-rules: nondeterminism sources (wall clock, RNG, id(), sets, threads)."""
+
+import textwrap
+
+from repro.analysis import Analyzer
+
+
+def _rules(source, path="src/example.py"):
+    findings = Analyzer().analyze_source(textwrap.dedent(source), path=path)
+    return [f.rule_id for f in findings]
+
+
+def _findings(source, path="src/example.py"):
+    return Analyzer().analyze_source(textwrap.dedent(source), path=path)
+
+
+# ----------------------------------------------------------------------
+# D101 — wall clock
+# ----------------------------------------------------------------------
+
+def test_d101_flags_time_time():
+    src = """
+    import time
+
+    def handler():
+        return time.time()
+    """
+    assert "D101" in _rules(src)
+
+
+def test_d101_flags_datetime_now():
+    src = """
+    import datetime
+
+    def handler():
+        return datetime.datetime.now()
+    """
+    assert "D101" in _rules(src)
+
+
+def test_d101_anchor_points_at_the_call():
+    findings = [f for f in _findings("""
+    import time
+
+    def handler():
+        return time.perf_counter()
+    """) if f.rule_id == "D101"]
+    assert findings[0].line == 5
+    assert findings[0].symbol == "handler"
+
+
+def test_d101_ignores_sim_now():
+    src = """
+    def handler(sim):
+        return sim.now
+    """
+    assert "D101" not in _rules(src)
+
+
+# ----------------------------------------------------------------------
+# D102 — global RNG
+# ----------------------------------------------------------------------
+
+def test_d102_flags_module_level_random():
+    src = """
+    import random
+
+    def jitter():
+        return random.random() + random.gauss(0.0, 1.0)
+    """
+    assert _rules(src).count("D102") == 2
+
+
+def test_d102_allows_seeded_instances():
+    src = """
+    import random
+
+    def make_rng(seed):
+        rng = random.Random(seed)
+        return rng.random()
+    """
+    assert "D102" not in _rules(src)
+
+
+# ----------------------------------------------------------------------
+# D103 — id() keys
+# ----------------------------------------------------------------------
+
+def test_d103_flags_id_keys():
+    src = """
+    def track(channel, seen):
+        seen.add(id(channel))
+    """
+    assert "D103" in _rules(src)
+
+
+def test_d103_ignores_custom_id_attributes():
+    src = """
+    def track(channel, seen):
+        seen.add(channel.uid)
+    """
+    assert "D103" not in _rules(src)
+
+
+# ----------------------------------------------------------------------
+# D104 — set iteration
+# ----------------------------------------------------------------------
+
+def test_d104_flags_iterating_a_local_set():
+    src = """
+    def flood(ports_a, ports_b):
+        fabric = set(ports_a) | set(ports_b)
+        chosen = set(ports_a)
+        out = []
+        for port in chosen:
+            out.append(port)
+        return out
+    """
+    assert "D104" in _rules(src)
+
+
+def test_d104_flags_inline_set_comprehension_iteration():
+    src = """
+    def responders(responses):
+        return [cid for cid in {r.controller_id for r in responses}]
+    """
+    assert "D104" in _rules(src)
+
+
+def test_d104_allows_sorted_iteration():
+    src = """
+    def flood(ports_a):
+        chosen = set(ports_a)
+        return [port for port in sorted(chosen)]
+    """
+    assert "D104" not in _rules(src)
+
+
+def test_d104_allows_membership_tests():
+    src = """
+    def flood(all_ports, fabric_list):
+        fabric = set(fabric_list)
+        return [p for p in all_ports if p not in fabric]
+    """
+    assert "D104" not in _rules(src)
+
+
+def test_d104_flags_tuple_conversion_of_set():
+    src = """
+    def snapshot(items):
+        pending = set(items)
+        return tuple(pending)
+    """
+    assert "D104" in _rules(src)
+
+
+# ----------------------------------------------------------------------
+# D105 — threads
+# ----------------------------------------------------------------------
+
+def test_d105_flags_thread_spawn():
+    src = """
+    import threading
+
+    def start(worker):
+        threading.Thread(target=worker).start()
+    """
+    assert "D105" in _rules(src)
+
+
+def test_d105_ignores_sim_schedule():
+    src = """
+    def start(sim, worker):
+        sim.schedule(5.0, worker)
+    """
+    assert "D105" not in _rules(src)

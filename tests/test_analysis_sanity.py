@@ -1,0 +1,120 @@
+"""S-rules: static analog of the T2 network/cache sanity pairing."""
+
+import textwrap
+
+from repro.analysis import Analyzer
+
+APP_PATH = "src/repro/controllers/apps/example.py"
+
+
+def _rules(source, path=APP_PATH):
+    findings = Analyzer().analyze_source(textwrap.dedent(source), path=path)
+    return [f.rule_id for f in findings]
+
+
+# ----------------------------------------------------------------------
+# S301 — FLOW_MOD with no cache pairing
+# ----------------------------------------------------------------------
+
+def test_s301_flags_flow_mod_without_cache_write():
+    src = """
+    class BadApp:
+        def handle_packet_in(self, message, ctx):
+            self.controller.send_flow_mod(message, ctx)
+            return True
+    """
+    assert "S301" in _rules(src)
+
+
+def test_s301_satisfied_by_cache_write():
+    src = """
+    class GoodApp:
+        def handle_packet_in(self, message, ctx):
+            self.controller.cache_write("FlowsDB", "k", "v", ctx=ctx)
+            self.controller.send_flow_mod(message, ctx)
+            return True
+    """
+    assert "S301" not in _rules(src)
+
+
+def test_s301_satisfied_by_cache_delete():
+    src = """
+    class GoodApp:
+        def delete_flow(self, dpid, key, ctx):
+            self.controller.cache_delete("FlowsDB", key, ctx=ctx)
+            self.controller.send_flow_mod(dpid, ctx)
+    """
+    assert "S301" not in _rules(src)
+
+
+def test_s301_exempts_on_cache_event():
+    # Remote-master pattern: the peer's cache write is the justification.
+    src = """
+    class GoodApp:
+        def on_cache_event(self, event):
+            self.controller.send_flow_mod(event, None)
+    """
+    assert "S301" not in _rules(src)
+
+
+def test_s301_ignores_packet_out_only_handlers():
+    # PACKET_OUTs have no cache footprint by design (§V).
+    src = """
+    class GoodApp:
+        def handle_packet_in(self, message, ctx):
+            self.controller.send_packet_out(message, ctx)
+            return True
+    """
+    assert "S301" not in _rules(src)
+
+
+# ----------------------------------------------------------------------
+# S302 — flow-cache write with no emission path
+# ----------------------------------------------------------------------
+
+def test_s302_flags_flowsdb_write_without_emission():
+    src = """
+    class BadApp:
+        def handle_packet_in(self, message, ctx):
+            self.controller.cache_write(FLOWSDB, "k", "v", ctx=ctx)
+            return True
+    """
+    assert "S302" in _rules(src)
+
+
+def test_s302_satisfied_by_any_network_emitter():
+    src = """
+    class GoodApp:
+        def handle_packet_in(self, message, ctx):
+            self.controller.cache_write(FLOWSDB, "k", "v", ctx=ctx)
+            self.controller.send_flow_mod(message, ctx)
+            return True
+    """
+    assert "S302" not in _rules(src)
+
+
+def test_s302_ignores_non_flow_caches():
+    # Host learning writes HostsDB; no FLOW_MOD promise is made.
+    src = """
+    class GoodApp:
+        def handle_packet_in(self, message, ctx):
+            self.controller.cache_write(HOSTSDB, "k", "v", ctx=ctx)
+            return True
+    """
+    assert "S302" not in _rules(src)
+
+
+def test_s302_only_examines_handler_entry_points():
+    # Reconciliation helpers legitimately refresh FlowsDB without emitting.
+    src = """
+    class GoodApp:
+        def _reconcile(self, key, value, ctx):
+            self.controller.cache_write(FLOWSDB, key, value, ctx=ctx)
+    """
+    assert "S302" not in _rules(src)
+
+
+def test_shipped_apps_are_sanity_clean():
+    report = Analyzer().analyze_paths(["src/repro/controllers/apps"])
+    sanity = [f for f in report.findings if f.family == "S"]
+    assert sanity == []

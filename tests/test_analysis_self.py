@@ -1,0 +1,61 @@
+"""Self-application: ``src/repro`` must stay clean under its own analyzer.
+
+This is the tier-1 gate the CI workflow enforces with
+``jury-repro analyze --fail-on error src/``: zero error-severity findings
+anywhere, and zero findings of any severity beyond the checked-in baseline.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline, Severity
+from repro.analysis.baseline import DEFAULT_BASELINE_PATH
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture()
+def repo_cwd(monkeypatch):
+    # Finding paths (and therefore baseline fingerprints) are cwd-relative;
+    # the checked-in baseline was written from the repo root.
+    monkeypatch.chdir(REPO_ROOT)
+
+
+def test_src_repro_has_no_error_findings(repo_cwd):
+    report = Analyzer().analyze_paths(["src/repro"])
+    errors = [f for f in report.findings if f.severity >= Severity.ERROR]
+    assert errors == [], "\n".join(f.render() for f in errors)
+
+
+def test_src_repro_is_clean_modulo_checked_in_baseline(repo_cwd):
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_PATH)
+    report = Analyzer().analyze_paths(["src/repro"], baseline=baseline)
+    assert report.findings == [], "\n".join(
+        f.render() for f in report.findings)
+
+
+def test_checked_in_baseline_has_no_stale_entries(repo_cwd):
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_PATH)
+    report = Analyzer().analyze_paths(["src/repro"], baseline=baseline)
+    assert report.stale_baseline == []
+
+
+def test_baseline_contains_only_warnings(repo_cwd):
+    # Errors may never be baselined away — the gate fails them outright.
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_PATH)
+    report = Analyzer().analyze_paths(["src/repro"], baseline=baseline)
+    assert all(f.severity < Severity.ERROR for f in report.baselined)
+
+
+def test_all_four_rule_families_ran(repo_cwd):
+    families = {rule.rule_id[0] for rule in Analyzer().rules}
+    assert {"D", "T", "S", "H"} <= families
+
+
+def test_tests_directory_parses_clean_of_errors(repo_cwd):
+    # The test tree is held to error-level hygiene too (no bare excepts,
+    # no mutable defaults); warnings are fine there.
+    report = Analyzer().analyze_paths(["tests"])
+    errors = [f for f in report.findings if f.severity >= Severity.ERROR]
+    assert errors == [], "\n".join(f.render() for f in errors)

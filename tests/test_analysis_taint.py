@@ -1,0 +1,128 @@
+"""T-rules: handler code must externalize through the interception layer."""
+
+import textwrap
+
+from repro.analysis import Analyzer
+
+APP_PATH = "src/repro/controllers/apps/example.py"
+
+
+def _rules(source, path=APP_PATH):
+    findings = Analyzer().analyze_source(textwrap.dedent(source), path=path)
+    return [f.rule_id for f in findings]
+
+
+# ----------------------------------------------------------------------
+# T201 — raw datastore mutation
+# ----------------------------------------------------------------------
+
+def test_t201_flags_direct_store_put_in_app_module():
+    src = """
+    class BadApp:
+        def handle_packet_in(self, message, ctx):
+            self.controller.store.put("HostsDB", "k", "v")
+            return True
+    """
+    assert "T201" in _rules(src)
+
+
+def test_t201_flags_store_delete():
+    src = """
+    class BadApp:
+        def handle_rest(self, request, ctx):
+            self.controller.store.delete("FlowsDB", "k")
+            return True
+    """
+    assert "T201" in _rules(src)
+
+
+def test_t201_allows_interception_layer_writes():
+    src = """
+    class GoodApp:
+        def handle_packet_in(self, message, ctx):
+            self.controller.cache_write("HostsDB", "k", "v", ctx=ctx)
+            return True
+    """
+    assert "T201" not in _rules(src)
+
+
+def test_t201_allows_store_reads():
+    src = """
+    class GoodApp:
+        def handle_packet_in(self, message, ctx):
+            return self.controller.store.get("HostsDB", "k") is not None
+    """
+    assert "T201" not in _rules(src)
+
+
+def test_t201_applies_to_controllerapp_subclasses_outside_apps_dir():
+    src = """
+    class Custom(ControllerApp):
+        def handle_packet_in(self, message, ctx):
+            self.controller.store.put("HostsDB", "k", "v")
+            return True
+    """
+    assert "T201" in _rules(src, path="src/repro/extensions/custom.py")
+
+
+def test_t201_ignores_non_app_code():
+    # The datastore backends themselves legitimately call store.put.
+    src = """
+    class Replicassst:
+        def apply(self, store):
+            store.put("HostsDB", "k", "v")
+    """
+    assert "T201" not in _rules(src, path="src/repro/datastore/backend.py")
+
+
+# ----------------------------------------------------------------------
+# T202 — raw transmits
+# ----------------------------------------------------------------------
+
+def test_t202_flags_direct_channel_send():
+    src = """
+    class BadApp:
+        def handle_packet_in(self, message, ctx):
+            channel = self.controller.channel_for(message.dpid)
+            channel.send(self, message)
+            return True
+    """
+    assert "T202" in _rules(src)
+
+
+def test_t202_flags_transmit_bypass():
+    src = """
+    class BadApp:
+        def handle_packet_in(self, message, ctx):
+            self.controller._transmit(message, ctx)
+            return True
+    """
+    assert "T202" in _rules(src)
+
+
+def test_t202_flags_egress_submit():
+    src = """
+    class BadApp:
+        def handle_packet_in(self, message, ctx):
+            self.controller.egress.submit((message, ctx), self._send)
+            return True
+    """
+    assert "T202" in _rules(src)
+
+
+def test_t202_allows_send_flow_mod_and_packet_out():
+    src = """
+    class GoodApp:
+        def handle_packet_in(self, message, ctx):
+            self.controller.cache_write("FlowsDB", "k", "v", ctx=ctx)
+            self.controller.send_flow_mod(message, ctx)
+            self.controller.send_packet_out(message, ctx)
+            return True
+    """
+    assert "T202" not in _rules(src)
+
+
+def test_shipped_apps_are_taint_clean():
+    report = Analyzer().analyze_paths(["src/repro/controllers/apps"])
+    taint = [f for f in report.findings if f.family == "T"]
+    assert taint == []

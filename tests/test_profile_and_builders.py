@@ -41,7 +41,8 @@ def test_cluster_builders_give_each_controller_its_own_profile():
     sim = Simulator(seed=1)
     cluster, _ = build_onos_cluster(sim, n=3, profile=onos_profile())
     profiles = [c.profile for c in cluster.controllers.values()]
-    assert len({id(p) for p in profiles}) == 3
+    # Object distinctness, not state keyed by identity:
+    assert len({id(p) for p in profiles}) == 3  # jury: ignore[D103]
     profiles[0].jitter_median_ms = 999.0
     assert profiles[1].jitter_median_ms != 999.0
 
