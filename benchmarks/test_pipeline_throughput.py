@@ -1,0 +1,48 @@
+"""Sequential vs. sharded validation pipeline throughput.
+
+Starts the repo's recorded perf trajectory: `repro.harness.bench.compare`
+runs one synthetic 2k+2 response workload through the sequential
+:class:`~repro.core.validator.Validator` and through the N-shard
+:class:`~repro.core.pipeline.ValidationPipeline`, measures sustained
+ingest+decide throughput and per-chunk decision latency, and writes the
+result to ``BENCH_validator_pipeline.json`` (sequential and sharded ops/s,
+p50/p99 latency, speedup, shard/queue/batch counters).
+
+The pipeline only counts as a win if it is both *faster* (≥1.5× at N=4,
+the ISSUE acceptance floor) and *identical* — the payload carries the
+canonical-alarm-stream comparison so a perf regression can never hide a
+correctness regression.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.harness.bench import compare, write_payload
+
+from conftest import run_once
+
+TRIGGERS = 8_000
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_validator_pipeline.json"
+
+
+def test_pipeline_vs_sequential_throughput(benchmark):
+    payload = run_once(benchmark, lambda: compare(
+        triggers=TRIGGERS, k=6, seed=0, fault_rate=0.02, shards=4))
+    write_payload(payload, OUTPUT)
+
+    sequential = payload["sequential"]
+    pipeline = payload["pipeline"]
+    print(f"\nsequential: {sequential['ops_per_s']:,.0f} triggers/s "
+          f"(p50 {sequential['p50_ms']:.4f} ms, p99 {sequential['p99_ms']:.4f} ms)")
+    print(f"pipeline N=4: {pipeline['ops_per_s']:,.0f} triggers/s "
+          f"(p50 {pipeline['p50_ms']:.4f} ms, p99 {pipeline['p99_ms']:.4f} ms)")
+    print(f"speedup: {payload['speedup']:.2f}x -> {OUTPUT.name}")
+
+    assert payload["alarm_streams_identical"] is True, \
+        "pipeline and sequential alarm streams must be byte-identical"
+    assert sequential["decided"] == pipeline["decided"] == TRIGGERS
+    # The acceptance floor from ISSUE.md: N=4 sharding buys >=1.5x on the
+    # benchmark workload. Measured headroom is ~1.7-1.8x.
+    assert payload["speedup"] >= 1.5

@@ -11,6 +11,12 @@ Gives operators the paper's experiments without writing code:
 * ``list-faults`` — show the fault catalog.
 * ``analyze`` — static determinism/taint-safety analysis of controller and
   app code (the CI gate; see ``docs/static_analysis.md``).
+* ``bench validator`` — sequential-vs-sharded validator benchmark; writes
+  ``BENCH_validator_pipeline.json`` (see ``docs/pipeline.md``).
+
+Simulation commands accept ``--pipeline N`` to validate through the sharded
+:class:`~repro.core.pipeline.ValidationPipeline` instead of the sequential
+validator.
 """
 
 from __future__ import annotations
@@ -79,6 +85,7 @@ def _build(args, kind: Optional[str] = None, k: Optional[int] = None):
         else (250.0 if kind == "onos" else 1200.0),
         policy_engine=default_policy_engine(),
         with_northbound=True,
+        pipeline=getattr(args, "pipeline", None),
     )
     experiment.warmup()
     return experiment
@@ -232,6 +239,42 @@ def cmd_analyze(args) -> int:
     return 1 if report.count_at_least(fail_on) else 0
 
 
+def cmd_bench_validator(args) -> int:
+    # Imported lazily: the harness pulls in the perf-measurement code only
+    # when benchmarking is requested.
+    from repro.harness.bench import compare, write_payload
+
+    triggers = 2000 if args.smoke else args.triggers
+    payload = compare(triggers=triggers, k=args.k, seed=args.seed,
+                      fault_rate=args.fault_rate, shards=args.shards,
+                      queue_capacity=args.queue_capacity,
+                      batch_max=args.batch_max)
+    write_payload(payload, args.output)
+    sequential = payload["sequential"]
+    pipeline = payload["pipeline"]
+    print(format_table(
+        f"validator benchmark — {triggers} triggers, k={args.k}, "
+        f"{args.shards} shard(s)",
+        ["metric", "sequential", f"pipeline (N={args.shards})"],
+        [
+            ["throughput", f"{sequential['ops_per_s']:,.0f} triggers/s",
+             f"{pipeline['ops_per_s']:,.0f} triggers/s"],
+            ["p50 decision latency", f"{sequential['p50_ms']:.4f} ms",
+             f"{pipeline['p50_ms']:.4f} ms"],
+            ["p99 decision latency", f"{sequential['p99_ms']:.4f} ms",
+             f"{pipeline['p99_ms']:.4f} ms"],
+            ["alarms", sequential["alarmed"], pipeline["alarmed"]],
+        ]))
+    print(f"speedup: {payload['speedup']:.2f}x   "
+          f"alarm streams identical: {payload['alarm_streams_identical']}")
+    print(f"wrote {args.output}")
+    if not payload["alarm_streams_identical"]:
+        print("bench: sequential and pipeline alarm streams diverged",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_list_faults(args) -> int:
     rows = [[name, FAULTS[name]().fault_class.value,
              "odl" if name in ODL_FAULTS else "onos"]
@@ -253,6 +296,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="target PACKET_IN rate per second")
     parser.add_argument("--duration", type=float, default=1000.0,
                         help="traffic window in simulated ms")
+    parser.add_argument("--pipeline", type=int, default=None, metavar="N",
+                        help="validate through the sharded pipeline with "
+                             "N shards (default: sequential validator)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -309,6 +355,31 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--list-rules", action="store_true",
                          help="print the rule catalog and exit")
     analyze.set_defaults(fn=cmd_analyze)
+
+    bench = commands.add_parser(
+        "bench", help="wall-clock performance benchmarks")
+    bench_targets = bench.add_subparsers(dest="target", required=True)
+    bench_validator = bench_targets.add_parser(
+        "validator",
+        help="sequential vs sharded validator throughput/latency")
+    bench_validator.add_argument("--triggers", type=int, default=20_000,
+                                 help="triggers in the synthetic workload")
+    bench_validator.add_argument("--k", type=int, default=6,
+                                 help="secondaries per trigger (2k+2 "
+                                      "responses each)")
+    bench_validator.add_argument("--shards", type=int, default=4)
+    bench_validator.add_argument("--seed", type=int, default=0)
+    bench_validator.add_argument("--fault-rate", type=float, default=0.02,
+                                 help="fraction of triggers with a "
+                                      "corrupted cache relay")
+    bench_validator.add_argument("--queue-capacity", type=int, default=1024)
+    bench_validator.add_argument("--batch-max", type=int, default=512)
+    bench_validator.add_argument("--smoke", action="store_true",
+                                 help="small CI-sized workload "
+                                      "(2000 triggers)")
+    bench_validator.add_argument("--output", default="BENCH_validator_pipeline.json",
+                                 help="path for the JSON payload")
+    bench_validator.set_defaults(fn=cmd_bench_validator)
     return parser
 
 

@@ -17,32 +17,53 @@ The paper's system (§IV-§V) in three components, plus the deployment glue:
   to a :class:`~repro.controllers.cluster.ControllerCluster`.
 """
 
-from repro.core.alarms import Alarm, AlarmReason, ValidationResult
+from repro.core.alarms import (
+    Alarm,
+    AlarmReason,
+    ValidationResult,
+    alarm_merge_key,
+    canonical_alarm_line,
+    canonical_alarm_stream,
+)
 from repro.core.consensus import ConsensusOutcome, evaluate_consensus, sanity_check
 from repro.core.deployment import JuryDeployment
 from repro.core.module import JuryModule
+from repro.core.pipeline import (
+    PipelineStats,
+    ShardStats,
+    ValidationPipeline,
+    shard_of,
+)
 from repro.core.replicator import ReplicatedTrigger, Replicator
 from repro.core.responses import Response, ResponseKind
 from repro.core.selection import designated_secondaries
 from repro.core.timeouts import AdaptiveTimeout, StaticTimeout, TimeoutPolicy
-from repro.core.validator import Validator
+from repro.core.validator import DecisionCore, Validator
 
 __all__ = [
     "AdaptiveTimeout",
     "Alarm",
     "AlarmReason",
     "ConsensusOutcome",
+    "DecisionCore",
     "JuryDeployment",
     "JuryModule",
+    "PipelineStats",
     "ReplicatedTrigger",
     "Replicator",
     "Response",
     "ResponseKind",
+    "ShardStats",
     "StaticTimeout",
     "TimeoutPolicy",
+    "ValidationPipeline",
     "ValidationResult",
     "Validator",
+    "alarm_merge_key",
+    "canonical_alarm_line",
+    "canonical_alarm_stream",
     "designated_secondaries",
     "evaluate_consensus",
     "sanity_check",
+    "shard_of",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 
 class AlarmReason(enum.Enum):
@@ -72,3 +72,42 @@ class ValidationResult:
     @property
     def alarmed(self) -> bool:
         return bool(self.alarms)
+
+
+# ----------------------------------------------------------------------
+# Deterministic alarm-stream merging
+# ----------------------------------------------------------------------
+# The sharded pipeline emits alarms from N independent shards; the merge
+# order below — decision time first, then a total order on trigger ids —
+# is the pipeline's published contract, and the differential suite asserts
+# byte-equality of the canonical stream against the sequential validator.
+
+def alarm_merge_key(alarm: Alarm) -> Tuple[float, str]:
+    """Deterministic total order for merging per-shard alarm streams.
+
+    Trigger ids mix heterogeneous tuples (``("ext", n)`` vs
+    ``("int", origin, n)``), so ``repr`` provides the tiebreak total order,
+    mirroring :func:`repro.core.responses.sort_canonicals`.
+    """
+    return (alarm.raised_at, repr(alarm.trigger_id))
+
+
+def canonical_alarm_line(alarm: Alarm) -> str:
+    """One-line canonical rendering of an alarm, stable across runs."""
+    who = alarm.offending_controller or "<unknown>"
+    responses = ";".join(repr(r) for r in alarm.responses)
+    return (f"{alarm.raised_at:.9f}|{alarm.reason.value}|{who}|"
+            f"{alarm.trigger_id!r}|{alarm.detail}|{responses}")
+
+
+def canonical_alarm_stream(alarms: Iterable[Alarm]) -> bytes:
+    """Byte-exact canonical encoding of an alarm sequence.
+
+    Sorts by :func:`alarm_merge_key` (a stable sort, so alarms sharing
+    ``(raised_at, trigger_id)`` keep their emission order — within one
+    trigger the check battery runs in a fixed order) and joins the
+    canonical lines. Two validators are *equivalent* on a workload iff
+    their canonical streams compare equal.
+    """
+    ordered = sorted(alarms, key=alarm_merge_key)
+    return "\n".join(canonical_alarm_line(a) for a in ordered).encode("utf-8")

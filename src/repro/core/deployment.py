@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 from repro.controllers.cluster import ControllerCluster
 from repro.controllers.northbound import NorthboundApi
 from repro.core.module import JuryModule
+from repro.core.pipeline import ValidationPipeline
 from repro.core.replicator import Replicator
 from repro.core.timeouts import StaticTimeout, TimeoutPolicy
 from repro.core.validator import Validator
@@ -43,6 +44,7 @@ class JuryDeployment:
         replicate_handshakes: bool = True,
         state_aware: bool = True,
         taint_classification: bool = True,
+        pipeline: Optional[int] = None,
     ):
         if k < 0 or k > cluster.size - 1:
             raise ValidationError(
@@ -60,13 +62,26 @@ class JuryDeployment:
         self.replication_counter = ByteCounter("jury-replication")
         self.validator_counter = ByteCounter("jury-validator")
 
-        self.validator = Validator(
-            self.sim, k,
-            timeout=timeout if timeout is not None else StaticTimeout(timeout_ms),
-            policy_engine=policy_engine,
-            mastership_lookup=cluster.master_of,
-            state_aware=state_aware,
-            taint_classification=taint_classification)
+        timeout_policy = (timeout if timeout is not None
+                          else StaticTimeout(timeout_ms))
+        if pipeline is not None:
+            # Sharded validator; same public surface, so modules/harness
+            # code is oblivious to the swap.
+            self.validator = ValidationPipeline(
+                self.sim, k, shards=pipeline,
+                timeout=timeout_policy,
+                policy_engine=policy_engine,
+                mastership_lookup=cluster.master_of,
+                state_aware=state_aware,
+                taint_classification=taint_classification)
+        else:
+            self.validator = Validator(
+                self.sim, k,
+                timeout=timeout_policy,
+                policy_engine=policy_engine,
+                mastership_lookup=cluster.master_of,
+                state_aware=state_aware,
+                taint_classification=taint_classification)
 
         latency = validator_latency if validator_latency is not None else Uniform(0.2, 0.8)
         self.modules: Dict[str, JuryModule] = {}

@@ -1,0 +1,669 @@
+"""Sharded, batched validation pipeline.
+
+The sequential :class:`~repro.core.validator.Validator` processes every
+relayed response through a single dispatch path; at production trigger rates
+the validator is the throughput chokepoint (JURY §V, Fig. 4h). This module
+shards Algorithm 1 across ``N`` validator workers:
+
+* **Routing** — responses are partitioned by a *stable* hash of the trigger
+  id (:func:`shard_of`), so every response for a trigger τ lands on the same
+  shard and the per-trigger record Vτ/Nτ/θτ never crosses shards. The hash
+  is CRC-32 of ``repr(τ)``, deliberately not the builtin ``hash`` (which is
+  randomised per process for strings and would break replayability).
+* **Batching** — each shard ingests from a bounded arrival queue, at most
+  ``batch_max`` responses per flush. When a queue is full, arrivals divert
+  to an explicit overflow ring; nothing is dropped, and the accounting
+  (``enqueued == processed + still-queued``) is an asserted invariant of the
+  property-based suite.
+* **Ψid partitioning** — shards keep per-shard views of the per-controller
+  state Ψid (their local digest-progress/cache-update contributions) and
+  decide against the *merged* view, which the in-process pipeline realises
+  as a shared mapping updated at ingest time; :meth:`ValidationPipeline.checkpoint`
+  reconciles the per-shard views against the merged view (a distributed
+  deployment would ship the local views to the merge point instead).
+* **Deterministic merge** — per-shard alarm streams drain into a single
+  ordered stream: ``(decision time, trigger id)`` via
+  :func:`repro.core.alarms.alarm_merge_key`. The differential suite
+  (``tests/test_pipeline_differential.py``) asserts the merged stream is
+  byte-identical to the sequential validator's on replayed workloads.
+
+Decision logic is *shared*, not forked: shards inherit
+:class:`~repro.core.validator.DecisionCore`, and the batch fast path
+(:meth:`_Shard._fast_consensus`) only short-circuits a trigger when it can
+prove ``evaluate_consensus`` would return the clean unanimous outcome —
+anything else falls back to the sequential code path.
+
+Equivalence contract: with ``flush_interval_ms=0`` micro-batches coincide
+with same-timestamp arrivals and the pipeline is *byte-identical* to the
+sequential validator (``docs/pipeline.md`` §equivalence); with a positive
+flush interval decisions may land later in simulated time, so only verdict
+equivalence (classification, alarm reasons, response counts) is guaranteed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.alarms import Alarm, ValidationResult, alarm_merge_key
+from repro.core.consensus import ConsensusOutcome, _merge_network
+from repro.core.responses import Response, ResponseKind
+from repro.core.timeouts import StaticTimeout, TimeoutPolicy
+from repro.core.validator import ControllerState, DecisionCore, digest_progress
+from repro.sim.simulator import Simulator
+
+
+def shard_of(trigger_id: Tuple, shards: int) -> int:
+    """Stable shard index for a trigger id.
+
+    CRC-32 over ``repr(τ)`` — stable across processes and Python versions,
+    unlike ``hash(str)`` which is salted by PYTHONHASHSEED. All responses
+    for one trigger must hash identically or Vτ would split across shards.
+    """
+    return zlib.crc32(repr(trigger_id).encode("utf-8")) % shards
+
+
+@dataclass
+class ShardStats:
+    """Queue/batch/decision counters for one shard."""
+
+    enqueued: int = 0
+    processed: int = 0
+    batches: int = 0
+    batched_responses: int = 0
+    max_batch: int = 0
+    queue_high_water: int = 0
+    overflow_enqueued: int = 0
+    overflow_drained: int = 0
+    #: Episodes of queue-full diversion (rising edges, not per response).
+    backpressure_events: int = 0
+    timer_wakeups: int = 0
+    fastpath_decisions: int = 0
+    slowpath_decisions: int = 0
+    late_responses: int = 0
+    decided: int = 0
+    alarmed: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class PipelineStats:
+    """Aggregated pipeline counters plus the per-shard breakdown."""
+
+    shards: int
+    responses_routed: int
+    per_shard: List[Dict[str, int]]
+
+    def total(self, counter: str) -> int:
+        return sum(s[counter] for s in self.per_shard)
+
+    def snapshot(self) -> Dict[str, object]:
+        aggregate = {key: self.total(key) for key in self.per_shard[0]} \
+            if self.per_shard else {}
+        aggregate["max_batch"] = max(
+            (s["max_batch"] for s in self.per_shard), default=0)
+        aggregate["queue_high_water"] = max(
+            (s["queue_high_water"] for s in self.per_shard), default=0)
+        return {"shards": self.shards,
+                "responses_routed": self.responses_routed,
+                "aggregate": aggregate,
+                "per_shard": self.per_shard}
+
+
+_CACHE_UPDATE = ResponseKind.CACHE_UPDATE
+
+
+@dataclass
+class _ShardRecord:
+    """Vτ / Nτ / θτ on a shard — no state snapshots (dead weight: the
+    sequential validator drops them before evaluating consensus)."""
+
+    responses: List[Response] = field(default_factory=list)
+    count: int = 0
+    first_at: float = 0.0
+    deadline: float = 0.0
+    decided: bool = False
+
+
+class _Shard(DecisionCore):
+    """One validator worker: bounded queue, batch ingest, coalesced timers."""
+
+    def __init__(self, pipeline: "ValidationPipeline", index: int):
+        self._init_core(pipeline.sim, pipeline.k,
+                        policy_engine=pipeline.policy_engine,
+                        mastership_lookup=pipeline.mastership_lookup,
+                        state_aware=pipeline.state_aware,
+                        taint_classification=pipeline.taint_classification,
+                        state=pipeline.state)
+        self.pipeline = pipeline
+        self.index = index
+        self.timeout: TimeoutPolicy = pipeline.timeout
+        self.queue: deque = deque()
+        self.overflow: deque = deque()
+        self.records: Dict[Tuple, _ShardRecord] = {}
+        self._recently_decided: Dict[Tuple, float] = {}
+        # Coalesced θτ timers: one heap + one scheduled wakeup per shard
+        # instead of a sim event per trigger (the sequential validator's
+        # schedule/cancel pair is pure overhead at high trigger rates).
+        self._deadlines: List[Tuple[float, int, Tuple]] = []
+        self._deadline_seq = itertools.count()
+        self._wakeup = None
+        self._wakeup_at = float("inf")
+        self._flush_scheduled = False
+        self.stats = ShardStats()
+        # Per-shard Ψid view: this shard's own contributions, reconciled
+        # against the merged view at checkpoint (see ValidationPipeline).
+        self.local_progress: Dict[str, int] = {}
+        self.local_cache_updates: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Arrival side (called by the router)
+    # ------------------------------------------------------------------
+    def enqueue(self, arrived_at: float, response: Response) -> None:
+        stats = self.stats
+        stats.enqueued += 1
+        if self.overflow or len(self.queue) >= self.pipeline.queue_capacity:
+            # Once anything is in overflow, later arrivals must follow it or
+            # the drain would reorder responses against arrival order.
+            if not self.overflow:
+                stats.backpressure_events += 1
+            self.overflow.append((arrived_at, response))
+            stats.overflow_enqueued += 1
+        else:
+            self.queue.append((arrived_at, response))
+            if len(self.queue) > stats.queue_high_water:
+                stats.queue_high_water = len(self.queue)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.sim.schedule(self.pipeline.flush_interval_ms, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        self._process_available()
+
+    def _process_available(self) -> None:
+        """Ingest up to ``batch_max`` queued responses, oldest first.
+
+        Before ingesting a response that arrived at time ``t``, any θτ
+        deadline ≤ ``t`` fires first — the sequential validator would have
+        fired that timer before this response arrived, and classification
+        must match (the timer-expires-while-queued race of the regression
+        suite). When the queue fully drains, deadlines up to the current
+        simulated time fire as well.
+
+        The per-response steps are the inlined body of
+        :meth:`Validator.ingest <repro.core.validator.Validator.ingest>`
+        minus the state snapshots (which the sequential path discards
+        before evaluating consensus): late-drop → record create + θτ arm →
+        count → append → Ψ update → decide at ``2k + 2``. Inlining with
+        hoisted locals is what buys the batch path its throughput — this
+        loop is the pipeline's innermost.
+        """
+        stats = self.stats
+        pipeline = self.pipeline
+        queue = self.queue
+        overflow = self.overflow
+        records = self.records
+        recently_decided = self._recently_decided
+        deadlines = self._deadlines
+        state = self.state
+        local_progress = self.local_progress
+        local_cache_updates = self.local_cache_updates
+        progress_memo = pipeline._progress_memo
+        progress_of = pipeline._progress_of
+        full_count = 2 * self.k + 2
+        capacity = pipeline.queue_capacity
+        budget = pipeline.batch_max
+        batch = 0
+        while budget > 0:
+            if not queue and overflow:
+                while overflow and len(queue) < capacity:
+                    queue.append(overflow.popleft())
+                    stats.overflow_drained += 1
+            if not queue:
+                break
+            arrived_at, response = queue.popleft()
+            batch += 1
+            budget -= 1
+            if deadlines and deadlines[0][0] <= arrived_at:
+                self._fire_deadlines(arrived_at)
+            tau = response.trigger_id
+            if tau in recently_decided:
+                stats.late_responses += 1
+                continue
+            record = records.get(tau)
+            if record is None:
+                record = _ShardRecord(first_at=arrived_at)
+                record.deadline = arrived_at + self.timeout.current()
+                heapq.heappush(deadlines,
+                               (record.deadline, next(self._deadline_seq),
+                                tau))
+                records[tau] = record
+                self._arm_wakeup()
+            record.count += 1
+            record.responses.append(response)
+            cid = response.controller_id
+            if response.kind is _CACHE_UPDATE:
+                entry = state.get(cid)
+                if entry is None:
+                    entry = state[cid] = ControllerState()
+                entry.cache_updates += 1
+                entry.last_entry = response.entry
+                local_cache_updates[cid] = local_cache_updates.get(cid, 0) + 1
+            digest = response.state_digest
+            if digest:
+                progress = progress_memo.get(digest)
+                if progress is None and digest not in progress_memo:
+                    progress = progress_of(digest)
+                if progress is not None:
+                    entry = state.get(cid)
+                    if entry is None:
+                        entry = state[cid] = ControllerState()
+                    if progress > entry.digest_progress:
+                        entry.digest_progress = progress
+                    if progress > local_progress.get(cid, -1):
+                        local_progress[cid] = progress
+            if record.count >= full_count:
+                self._decide(tau, record, timed_out=False)
+        stats.processed += batch
+        if batch:
+            stats.batches += 1
+            stats.batched_responses += batch
+            if batch > stats.max_batch:
+                stats.max_batch = batch
+        if queue or overflow:
+            # Budget exhausted: backpressure the remainder to the next flush
+            # (same simulated instant at flush interval 0).
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                self.sim.schedule(0.0, self._flush)
+        else:
+            self._fire_deadlines(self.sim.now)
+            self._arm_wakeup()
+
+    # ------------------------------------------------------------------
+    # θτ deadlines
+    # ------------------------------------------------------------------
+    def _fire_deadlines(self, upto: float) -> None:
+        while self._deadlines and self._deadlines[0][0] <= upto:
+            _, _, tau = heapq.heappop(self._deadlines)
+            record = self.records.get(tau)
+            if record is None or record.decided:
+                continue  # decided at full count; heap entry is stale
+            self._decide(tau, record, timed_out=True)
+
+    def _arm_wakeup(self) -> None:
+        while self._deadlines and self._deadlines[0][2] not in self.records:
+            heapq.heappop(self._deadlines)
+        if not self._deadlines:
+            if self._wakeup is not None:
+                self._wakeup.cancel()
+                self._wakeup = None
+                self._wakeup_at = float("inf")
+            return
+        head = self._deadlines[0][0]
+        if self._wakeup is not None:
+            if self._wakeup_at <= head:
+                return  # current wakeup fires first and will re-arm
+            self._wakeup.cancel()
+        self._wakeup = self.sim.schedule_at(head, self._on_wakeup)
+        self._wakeup_at = head
+
+    def _on_wakeup(self) -> None:
+        self._wakeup = None
+        self._wakeup_at = float("inf")
+        self.stats.timer_wakeups += 1
+        # Queued responses arrived before (or at) this deadline; ingest them
+        # before letting any timer classify the trigger with fewer responses
+        # than the sequential validator would have seen.
+        self._process_available()
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+    def _decide(self, tau: Tuple, record: _ShardRecord,
+                timed_out: bool) -> None:
+        record.decided = True
+        responses = record.responses
+        external = self._classify_external(record.count, responses)
+        outcome = self._fast_consensus(responses, external)
+        if outcome is None:
+            self.stats.slowpath_decisions += 1
+            outcome, alarms = self._run_checks(tau, responses, external)
+        else:
+            self.stats.fastpath_decisions += 1
+            alarms = self._post_consensus_alarms(tau, responses, outcome,
+                                                 external)
+
+        received = [r.trigger_received_at for r in responses
+                    if r.trigger_received_at is not None]
+        baseline = min(received) if received else record.first_at
+        detection_ms = max(0.0, self.sim.now - baseline)
+        self.timeout.observe(detection_ms)
+
+        result = ValidationResult(
+            trigger_id=tau, ok=not alarms, external=external,
+            decided_at=self.sim.now, n_responses=record.count,
+            detection_ms=detection_ms, timed_out=timed_out, alarms=alarms)
+        self.stats.decided += 1
+        if alarms:
+            self.stats.alarmed += 1
+        del self.records[tau]
+        self._recently_decided[tau] = self.sim.now
+        if len(self._recently_decided) > 20_000:
+            horizon = self.sim.now - 20.0 * self.timeout.current()
+            self._recently_decided = {
+                t_id: decided
+                for t_id, decided in self._recently_decided.items()
+                if decided >= horizon}
+        self.pipeline._emit(result, alarms)
+
+    def _fast_consensus(self, responses: List[Response],
+                        external: bool) -> Optional[ConsensusOutcome]:
+        """Unanimity fast path: the clean outcome or ``None`` (fall back).
+
+        Returns an outcome only when it provably equals what
+        ``evaluate_consensus`` would produce — unanimous cache relays, a
+        known primary, every replica sharing the primary's digest and entry,
+        and the primary's combined response matching that entry. Anything
+        murkier (omissions, deviations, non-determinism, partial state
+        equivalence) takes the sequential slow path so the two validators
+        cannot diverge.
+        """
+        replicas: List[Response] = []
+        cache_relays: List[Response] = []
+        network: List[Response] = []
+        for r in responses:
+            if r.kind == ResponseKind.REPLICA_RESULT:
+                replicas.append(r)
+            elif r.kind == ResponseKind.CACHE_UPDATE:
+                cache_relays.append(r)
+            else:
+                network.append(r)
+
+        cache_entry: Tuple = cache_relays[0].entry if cache_relays else ()
+        primary_id: Optional[str] = None
+        for r in cache_relays:
+            if r.entry != cache_entry:
+                return None  # deviant relay — slow path assigns blame
+            if primary_id is None and r.origin:
+                primary_id = r.origin
+        if primary_id is None:
+            for r in replicas:
+                if r.primary_hint:
+                    primary_id = r.primary_hint
+                    break
+        if primary_id is None and network:
+            primary_id = network[0].controller_id
+
+        network_entry = self.pipeline._merged_network(network)
+
+        if not external:
+            return ConsensusOutcome(
+                ok=True, primary_id=primary_id,
+                primary_cache_entry=cache_entry,
+                primary_network_entry=network_entry)
+
+        if not (cache_relays or network):
+            return None  # possible primary omission — slow path
+        if not replicas:
+            return ConsensusOutcome(
+                ok=True, primary_id=primary_id,
+                primary_cache_entry=cache_entry,
+                primary_network_entry=network_entry)
+
+        replica_entry = replicas[0].entry
+        for r in replicas:
+            if r.declared_non_deterministic or r.entry != replica_entry:
+                return None
+
+        primary_digest: Optional[Tuple] = None
+        for r in cache_relays:
+            if r.controller_id == primary_id and r.state_digest:
+                primary_digest = r.state_digest
+                break
+        if primary_digest is None:
+            for r in network:
+                if r.controller_id == primary_id and r.state_digest:
+                    primary_digest = r.state_digest
+                    break
+        if self.state_aware and primary_digest is not None:
+            for r in replicas:
+                if r.state_digest != primary_digest:
+                    return None  # partial equivalence — slow path
+
+        own_network_entry = self.pipeline._merged_network(
+            [r for r in network if r.controller_id == primary_id])
+        if (cache_entry, own_network_entry) != replica_entry:
+            return None
+        return ConsensusOutcome(
+            ok=True, primary_id=primary_id,
+            compared_replicas=len(replicas),
+            primary_cache_entry=cache_entry,
+            primary_network_entry=network_entry)
+
+
+class ValidationPipeline:
+    """Drop-in sharded replacement for :class:`~repro.core.validator.Validator`.
+
+    Exposes the validator's public surface (``ingest`` /
+    ``handle_control_message``, counters, ``results`` / ``alarms``,
+    ``detection_times`` / ``false_positive_rate``, ``on_alarm``) so
+    :class:`~repro.core.deployment.JuryDeployment` and the harness can select
+    ``pipeline=N`` without touching call sites.
+    """
+
+    def __init__(self, sim: Simulator, k: int, shards: int = 4,
+                 timeout: Optional[TimeoutPolicy] = None,
+                 policy_engine=None,
+                 mastership_lookup: Optional[Callable[[int], Optional[str]]] = None,
+                 keep_results: bool = True,
+                 state_aware: bool = True,
+                 taint_classification: bool = True,
+                 queue_capacity: int = 1024,
+                 batch_max: int = 512,
+                 flush_interval_ms: float = 0.0):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1: {shards}")
+        if queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1: {queue_capacity}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1: {batch_max}")
+        self.sim = sim
+        self.k = k
+        self.shards = shards
+        self.timeout = timeout if timeout is not None else StaticTimeout(150.0)
+        self.policy_engine = policy_engine
+        self.mastership_lookup = mastership_lookup
+        self.keep_results = keep_results
+        self.state_aware = state_aware
+        self.taint_classification = taint_classification
+        self.queue_capacity = queue_capacity
+        self.batch_max = batch_max
+        self.flush_interval_ms = flush_interval_ms
+        #: Merged Ψid view shared by all shards (see module docstring).
+        self.state: Dict[str, ControllerState] = {}
+        self._shards = [_Shard(self, i) for i in range(shards)]
+        self._route: Dict[Tuple, _Shard] = {}
+        self.results: List[ValidationResult] = []
+        self._alarms: List[Alarm] = []
+        self._alarms_sorted = True
+        self.on_alarm: Optional[Callable[[Alarm], None]] = None
+        self.responses_received = 0
+        self.triggers_decided = 0
+        self.triggers_alarmed = 0
+        # Bounded memo caches: digests and network entries repeat heavily
+        # across triggers (state advances slowly relative to trigger rate).
+        self._progress_memo: Dict[Tuple, Optional[int]] = {}
+        self._network_memo: Dict[Tuple, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Ingest / routing
+    # ------------------------------------------------------------------
+    def handle_control_message(self, channel, response: Response) -> None:
+        """Channel endpoint for controller modules (Validator-compatible)."""
+        self.ingest(response)
+
+    def ingest(self, response: Response) -> None:
+        self.responses_received += 1
+        tau = response.trigger_id
+        # Route cache: ~2k+2 responses share each trigger id, so the
+        # repr+CRC of shard_of amortises to one dict hit per response.
+        shard = self._route.get(tau)
+        if shard is None:
+            shard = self._shards[shard_of(tau, self.shards)]
+            if len(self._route) > 100_000:
+                self._route.clear()
+            self._route[tau] = shard
+        shard.enqueue(self.sim.now, response)
+
+    def drain(self) -> None:
+        """Synchronously process every queued response (benchmark path)."""
+        progressing = True
+        while progressing:
+            progressing = False
+            for shard in self._shards:
+                if shard.queue or shard.overflow:
+                    shard._process_available()
+                    progressing = True
+
+    # ------------------------------------------------------------------
+    # Emission (single ordered alarm stream)
+    # ------------------------------------------------------------------
+    def _emit(self, result: ValidationResult, alarms: List[Alarm]) -> None:
+        self.triggers_decided += 1
+        if alarms:
+            self.triggers_alarmed += 1
+            self._alarms.extend(alarms)
+            self._alarms_sorted = False
+            if self.on_alarm is not None:
+                for alarm in alarms:
+                    self.on_alarm(alarm)
+        if self.keep_results:
+            self.results.append(result)
+
+    @property
+    def alarms(self) -> List[Alarm]:
+        """The merged alarm stream in deterministic order.
+
+        Sorted by ``(raised_at, trigger id)`` — the pipeline's published
+        merge contract. The sort is stable, so alarms of one trigger keep
+        their check-battery emission order.
+        """
+        if not self._alarms_sorted:
+            self._alarms.sort(key=alarm_merge_key)
+            self._alarms_sorted = True
+        return self._alarms
+
+    def ordered_results(self) -> List[ValidationResult]:
+        """Decided-trigger results in the deterministic merge order."""
+        return sorted(self.results,
+                      key=lambda r: (r.decided_at, repr(r.trigger_id)))
+
+    # ------------------------------------------------------------------
+    # Validator-compatible introspection
+    # ------------------------------------------------------------------
+    @property
+    def late_responses(self) -> int:
+        return sum(s.stats.late_responses for s in self._shards)
+
+    @property
+    def pending_count(self) -> int:
+        """Undecided triggers plus responses still queued on any shard."""
+        return (sum(len(s.records) for s in self._shards)
+                + sum(len(s.queue) + len(s.overflow) for s in self._shards))
+
+    def detection_times(self, external_only: bool = True) -> List[float]:
+        return [r.detection_ms for r in self.results
+                if (r.external or not external_only)]
+
+    def false_positive_rate(self) -> float:
+        if not self.triggers_decided:
+            return 0.0
+        return self.triggers_alarmed / self.triggers_decided
+
+    @property
+    def staleness_threshold(self) -> Optional[int]:
+        return self._shards[0].staleness_threshold
+
+    @staleness_threshold.setter
+    def staleness_threshold(self, value: Optional[int]) -> None:
+        for shard in self._shards:
+            shard.staleness_threshold = value
+
+    @property
+    def staleness_cooldown_ms(self) -> float:
+        return self._shards[0].staleness_cooldown_ms
+
+    @staleness_cooldown_ms.setter
+    def staleness_cooldown_ms(self, value: float) -> None:
+        for shard in self._shards:
+            shard.staleness_cooldown_ms = value
+
+    # ------------------------------------------------------------------
+    # Stats and checkpointing
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> PipelineStats:
+        return PipelineStats(
+            shards=self.shards,
+            responses_routed=self.responses_received,
+            per_shard=[s.stats.snapshot() for s in self._shards])
+
+    def checkpoint(self) -> Dict[str, ControllerState]:
+        """Merge the per-shard Ψid views into one consistent snapshot.
+
+        The merge is ``max`` over digest progress and ``sum`` over cache
+        update counts — both order-independent, which is why the in-process
+        pipeline can maintain the merged view incrementally. The result
+        matches ``self.state`` by construction (asserted in the unit suite).
+        """
+        merged: Dict[str, ControllerState] = {}
+        for shard in self._shards:
+            for cid, progress in shard.local_progress.items():
+                entry = merged.setdefault(cid, ControllerState())
+                if progress > entry.digest_progress:
+                    entry.digest_progress = progress
+            for cid, count in shard.local_cache_updates.items():
+                entry = merged.setdefault(cid, ControllerState())
+                entry.cache_updates += count
+        for cid, entry in merged.items():
+            shared = self.state.get(cid)
+            if shared is not None:
+                entry.last_entry = shared.last_entry
+                entry.last_stale_alarm_at = shared.last_stale_alarm_at
+        return merged
+
+    # ------------------------------------------------------------------
+    # Memoised helpers for the shard fast path
+    # ------------------------------------------------------------------
+    def _progress_of(self, digest: Tuple) -> Optional[int]:
+        if not digest:
+            return None
+        cached = self._progress_memo.get(digest)
+        if cached is None and digest not in self._progress_memo:
+            cached = digest_progress(digest)
+            if len(self._progress_memo) > 4096:
+                self._progress_memo.clear()
+            self._progress_memo[digest] = cached
+        return cached
+
+    def _merged_network(self, network: List[Response]) -> Tuple:
+        if not network:
+            return ()
+        if len(network) == 1:
+            entry = network[0].entry
+            cached = self._network_memo.get(entry)
+            if cached is None:
+                cached = _merge_network(network)
+                if len(self._network_memo) > 2048:
+                    self._network_memo.clear()
+                self._network_memo[entry] = cached
+            return cached
+        return _merge_network(network)

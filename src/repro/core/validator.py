@@ -13,12 +13,18 @@ attribution.
 The validator also maintains the per-controller-id state Ψid of Algorithm 1:
 a running count of cache updates per controller plus a copy of the latest,
 relying on the TCP-ordered relay of updates for accuracy (§IV-C).
+
+The decision logic is factored into :class:`DecisionCore` so that the
+sequential :class:`Validator` and the shards of
+:class:`~repro.core.pipeline.ValidationPipeline` run literally the same code
+on a decided trigger — the differential-equivalence suite
+(``tests/test_pipeline_differential.py``) rests on that sharing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.alarms import Alarm, AlarmReason, ValidationResult
 from repro.core.consensus import ConsensusOutcome, evaluate_consensus, sanity_check
@@ -39,7 +45,7 @@ class ControllerState:
     last_stale_alarm_at: float = -1e18
 
 
-def _digest_progress(digest: Tuple) -> Optional[int]:
+def digest_progress(digest: Tuple) -> Optional[int]:
     """Total applied writes encoded in a (origin, seq) digest, if valid."""
     if not digest:
         return None
@@ -47,6 +53,10 @@ def _digest_progress(digest: Tuple) -> Optional[int]:
         return sum(seq for _, seq in digest)
     except (TypeError, ValueError):
         return None
+
+
+# Backward-compatible private alias (pre-pipeline name).
+_digest_progress = digest_progress
 
 
 @dataclass
@@ -62,8 +72,142 @@ class _TriggerRecord:
     decided: bool = False
 
 
-class Validator:
-    """Out-of-band response validator."""
+class DecisionCore:
+    """Classification and the check battery shared by all validator flavours.
+
+    Hosts exactly the per-trigger decision logic of Algorithm 1 —
+    external/internal classification, CONSENSUS → SANITY_CHECK →
+    POLICY_CHECK, and the staleness monitor — with no opinion about how
+    responses were collected. :class:`Validator` collects them one at a
+    time; a pipeline shard collects them in batches; both defer here so a
+    decided trigger yields identical alarms either way.
+    """
+
+    sim: Simulator
+    k: int
+    policy_engine: object
+    mastership_lookup: Optional[Callable[[int], Optional[str]]]
+    state_aware: bool
+    taint_classification: bool
+    staleness_threshold: Optional[int]
+    staleness_cooldown_ms: float
+    state: Dict[str, ControllerState]
+
+    def _init_core(self, sim: Simulator, k: int,
+                   policy_engine=None,
+                   mastership_lookup: Optional[Callable[[int], Optional[str]]] = None,
+                   state_aware: bool = True,
+                   taint_classification: bool = True,
+                   state: Optional[Dict[str, ControllerState]] = None) -> None:
+        self.sim = sim
+        self.k = k
+        self.policy_engine = policy_engine
+        self.mastership_lookup = mastership_lookup
+        #: Ablation switches (DESIGN.md §5): snapshot-grouped consensus and
+        #: taint-based external/internal classification.
+        self.state_aware = state_aware
+        self.taint_classification = taint_classification
+        #: Staleness monitor (out-of-sync node detection): alarm when a
+        #: responding replica's view lags the most advanced responder by
+        #: more than this many writes. None disables the monitor.
+        self.staleness_threshold = 200
+        self.staleness_cooldown_ms = 1000.0
+        self.state = state if state is not None else {}
+
+    # ------------------------------------------------------------------
+    # Classification and checks
+    # ------------------------------------------------------------------
+    def _classify_external(self, count: int,
+                           responses: Sequence[Response]) -> bool:
+        """Algorithm 1's external test: count overflow or a tainted response."""
+        external = count > self.k + 2
+        if self.taint_classification:
+            external = external or any(r.tainted for r in responses)
+        return external
+
+    def _run_checks(self, tau: Tuple, responses: List[Response],
+                    external: bool) -> Tuple[ConsensusOutcome, List[Alarm]]:
+        """CONSENSUS plus everything downstream of it, for one trigger."""
+        outcome = evaluate_consensus(responses, self.k, external,
+                                     state_aware=self.state_aware)
+        return outcome, self._post_consensus_alarms(tau, responses, outcome,
+                                                    external)
+
+    def _post_consensus_alarms(self, tau: Tuple, responses: List[Response],
+                               outcome: ConsensusOutcome,
+                               external: bool) -> List[Alarm]:
+        """Sanity, staleness, and policy checks after a consensus outcome."""
+        alarms: List[Alarm] = []
+        if not outcome.ok:
+            alarms.append(self._alarm(tau, outcome, responses))
+
+        if outcome.ok:
+            # Sanity runs for every decided trigger: empty cache and network
+            # entries pass trivially, and internal T2 faults (cache write
+            # whose FLOW_MOD was dropped) are caught here too.
+            sane = sanity_check(outcome.primary_cache_entry,
+                                outcome.primary_network_entry,
+                                outcome.primary_id)
+            if not sane.ok:
+                alarms.append(self._alarm(tau, sane, responses))
+
+        alarms.extend(self._staleness_alarms(tau, responses))
+
+        if self.policy_engine is not None:
+            violations = self.policy_engine.check_decision(
+                outcome, external, mastership_lookup=self.mastership_lookup)
+            for violation in violations:
+                alarms.append(Alarm(
+                    trigger_id=tau, reason=AlarmReason.POLICY_VIOLATION,
+                    offending_controller=outcome.primary_id,
+                    detail=str(violation), raised_at=self.sim.now))
+        return alarms
+
+    def _staleness_alarms(self, tau: Tuple,
+                          responses: List[Response]) -> List[Alarm]:
+        """Flag responders whose view lags the cluster (out-of-sync nodes).
+
+        Consensus deliberately excuses stale replicas per trigger (transient
+        asynchrony, §IV-C); *persistent* lag is an operational fault the
+        validator's per-controller state exposes. Rate-limited per node.
+        """
+        if self.staleness_threshold is None:
+            return []
+        responders = {r.controller_id for r in responses}
+        # Sorted so alarm emission order is replica-count deterministic.
+        progresses = {cid: self.state[cid].digest_progress
+                      for cid in sorted(responders) if cid in self.state}
+        if len(progresses) < 2:
+            return []
+        frontier = max(progresses.values())
+        if frontier - min(progresses.values()) <= self.staleness_threshold:
+            return []  # nobody exceeds the lag bound; skip the per-node scan
+        alarms: List[Alarm] = []
+        for cid, progress in progresses.items():
+            if frontier - progress <= self.staleness_threshold:
+                continue
+            state = self.state[cid]
+            if self.sim.now - state.last_stale_alarm_at < self.staleness_cooldown_ms:
+                continue
+            state.last_stale_alarm_at = self.sim.now
+            alarms.append(Alarm(
+                trigger_id=tau, reason=AlarmReason.STALE_REPLICA,
+                offending_controller=cid, raised_at=self.sim.now,
+                detail=f"replica view lags the cluster by "
+                       f"{frontier - progress} writes"))
+        return alarms
+
+    def _alarm(self, tau: Tuple, outcome: ConsensusOutcome,
+               responses: List[Response]) -> Alarm:
+        return Alarm(
+            trigger_id=tau, reason=outcome.reason,
+            offending_controller=outcome.offending,
+            detail=outcome.detail, raised_at=self.sim.now,
+            responses=tuple(responses))
+
+
+class Validator(DecisionCore):
+    """Out-of-band response validator (sequential, one response at a time)."""
 
     def __init__(self, sim: Simulator, k: int,
                  timeout: Optional[TimeoutPolicy] = None,
@@ -72,28 +216,18 @@ class Validator:
                  keep_results: bool = True,
                  state_aware: bool = True,
                  taint_classification: bool = True):
-        self.sim = sim
-        self.k = k
+        self._init_core(sim, k, policy_engine=policy_engine,
+                        mastership_lookup=mastership_lookup,
+                        state_aware=state_aware,
+                        taint_classification=taint_classification)
         self.timeout = timeout if timeout is not None else StaticTimeout(150.0)
-        self.policy_engine = policy_engine
-        self.mastership_lookup = mastership_lookup
         self.keep_results = keep_results
-        #: Ablation switches (DESIGN.md §5): snapshot-grouped consensus and
-        #: taint-based external/internal classification.
-        self.state_aware = state_aware
-        self.taint_classification = taint_classification
-        #: Staleness monitor (out-of-sync node detection): alarm when a
-        #: responding replica's view lags the most advanced responder by
-        #: more than this many writes. None disables the monitor.
-        self.staleness_threshold: Optional[int] = 200
-        self.staleness_cooldown_ms: float = 1000.0
         self._pending: Dict[Tuple, _TriggerRecord] = {}
         # Triggers already decided: late responses (e.g. a promise-held
         # FLOW_MOD emerging after the timer) must be dropped, not allowed to
         # open a fresh record that would be judged alone and alarm
         # spuriously. Pruned in _decide to bound memory.
         self._recently_decided: Dict[Tuple, float] = {}
-        self.state: Dict[str, ControllerState] = {}
         self.results: List[ValidationResult] = []
         self.alarms: List[Alarm] = []
         self.on_alarm: Optional[Callable[[Alarm], None]] = None
@@ -132,7 +266,7 @@ class Validator:
             state = self.state.setdefault(response.controller_id, ControllerState())
             state.cache_updates += 1
             state.last_entry = response.entry
-        progress = _digest_progress(response.state_digest)
+        progress = digest_progress(response.state_digest)
         if progress is not None:
             state = self.state.setdefault(response.controller_id, ControllerState())
             state.digest_progress = max(state.digest_progress, progress)
@@ -158,36 +292,8 @@ class Validator:
         if record.timer is not None:
             record.timer.cancel()
         responses = [response for _, response in record.responses]
-        external = record.count > self.k + 2
-        if self.taint_classification:
-            external = external or any(r.tainted for r in responses)
-
-        outcome = evaluate_consensus(responses, self.k, external,
-                                     state_aware=self.state_aware)
-        alarms: List[Alarm] = []
-        if not outcome.ok:
-            alarms.append(self._alarm(tau, outcome, responses))
-
-        if outcome.ok:
-            # Sanity runs for every decided trigger: empty cache and network
-            # entries pass trivially, and internal T2 faults (cache write
-            # whose FLOW_MOD was dropped) are caught here too.
-            sane = sanity_check(outcome.primary_cache_entry,
-                                outcome.primary_network_entry,
-                                outcome.primary_id)
-            if not sane.ok:
-                alarms.append(self._alarm(tau, sane, responses))
-
-        alarms.extend(self._staleness_alarms(tau, responses))
-
-        if self.policy_engine is not None:
-            violations = self.policy_engine.check_decision(
-                outcome, external, mastership_lookup=self.mastership_lookup)
-            for violation in violations:
-                alarms.append(Alarm(
-                    trigger_id=tau, reason=AlarmReason.POLICY_VIOLATION,
-                    offending_controller=outcome.primary_id,
-                    detail=str(violation), raised_at=self.sim.now))
+        external = self._classify_external(record.count, responses)
+        outcome, alarms = self._run_checks(tau, responses, external)
 
         received = [r.trigger_received_at for r in responses
                     if r.trigger_received_at is not None]
@@ -215,46 +321,6 @@ class Validator:
             self._recently_decided = {
                 t_id: decided for t_id, decided in self._recently_decided.items()
                 if decided >= horizon}
-
-    def _staleness_alarms(self, tau: Tuple,
-                          responses: List[Response]) -> List[Alarm]:
-        """Flag responders whose view lags the cluster (out-of-sync nodes).
-
-        Consensus deliberately excuses stale replicas per trigger (transient
-        asynchrony, §IV-C); *persistent* lag is an operational fault the
-        validator's per-controller state exposes. Rate-limited per node.
-        """
-        if self.staleness_threshold is None:
-            return []
-        responders = {r.controller_id for r in responses}
-        # Sorted so alarm emission order is replica-count deterministic.
-        progresses = {cid: self.state[cid].digest_progress
-                      for cid in sorted(responders) if cid in self.state}
-        if len(progresses) < 2:
-            return []
-        frontier = max(progresses.values())
-        alarms: List[Alarm] = []
-        for cid, progress in progresses.items():
-            if frontier - progress <= self.staleness_threshold:
-                continue
-            state = self.state[cid]
-            if self.sim.now - state.last_stale_alarm_at < self.staleness_cooldown_ms:
-                continue
-            state.last_stale_alarm_at = self.sim.now
-            alarms.append(Alarm(
-                trigger_id=tau, reason=AlarmReason.STALE_REPLICA,
-                offending_controller=cid, raised_at=self.sim.now,
-                detail=f"replica view lags the cluster by "
-                       f"{frontier - progress} writes"))
-        return alarms
-
-    def _alarm(self, tau: Tuple, outcome: ConsensusOutcome,
-               responses: List[Response]) -> Alarm:
-        return Alarm(
-            trigger_id=tau, reason=outcome.reason,
-            offending_controller=outcome.offending,
-            detail=outcome.detail, raised_at=self.sim.now,
-            responses=tuple(responses))
 
     # ------------------------------------------------------------------
     # Introspection for the harness

@@ -1,5 +1,10 @@
 """Experiment harness: builds clusters, drives workloads, reports figures."""
 
+from repro.harness.bench import (
+    compare as bench_validator_compare,
+    synthetic_validation_workload,
+    write_payload,
+)
 from repro.harness.experiment import (
     DetectionStats,
     Experiment,
@@ -14,6 +19,7 @@ __all__ = [
     "DetectionStats",
     "ascii_cdf",
     "ascii_series",
+    "bench_validator_compare",
     "Experiment",
     "ThroughputPoint",
     "build_experiment",
@@ -22,4 +28,6 @@ __all__ = [
     "format_table",
     "mbps",
     "percentile",
+    "synthetic_validation_workload",
+    "write_payload",
 ]

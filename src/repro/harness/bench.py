@@ -1,0 +1,187 @@
+"""Validator benchmark harness: sequential vs. sharded pipeline.
+
+Generates a seeded synthetic response workload (full ``2k+2`` external
+response sets with evolving state digests and a configurable rate of
+consensus faults), drives it through the sequential
+:class:`~repro.core.validator.Validator` and the sharded
+:class:`~repro.core.pipeline.ValidationPipeline`, and emits the comparison
+as the ``BENCH_validator_pipeline.json`` payload — the first point of the
+repo's perf trajectory (see ``docs/pipeline.md`` for how to read it).
+
+Wall-clock reads are confined to this module and the CLI/benchmark entry
+points that call it; simulation code stays deterministic (analyzer rule
+D101).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.alarms import canonical_alarm_stream
+from repro.core.pipeline import ValidationPipeline
+from repro.core.responses import Response, ResponseKind
+from repro.core.timeouts import StaticTimeout
+from repro.core.validator import Validator
+from repro.harness.metrics import percentile
+from repro.sim.simulator import Simulator
+
+#: Distinct flows to cycle through — entries repeat, as production flow
+#: tables do, which is what makes the pipeline's memo caches honest.
+_FLOW_VARIANTS = 50
+#: Triggers per digest step: replica views advance slowly relative to the
+#: trigger rate, so digests repeat across consecutive triggers.
+_DIGEST_STRIDE = 10
+
+
+def _entries(flow: int) -> Tuple[Tuple, Tuple]:
+    cache = (("cache", "FlowsDB", ("flow", 1, ("ip", flow), 100), "create",
+              (("actions", (("output", 2),)), ("command", "add"), ("dpid", 1),
+               ("match", ("ip", flow)), ("priority", 100),
+               ("state", "pending_add"))),)
+    net = (("flow_mod", 1, "add", ("ip", flow), (("output", 2),), 100),)
+    return cache, net
+
+
+def synthetic_validation_workload(
+        triggers: int, k: int = 6, seed: int = 0,
+        fault_rate: float = 0.02) -> List[List[Response]]:
+    """``triggers`` full external response sets, in arrival order.
+
+    Each trigger contributes ``2k + 2`` responses: the primary's network
+    write and cache update, plus a cache relay and a shadow replica result
+    from each of ``k`` secondaries. With probability ``fault_rate`` one
+    secondary's cache relay is corrupted — a T1-style incorrect replicated
+    state that must alarm (and forces the consensus slow path).
+    """
+    rng = random.Random(seed)
+    workload: List[List[Response]] = []
+    for index in range(triggers):
+        tau = ("ext", index)
+        cache, net = _entries(rng.randrange(_FLOW_VARIANTS))
+        combined = (cache, tuple(sorted(set(net), key=repr)))
+        digest = (("c1", index // _DIGEST_STRIDE),)
+        faulty = rng.random() < fault_rate
+        responses = [
+            Response("c1", tau, ResponseKind.NETWORK_WRITE, net,
+                     state_digest=digest),
+            Response("c1", tau, ResponseKind.CACHE_UPDATE, cache,
+                     state_digest=digest, origin="c1"),
+        ]
+        for s in range(k):
+            sid = f"s{s}"
+            relayed = cache
+            if faulty and s == 0:
+                corrupted_cache, _ = _entries(_FLOW_VARIANTS + index)
+                relayed = corrupted_cache
+            responses.append(Response(sid, tau, ResponseKind.CACHE_UPDATE,
+                                      relayed, state_digest=digest,
+                                      origin="c1"))
+            responses.append(Response(sid, tau, ResponseKind.REPLICA_RESULT,
+                                      combined, tainted=True,
+                                      state_digest=digest,
+                                      primary_hint="c1"))
+        workload.append(responses)
+    return workload
+
+
+def _timed_run(make_validator: Callable[[Simulator], object],
+               workload: List[List[Response]],
+               chunk: int = 64,
+               drain: bool = False) -> Tuple[object, float, List[float]]:
+    """Ingest the workload; returns (validator, wall_s, per-trigger ms)."""
+    sim = Simulator(seed=0)
+    validator = make_validator(sim)
+    samples: List[float] = []
+    start = time.perf_counter()  # jury: ignore[D101]
+    for base in range(0, len(workload), chunk):
+        group = workload[base:base + chunk]
+        t0 = time.perf_counter()  # jury: ignore[D101]
+        for responses in group:
+            ingest = validator.ingest
+            for response in responses:
+                ingest(response)
+        if drain:
+            validator.drain()
+        elapsed = time.perf_counter() - t0  # jury: ignore[D101]
+        samples.append(elapsed * 1000.0 / len(group))
+    wall = time.perf_counter() - start  # jury: ignore[D101]
+    return validator, wall, samples
+
+
+def _summary(wall_s: float, samples: List[float],
+             triggers: int) -> Dict[str, float]:
+    return {
+        "ops_per_s": triggers / wall_s if wall_s > 0 else 0.0,
+        "p50_ms": percentile(samples, 0.5),
+        "p99_ms": percentile(samples, 0.99),
+        "wall_s": wall_s,
+    }
+
+
+def compare(triggers: int = 20_000, k: int = 6, seed: int = 0,
+            fault_rate: float = 0.02, shards: int = 4,
+            queue_capacity: int = 1024, batch_max: int = 512,
+            chunk: int = 64) -> Dict[str, object]:
+    """Run the sequential-vs-pipeline comparison; returns the JSON payload.
+
+    Both validators consume the *same* workload objects, so the canonical
+    alarm streams are directly comparable — their equality is part of the
+    payload (a benchmark that trades correctness for speed must fail loud).
+    """
+    workload = synthetic_validation_workload(triggers, k=k, seed=seed,
+                                             fault_rate=fault_rate)
+    timeout_ms = 10_000.0
+
+    sequential, seq_wall, seq_samples = _timed_run(
+        lambda sim: Validator(sim, k, timeout=StaticTimeout(timeout_ms),
+                              keep_results=False),
+        workload, chunk=chunk)
+    pipe, pipe_wall, pipe_samples = _timed_run(
+        lambda sim: ValidationPipeline(
+            sim, k, shards=shards, timeout=StaticTimeout(timeout_ms),
+            keep_results=False, queue_capacity=queue_capacity,
+            batch_max=batch_max),
+        workload, chunk=chunk, drain=True)
+
+    seq_summary = _summary(seq_wall, seq_samples, triggers)
+    pipe_summary = _summary(pipe_wall, pipe_samples, triggers)
+    speedup = (pipe_summary["ops_per_s"] / seq_summary["ops_per_s"]
+               if seq_summary["ops_per_s"] else 0.0)
+    return {
+        "benchmark": "validator_pipeline",
+        "workload": {
+            "triggers": triggers,
+            "k": k,
+            "seed": seed,
+            "fault_rate": fault_rate,
+            "responses_per_trigger": 2 * k + 2,
+        },
+        "sequential": {
+            **seq_summary,
+            "decided": sequential.triggers_decided,
+            "alarmed": sequential.triggers_alarmed,
+        },
+        "pipeline": {
+            "shards": shards,
+            "queue_capacity": queue_capacity,
+            "batch_max": batch_max,
+            **pipe_summary,
+            "decided": pipe.triggers_decided,
+            "alarmed": pipe.triggers_alarmed,
+            "stats": pipe.stats.snapshot(),
+        },
+        "speedup": speedup,
+        "alarm_streams_identical": (
+            canonical_alarm_stream(sequential.alarms)
+            == canonical_alarm_stream(pipe.alarms)),
+    }
+
+
+def write_payload(payload: Dict[str, object], path: str) -> None:
+    """Write a benchmark payload as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

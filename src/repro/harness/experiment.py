@@ -200,12 +200,15 @@ def build_experiment(
     keep_results: bool = True,
     state_aware: bool = True,
     taint_classification: bool = True,
+    pipeline: Optional[int] = None,
 ) -> Experiment:
     """Assemble a full experiment.
 
     ``k=None`` builds a vanilla (non-JURY) cluster; otherwise JURY is
     deployed with ``k`` secondaries. ``kind`` selects the controller model
     ("onos" or "odl"), ``topology`` the fabric ("linear" or "three_tier").
+    ``pipeline=N`` swaps the sequential validator for the sharded
+    :class:`~repro.core.pipeline.ValidationPipeline` with ``N`` shards.
     """
     sim = Simulator(seed=seed)
     if topology == "linear":
@@ -232,7 +235,8 @@ def build_experiment(
         jury = JuryDeployment(cluster, k=k, timeout_ms=timeout_ms,
                               policy_engine=policy_engine,
                               state_aware=state_aware,
-                              taint_classification=taint_classification)
+                              taint_classification=taint_classification,
+                              pipeline=pipeline)
         jury.validator.keep_results = keep_results
 
     northbound = None

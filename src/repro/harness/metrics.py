@@ -6,7 +6,13 @@ from typing import List, Sequence, Tuple
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
-    """The q-th percentile (q in [0, 1]) by nearest-rank interpolation."""
+    """The q-th percentile (q in [0, 1]) by linear interpolation.
+
+    Interpolates between the closest ranks (the "linear" / "inclusive"
+    method, numpy's default) rather than nearest-rank: ``q=0`` is the
+    minimum, ``q=1`` the maximum, and intermediate quantiles fall between
+    adjacent order statistics.
+    """
     if not samples:
         raise ValueError("percentile of no samples")
     if not 0.0 <= q <= 1.0:

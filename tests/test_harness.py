@@ -27,6 +27,36 @@ def test_percentile_errors():
         percentile([1.0], 1.5)
 
 
+def test_percentile_boundaries_are_min_and_max():
+    # Linear interpolation between closest ranks: q=0 and q=1 hit the
+    # extremes exactly, regardless of sample order.
+    samples = [9.0, 3.0, 41.0, 7.0]
+    assert percentile(samples, 0.0) == 3.0
+    assert percentile(samples, 1.0) == 41.0
+
+
+def test_percentile_single_sample_any_q():
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert percentile([42.0], q) == 42.0
+
+
+def test_percentile_interpolates_between_ranks():
+    # Two samples: q=0.5 must land exactly halfway — interpolation, not
+    # nearest-rank (which would return one of the samples).
+    assert percentile([10.0, 20.0], 0.5) == 15.0
+    assert percentile([10.0, 20.0], 0.25) == 12.5
+
+
+def test_percentile_duplicated_values():
+    samples = [5.0, 5.0, 5.0, 5.0]
+    for q in (0.0, 0.3, 0.5, 1.0):
+        assert percentile(samples, q) == 5.0
+    # A run of duplicates anchors the quantiles that fall inside it.
+    samples = [1.0, 2.0, 2.0, 2.0, 3.0]
+    assert percentile(samples, 0.5) == 2.0
+    assert percentile(samples, 0.25) == 2.0
+
+
 def test_cdf_points_monotonic():
     points = cdf_points([5.0, 1.0, 3.0, 2.0, 4.0])
     xs = [x for x, _ in points]

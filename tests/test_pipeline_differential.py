@@ -1,0 +1,190 @@
+"""Differential equivalence: sequential validator vs. sharded pipeline.
+
+The pipeline's contract (docs/pipeline.md) is that at flush interval 0 it is
+*byte-identical* to the sequential validator: same decisions, same alarms,
+same timestamps, for any response stream. These tests record real validator
+input streams from live experiments — benign seeded traffic and fault
+injections covering T1/T2/T3 from Table 1 — and replay each identical
+stream through the sequential :class:`Validator` and through
+:class:`ValidationPipeline` at N ∈ {1, 2, 4, 8}, asserting the canonical
+alarm streams compare equal byte for byte.
+
+Recording (not re-running) is load-bearing: trigger ids come from
+process-global counters, so two live runs never produce comparable ids —
+only replays of one recorded stream do.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alarms import canonical_alarm_stream
+from repro.core.pipeline import ValidationPipeline
+from repro.core.timeouts import StaticTimeout
+from repro.core.validator import Validator
+from repro.faults.base import run_scenario
+from repro.faults.injector import default_policy_engine
+from repro.faults.synthetic import (
+    FaultyProactiveFault,
+    LinkFailureFault,
+    UndesirableFlowModFault,
+)
+from repro.harness.experiment import build_experiment
+from repro.workloads.recorder import ValidatorStreamRecorder, replay_validation_stream
+from repro.workloads.traffic import TrafficDriver
+
+K = 4
+TIMEOUT_MS = 250.0
+SHARD_COUNTS = (1, 2, 4, 8)
+BENIGN_SEEDS = (11, 23, 47)
+
+
+def _build(seed: int):
+    experiment = build_experiment(
+        kind="onos", n=5, k=K, switches=8, seed=seed,
+        timeout_ms=TIMEOUT_MS, policy_engine=default_policy_engine(),
+        with_northbound=True)
+    experiment.warmup()
+    return experiment
+
+
+def _mastership_snapshot(experiment):
+    cluster = experiment.cluster
+    return {dpid: cluster.master_of(dpid) for dpid in cluster.proxies}
+
+
+def _record_benign(seed: int):
+    experiment = _build(seed)
+    recorder = ValidatorStreamRecorder(experiment.jury)
+    driver = TrafficDriver(experiment.sim, experiment.topology,
+                           packet_in_rate_per_s=400.0, duration_ms=400.0)
+    driver.start()
+    experiment.run(400.0 + 4 * TIMEOUT_MS)
+    return recorder.records, _mastership_snapshot(experiment)
+
+
+def _record_fault(seed: int, scenario):
+    experiment = _build(seed)
+    recorder = ValidatorStreamRecorder(experiment.jury)
+    result = run_scenario(experiment, scenario)
+    assert result.detected, f"{scenario.name} must be detected live"
+    return recorder.records, _mastership_snapshot(experiment)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    """Recorded validator input streams: 3 benign seeds + T1/T2/T3 faults."""
+    recorded = {}
+    for seed in BENIGN_SEEDS:
+        recorded[f"benign-{seed}"] = _record_benign(seed)
+    recorded["fault-t1"] = _record_fault(
+        91, LinkFailureFault(1, 2))
+    recorded["fault-t2"] = _record_fault(
+        92, UndesirableFlowModFault("c2"))
+    recorded["fault-t3"] = _record_fault(
+        93, FaultyProactiveFault("c3"))
+    return recorded
+
+
+def _replay(records, mastership, make):
+    lookup = mastership.get
+
+    def factory(sim):
+        return make(sim, lookup)
+
+    return replay_validation_stream(records, factory)
+
+
+def _sequential(records, mastership):
+    return _replay(records, mastership, lambda sim, lookup: Validator(
+        sim, K, timeout=StaticTimeout(TIMEOUT_MS),
+        policy_engine=default_policy_engine(), mastership_lookup=lookup))
+
+
+def _pipeline(records, mastership, shards):
+    return _replay(records, mastership, lambda sim, lookup: ValidationPipeline(
+        sim, K, shards=shards, timeout=StaticTimeout(TIMEOUT_MS),
+        policy_engine=default_policy_engine(), mastership_lookup=lookup))
+
+
+def _result_fingerprint(validator):
+    return sorted(
+        (repr(r.trigger_id), r.decided_at, r.n_responses, r.external,
+         r.timed_out, r.ok, len(r.alarms))
+        for r in validator.results)
+
+
+def _names(workloads):
+    return sorted(workloads)
+
+
+# ----------------------------------------------------------------------
+# The recording rig itself
+# ----------------------------------------------------------------------
+
+def test_recordings_are_non_trivial(workloads):
+    for name, (records, _) in workloads.items():
+        assert len(records) > 0, f"{name} recorded nothing"
+        times = [r.time_ms for r in records]
+        assert times == sorted(times), f"{name} timestamps must be ordered"
+
+
+def test_replay_is_deterministic(workloads):
+    records, mastership = workloads["benign-11"]
+    first = _sequential(records, mastership)
+    second = _sequential(records, mastership)
+    assert (canonical_alarm_stream(first.alarms)
+            == canonical_alarm_stream(second.alarms))
+    assert _result_fingerprint(first) == _result_fingerprint(second)
+    assert first.triggers_decided == second.triggers_decided
+
+
+# ----------------------------------------------------------------------
+# The headline equivalence assertions
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", BENIGN_SEEDS)
+def test_benign_streams_byte_identical(workloads, seed):
+    records, mastership = workloads[f"benign-{seed}"]
+    sequential = _sequential(records, mastership)
+    assert sequential.triggers_decided > 20, "workload too small to mean much"
+    expected = canonical_alarm_stream(sequential.alarms)
+    for shards in SHARD_COUNTS:
+        pipeline = _pipeline(records, mastership, shards)
+        assert canonical_alarm_stream(pipeline.alarms) == expected, \
+            f"alarm stream diverged at N={shards}"
+        assert _result_fingerprint(pipeline) == _result_fingerprint(sequential)
+        assert pipeline.triggers_decided == sequential.triggers_decided
+        assert pipeline.responses_received == sequential.responses_received
+        assert pipeline.late_responses == sequential.late_responses
+
+
+@pytest.mark.parametrize("name,reason", [
+    ("fault-t1", "consensus_mismatch"),
+    ("fault-t2", "sanity_mismatch"),
+    ("fault-t3", "policy_violation"),
+])
+def test_fault_streams_byte_identical(workloads, name, reason):
+    records, mastership = workloads[name]
+    sequential = _sequential(records, mastership)
+    reasons = {a.reason.value for a in sequential.alarms}
+    assert reason in reasons, \
+        f"replayed {name} lost its {reason} alarm ({reasons})"
+    expected = canonical_alarm_stream(sequential.alarms)
+    assert expected, "fault workload must alarm"
+    for shards in SHARD_COUNTS:
+        pipeline = _pipeline(records, mastership, shards)
+        assert canonical_alarm_stream(pipeline.alarms) == expected, \
+            f"alarm stream diverged at N={shards} on {name}"
+        assert _result_fingerprint(pipeline) == _result_fingerprint(sequential)
+
+
+def test_pipeline_stats_account_for_every_response(workloads):
+    records, mastership = workloads["benign-11"]
+    pipeline = _pipeline(records, mastership, 4)
+    stats = pipeline.stats
+    assert stats.responses_routed == len(records)
+    assert stats.total("enqueued") == stats.responses_routed
+    # Replay runs to quiescence: everything enqueued was processed.
+    assert stats.total("processed") == stats.total("enqueued")
+    assert stats.total("decided") == pipeline.triggers_decided

@@ -1,0 +1,185 @@
+"""Timeout and staleness edge cases: sequential vs. sharded equivalence.
+
+The delicate race: a trigger's timer θτ expires while later responses for it
+sit in a shard's arrival queue. The sequential validator would have ingested
+those responses *before* the timer fired (they arrived earlier), so the
+pipeline must ingest queued responses up to the deadline before letting the
+timer classify the trigger — otherwise the two modes disagree on
+``n_responses`` and potentially on the verdict. These tests pin the race
+down with deterministic simulated clocks, at a positive flush interval
+(classification equivalence) and at flush interval 0 (byte equivalence).
+"""
+
+from __future__ import annotations
+
+from repro.core.alarms import AlarmReason, canonical_alarm_stream
+from repro.core.pipeline import ValidationPipeline
+from repro.core.responses import Response, ResponseKind
+from repro.core.timeouts import StaticTimeout
+from repro.core.validator import Validator
+from repro.sim.simulator import Simulator
+
+K = 3
+FULL = 2 * K + 2
+
+
+def response(tau, cid="c1", kind=ResponseKind.CACHE_UPDATE, entry=(),
+             digest=(), origin="c1", hint=None, tainted=False):
+    return Response(controller_id=cid, trigger_id=tau, kind=kind,
+                    entry=entry, origin=origin if kind.value == "cache" else None,
+                    primary_hint=hint, tainted=tainted, state_digest=digest)
+
+
+def run_stream(events, make_validator, until=10_000.0):
+    """Schedule (time, response) events on a fresh sim and run to the end."""
+    sim = Simulator(seed=0)
+    validator = make_validator(sim)
+    for time_ms, item in events:
+        sim.schedule_at(time_ms, validator.ingest, item)
+    sim.run(until=until)
+    return validator
+
+
+def classification(validator):
+    """Everything Algorithm 1 decides, minus wall positions in the stream."""
+    return sorted(
+        (repr(r.trigger_id), r.n_responses, r.external, r.timed_out, r.ok,
+         tuple(a.reason.value for a in r.alarms))
+        for r in validator.results)
+
+
+def seq(timeout_ms):
+    return lambda sim: Validator(sim, K, timeout=StaticTimeout(timeout_ms))
+
+
+def pipe(timeout_ms, shards=4, **kwargs):
+    return lambda sim: ValidationPipeline(
+        sim, K, shards=shards, timeout=StaticTimeout(timeout_ms), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# θτ expires while the batch is queued
+# ----------------------------------------------------------------------
+
+def _partial_stream():
+    """Three triggers that will all decide on the timer (θ = 10 ms).
+
+    τ1: responses at 0, 1, 2 and one at 8 — the 8 ms arrival is *queued*
+        when a 5 ms flush interval batches it; the θ wakeup at 10 ms must
+        ingest it before deciding (sequential sees 4 responses).
+    τ2: a response at 11 ms arrives after θτ fired at 10 — late in both
+        modes, never part of the decision.
+    τ3: control — a full set decided on count, bracketing the timer cases.
+    """
+    t1, t2, t3 = ("ext", 101), ("ext", 202), ("ext", 303)
+    events = [
+        (0.0, response(t1, "c1")),
+        (1.0, response(t1, "c2")),
+        (2.0, response(t1, "c3")),
+        (8.0, response(t1, "c4")),
+        (0.0, response(t2, "c1")),
+        (11.0, response(t2, "c2")),
+    ]
+    for i in range(FULL):
+        events.append((3.0 + 0.25 * i, response(t3, f"c{i % 5}")))
+    return sorted(events, key=lambda e: e[0])
+
+
+def test_timer_during_queued_batch_classifies_identically():
+    events = _partial_stream()
+    sequential = run_stream(events, seq(10.0))
+    for shards in (1, 2, 4):
+        pipeline = run_stream(
+            events, pipe(10.0, shards=shards, flush_interval_ms=5.0))
+        assert classification(pipeline) == classification(sequential), \
+            f"classification diverged at N={shards} with batching delay"
+        assert pipeline.late_responses == sequential.late_responses == 1
+        timed_out = [r for r in pipeline.results if r.timed_out]
+        assert len(timed_out) == 2
+        # τ1 decided with all four responses, including the queued one.
+        by_tau = {repr(r.trigger_id): r for r in pipeline.results}
+        assert by_tau["('ext', 101)"].n_responses == 4
+
+
+def test_timer_decisions_byte_identical_at_flush_zero():
+    events = _partial_stream()
+    sequential = run_stream(events, seq(10.0))
+    for shards in (1, 2, 4, 8):
+        pipeline = run_stream(events, pipe(10.0, shards=shards))
+        assert (canonical_alarm_stream(pipeline.alarms)
+                == canonical_alarm_stream(sequential.alarms))
+        assert ([(repr(r.trigger_id), r.decided_at, r.n_responses,
+                  r.timed_out)
+                 for r in pipeline.ordered_results()]
+                == sorted(((repr(r.trigger_id), r.decided_at, r.n_responses,
+                            r.timed_out) for r in sequential.results),
+                          key=lambda x: (x[1], x[0])))
+
+
+def test_timer_fires_at_the_exact_deadline():
+    tau = ("ext", 404)
+    events = [(0.0, response(tau, "c1")), (3.0, response(tau, "c2"))]
+    sequential = run_stream(events, seq(10.0))
+    pipeline = run_stream(events, pipe(10.0, flush_interval_ms=5.0))
+    assert sequential.results[0].decided_at == 10.0
+    assert pipeline.results[0].decided_at == 10.0
+    assert pipeline.results[0].timed_out
+
+
+# ----------------------------------------------------------------------
+# Staleness monitoring across shards
+# ----------------------------------------------------------------------
+
+def _stale_stream():
+    """Two responders whose digest progress diverges beyond the threshold.
+
+    Triggers land on different shards (distinct ids), so the staleness
+    monitor only stays equivalent if shards decide against the merged Ψid
+    view — a per-shard-only view would never see the frontier.
+    """
+    ahead = (("c1", 100),)
+    behind = (("c2", 1),)
+    events = []
+    for i, at in enumerate((0.0, 100.0, 2000.0)):
+        tau = ("ext", 500 + i)
+        events.append((at, response(tau, "c1", digest=ahead)))
+        events.append((at + 1.0, response(tau, "c2", digest=behind)))
+    return events
+
+
+def configure_staleness(make):
+    def factory(sim):
+        validator = make(sim)
+        validator.staleness_threshold = 50
+        validator.staleness_cooldown_ms = 1000.0
+        return validator
+    return factory
+
+
+def test_staleness_alarms_and_cooldown_match_sequential():
+    events = _stale_stream()
+    sequential = run_stream(events, configure_staleness(seq(10.0)))
+    stale_seq = [a for a in sequential.alarms
+                 if a.reason == AlarmReason.STALE_REPLICA]
+    # First trigger alarms, second is inside the 1000 ms cooldown, third
+    # (at 2000 ms) alarms again.
+    assert len(stale_seq) == 2
+    assert {a.offending_controller for a in stale_seq} == {"c2"}
+    for shards in (1, 2, 4, 8):
+        pipeline = run_stream(
+            events, configure_staleness(pipe(10.0, shards=shards)))
+        assert (canonical_alarm_stream(pipeline.alarms)
+                == canonical_alarm_stream(sequential.alarms)), \
+            f"staleness stream diverged at N={shards}"
+
+
+def test_stale_replica_cooldown_suppresses_across_shards():
+    events = _stale_stream()
+    pipeline = run_stream(events, configure_staleness(pipe(10.0, shards=8)))
+    stale = [a for a in pipeline.alarms
+             if a.reason == AlarmReason.STALE_REPLICA]
+    assert len(stale) == 2
+    # The suppressed middle trigger proves the cooldown stamp lives in the
+    # merged view: its trigger hashed to a different shard than the first.
+    taus = {a.trigger_id for a in stale}
+    assert ("ext", 501) not in taus

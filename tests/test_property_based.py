@@ -225,3 +225,81 @@ def test_simulator_fires_in_time_order(delays):
         sim.schedule(delay, lambda d=delay: fired.append(d))
     sim.run()
     assert fired == sorted(fired)
+
+
+# ----------------------------------------------------------------------
+# Sharded pipeline routing invariants
+# ----------------------------------------------------------------------
+
+def _tagged_responses(trigger_indices, k):
+    """One response per listed trigger index, in the given interleaving."""
+    responses = []
+    for index in trigger_indices:
+        tau = ("ext", index)
+        responses.append(Response(
+            controller_id=f"c{index % 4}", trigger_id=tau,
+            kind=ResponseKind.CACHE_UPDATE, entry=(("cache", index),),
+            origin="c1", state_digest=(("c1", index % 7),)))
+    return responses
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30),
+                min_size=1, max_size=120),
+       st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=40, deadline=None)
+def test_pipeline_routes_each_trigger_to_one_shard(trigger_indices, shards):
+    """Every response for a trigger lands on the shard its hash names."""
+    from repro.core.pipeline import ValidationPipeline, shard_of
+    from repro.core.timeouts import StaticTimeout
+
+    sim = Simulator(seed=0)
+    pipeline = ValidationPipeline(sim, 3, shards=shards,
+                                  timeout=StaticTimeout(10_000.0))
+    for response in _tagged_responses(trigger_indices, k=3):
+        pipeline.ingest(response)
+    pipeline.drain()
+    for index, shard in enumerate(pipeline._shards):
+        for tau in shard.records:
+            assert shard_of(tau, shards) == index
+        for _, queued in list(shard.queue) + list(shard.overflow):
+            assert shard_of(queued.trigger_id, shards) == index
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30),
+                min_size=1, max_size=150),
+       st.integers(min_value=1, max_value=8),
+       st.integers(min_value=1, max_value=16))
+@settings(max_examples=40, deadline=None)
+def test_pipeline_conserves_responses_under_backpressure(
+        trigger_indices, capacity, batch_max):
+    """No response is dropped and the overflow accounting balances."""
+    from repro.core.pipeline import ValidationPipeline
+    from repro.core.timeouts import StaticTimeout
+
+    sim = Simulator(seed=0)
+    pipeline = ValidationPipeline(sim, 3, shards=2,
+                                  timeout=StaticTimeout(10_000.0),
+                                  queue_capacity=capacity,
+                                  batch_max=batch_max)
+    responses = _tagged_responses(trigger_indices, k=3)
+    for response in responses:
+        pipeline.ingest(response)
+    stats = pipeline.stats
+    queued_now = sum(len(s.queue) + len(s.overflow)
+                     for s in pipeline._shards)
+    # Conservation before the drain: routed == processed + still queued.
+    assert stats.responses_routed == len(responses)
+    assert stats.total("enqueued") == stats.responses_routed
+    assert stats.total("processed") + queued_now == stats.total("enqueued")
+    pipeline.drain()
+    stats = pipeline.stats
+    assert stats.total("processed") == stats.total("enqueued")
+    assert stats.total("overflow_enqueued") == stats.total("overflow_drained")
+    assert sum(len(s.queue) + len(s.overflow)
+               for s in pipeline._shards) == 0
+    # Processed responses are either held in records or counted late.
+    held = sum(r.count for s in pipeline._shards
+               for r in s.records.values())
+    decided = sum(r.n_responses for r in pipeline.results)
+    late = pipeline.late_responses
+    assert held + decided + late == stats.total("processed")
