@@ -1,0 +1,181 @@
+"""The one configuration object behind every JURY construction path.
+
+Deployment options used to accumulate as keyword arguments on three
+different seams — ``JuryDeployment(...)``, ``build_experiment(...)``, and
+the CLI's argparse plumbing — each forwarding a growing subset to the
+next. :class:`JuryConfig` replaces that sprawl with a single frozen
+dataclass; :meth:`repro.api.Jury.build` is the one entry point that
+consumes it, and the legacy seams are thin deprecated shims that construct
+a config and delegate.
+
+The config is *declarative*: policy sets are named (resolved through
+:data:`POLICY_SETS` only at build time), the timeout is a number unless an
+explicit :class:`~repro.core.timeouts.TimeoutPolicy` object is supplied,
+and observability is a pair of booleans. That keeps configs printable,
+comparable, and safe to share between an experiment and its report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ValidationError
+
+#: Named administrator policy sets, resolved lazily at build time. The
+#: callables import on demand so that constructing a config never pulls in
+#: the policy/faults stack.
+POLICY_SETS: Dict[str, Callable[[], object]] = {}
+
+
+def register_policy_set(name: str, factory: Callable[[], object]) -> None:
+    """Register a named policy set for :attr:`JuryConfig.policies`."""
+    POLICY_SETS[name] = factory
+
+
+def _default_policy_set():
+    from repro.faults.injector import default_policy_engine
+    return default_policy_engine()
+
+
+register_policy_set("default", _default_policy_set)
+
+
+@dataclass(frozen=True)
+class JuryConfig:
+    """Everything needed to deploy (and optionally host) a JURY instance.
+
+    Validation core:
+
+    * ``k`` — secondaries per trigger (``2k + 2`` expected responses).
+    * ``timeout_ms`` / ``timeout`` — θτ as a number, or an explicit
+      :class:`~repro.core.timeouts.TimeoutPolicy` overriding it.
+    * ``pipeline`` — ``None`` for the sequential validator, else the shard
+      count of the :class:`~repro.core.pipeline.ValidationPipeline`.
+    * ``policies`` — named policy sets (see :data:`POLICY_SETS`);
+      ``policy_engine`` is the explicit-object escape hatch.
+    * ``state_aware`` / ``taint_classification`` — the ablation switches.
+
+    Observability: ``trace`` wires a :class:`~repro.obs.Tracer` through the
+    full validation path; ``metrics`` a
+    :class:`~repro.obs.MetricsRegistry`. Both default off (the zero-cost
+    path).
+
+    Hosting shape (used when :meth:`repro.api.Jury.build` must assemble
+    the testbed too): ``kind``, ``n``, ``switches``, ``topology``,
+    ``seed``, ``with_northbound``.
+    """
+
+    #: ``None`` means a vanilla (non-JURY) cluster when hosting a full
+    #: experiment; :meth:`repro.api.Jury.build` itself requires a k.
+    k: Optional[int] = 6
+    timeout_ms: Optional[float] = None
+    timeout: Optional[object] = None
+    pipeline: Optional[int] = None
+    seed: int = 0
+    policies: Tuple[str, ...] = ()
+    policy_engine: Optional[object] = None
+    state_aware: bool = True
+    taint_classification: bool = True
+    replicate_handshakes: bool = True
+    keep_results: bool = True
+    validator_latency: Optional[object] = None
+    queue_capacity: int = 1024
+    batch_max: int = 512
+    flush_interval_ms: float = 0.0
+
+    # Observability.
+    trace: bool = False
+    metrics: bool = False
+
+    # Hosting shape.
+    kind: str = "onos"
+    n: int = 7
+    switches: int = 24
+    topology: str = "linear"
+    with_northbound: bool = False
+    profile_overrides: Optional[Tuple[Tuple[str, object], ...]] = None
+
+    # ------------------------------------------------------------------
+    def __post_init__(self):
+        if self.k is not None and self.k < 0:
+            raise ValidationError(f"k must be >= 0: {self.k}")
+        if self.pipeline is not None and self.pipeline < 1:
+            raise ValidationError(
+                f"pipeline shard count must be >= 1: {self.pipeline}")
+        unknown = [name for name in self.policies if name not in POLICY_SETS]
+        if unknown:
+            raise ValidationError(
+                f"unknown policy set(s): {', '.join(unknown)} "
+                f"(registered: {', '.join(sorted(POLICY_SETS))})")
+
+    def replace(self, **changes) -> "JuryConfig":
+        """A copy with the given fields changed (configs are frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Build-time resolution
+    # ------------------------------------------------------------------
+    @property
+    def effective_timeout_ms(self) -> float:
+        """The configured θτ in ms (paper defaults per controller kind)."""
+        if self.timeout_ms is not None:
+            return self.timeout_ms
+        return 250.0 if self.kind == "onos" else 1200.0
+
+    def build_timeout(self):
+        """The :class:`TimeoutPolicy` this config describes."""
+        if self.timeout is not None:
+            return self.timeout
+        from repro.core.timeouts import StaticTimeout
+        return StaticTimeout(self.effective_timeout_ms)
+
+    def build_policy_engine(self):
+        """Resolve ``policy_engine`` / named ``policies`` to one engine."""
+        if self.policy_engine is not None:
+            return self.policy_engine
+        if not self.policies:
+            return None
+        engines = [POLICY_SETS[name]() for name in self.policies]
+        if len(engines) == 1:
+            return engines[0]
+        from repro.policy import PolicyEngine
+        merged = []
+        for engine in engines:
+            merged.extend(engine.policies)
+        return PolicyEngine(merged)
+
+    def build_tracer(self):
+        if not self.trace:
+            return None
+        from repro.obs.trace import Tracer
+        return Tracer()
+
+    def build_metrics(self):
+        if not self.metrics:
+            return None
+        from repro.obs.metrics import MetricsRegistry
+        return MetricsRegistry()
+
+    def profile_overrides_dict(self) -> dict:
+        return dict(self.profile_overrides or ())
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-able summary for reports and CLI payloads."""
+        return {
+            "k": self.k,
+            "timeout_ms": self.effective_timeout_ms,
+            "pipeline": self.pipeline,
+            "seed": self.seed,
+            "policies": list(self.policies)
+            + (["<explicit>"] if self.policy_engine is not None else []),
+            "state_aware": self.state_aware,
+            "taint_classification": self.taint_classification,
+            "trace": self.trace,
+            "metrics": self.metrics,
+            "kind": self.kind,
+            "n": self.n,
+            "switches": self.switches,
+            "topology": self.topology,
+        }

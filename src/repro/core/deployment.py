@@ -4,30 +4,41 @@ Usage::
 
     cluster, store = build_onos_cluster(sim, n=7)
     cluster.connect_topology(topology)
-    jury = JuryDeployment(cluster, k=6, timeout_ms=129.0)
+    jury = Jury.build(JuryConfig(k=6, timeout_ms=129.0), cluster=cluster)
     cluster.start()
     ...
-    jury.validator.detection_times()
+    jury.detection_times()
 
 The deployment owns the byte counters for JURY's network overhead accounting
 (§VII-B.2): replicated triggers and validator traffic, kept separate from
 the store's inter-controller counter.
+
+Construction is config-driven: one :class:`~repro.config.JuryConfig`
+describes the validation core plus observability, and
+:meth:`repro.api.Jury.build` is the public entry point. Direct
+``JuryDeployment(cluster, k=..., ...)`` keyword construction still works as
+a deprecated shim that assembles the equivalent config.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional
 
+from repro.config import JuryConfig
 from repro.controllers.cluster import ControllerCluster
 from repro.controllers.northbound import NorthboundApi
 from repro.core.module import JuryModule
 from repro.core.pipeline import ValidationPipeline
 from repro.core.replicator import Replicator
-from repro.core.timeouts import StaticTimeout, TimeoutPolicy
+from repro.core.timeouts import TimeoutPolicy
 from repro.core.validator import Validator
 from repro.errors import ValidationError
 from repro.net.channel import ByteCounter, ControlChannel
+from repro.obs.trace import active_tracer
 from repro.sim.latency import LatencyModel, Uniform
+
+_LEGACY = object()  # sentinel: distinguishes "not passed" from explicit None
 
 
 class JuryDeployment:
@@ -36,7 +47,7 @@ class JuryDeployment:
     def __init__(
         self,
         cluster: ControllerCluster,
-        k: int,
+        k: Optional[int] = None,
         timeout_ms: float = 150.0,
         timeout: Optional[TimeoutPolicy] = None,
         policy_engine=None,
@@ -45,7 +56,31 @@ class JuryDeployment:
         state_aware: bool = True,
         taint_classification: bool = True,
         pipeline: Optional[int] = None,
+        config: Optional[JuryConfig] = None,
     ):
+        if config is None:
+            # Legacy keyword seam: fold the kwargs into the one config
+            # object so there is a single construction path below.
+            warnings.warn(
+                "JuryDeployment(cluster, k=..., ...) keyword construction "
+                "is deprecated; build a JuryConfig and call "
+                "Jury.build(config, cluster=cluster)",
+                DeprecationWarning, stacklevel=2)
+            if k is None:
+                raise ValidationError("k is required (or pass config=)")
+            config = JuryConfig(
+                k=k, timeout_ms=timeout_ms, timeout=timeout,
+                policy_engine=policy_engine,
+                validator_latency=validator_latency,
+                replicate_handshakes=replicate_handshakes,
+                state_aware=state_aware,
+                taint_classification=taint_classification,
+                pipeline=pipeline)
+        k = config.k
+        if k is None:
+            raise ValidationError(
+                "JuryDeployment needs a k (config.k=None means a vanilla "
+                "cluster and is only valid for Jury.experiment)")
         if k < 0 or k > cluster.size - 1:
             raise ValidationError(
                 f"k={k} is not in [0, n-1] for a cluster of {cluster.size}")
@@ -53,37 +88,51 @@ class JuryDeployment:
             raise ValidationError(
                 "connect_topology() before deploying JURY — the replicators "
                 "attach to the per-switch OVS proxies")
+        self.config = config
         self.cluster = cluster
         self.sim = cluster.sim
         self.k = k
-        self.replicate_handshakes = replicate_handshakes
+        self.replicate_handshakes = config.replicate_handshakes
         self.rng = self.sim.fork_rng("jury-deployment")
         self.controller_ids: List[str] = cluster.controller_ids()
         self.replication_counter = ByteCounter("jury-replication")
         self.validator_counter = ByteCounter("jury-validator")
+        #: Observability, shared by replicators and the validation engine.
+        #: ``None`` (config.trace/metrics off) is the zero-cost path.
+        self.tracer = active_tracer(config.build_tracer())
+        self.metrics = config.build_metrics()
 
-        timeout_policy = (timeout if timeout is not None
-                          else StaticTimeout(timeout_ms))
-        if pipeline is not None:
+        timeout_policy = config.build_timeout()
+        engine = config.build_policy_engine()
+        if config.pipeline is not None:
             # Sharded validator; same public surface, so modules/harness
             # code is oblivious to the swap.
             self.validator = ValidationPipeline(
-                self.sim, k, shards=pipeline,
+                self.sim, k, shards=config.pipeline,
                 timeout=timeout_policy,
-                policy_engine=policy_engine,
+                policy_engine=engine,
                 mastership_lookup=cluster.master_of,
-                state_aware=state_aware,
-                taint_classification=taint_classification)
+                state_aware=config.state_aware,
+                taint_classification=config.taint_classification,
+                keep_results=config.keep_results,
+                queue_capacity=config.queue_capacity,
+                batch_max=config.batch_max,
+                flush_interval_ms=config.flush_interval_ms,
+                tracer=self.tracer, metrics=self.metrics)
         else:
             self.validator = Validator(
                 self.sim, k,
                 timeout=timeout_policy,
-                policy_engine=policy_engine,
+                policy_engine=engine,
                 mastership_lookup=cluster.master_of,
-                state_aware=state_aware,
-                taint_classification=taint_classification)
+                state_aware=config.state_aware,
+                taint_classification=config.taint_classification,
+                keep_results=config.keep_results,
+                tracer=self.tracer, metrics=self.metrics)
 
-        latency = validator_latency if validator_latency is not None else Uniform(0.2, 0.8)
+        latency = (config.validator_latency
+                   if config.validator_latency is not None
+                   else Uniform(0.2, 0.8))
         self.modules: Dict[str, JuryModule] = {}
         for controller in cluster.controllers.values():
             module = JuryModule(self, controller)
@@ -124,6 +173,40 @@ class JuryDeployment:
             original_deliver(controller_id, request)
 
         api.deliver = intercepting_deliver
+
+    # ------------------------------------------------------------------
+    # Validation facade (uniform across sequential/sharded engines)
+    # ------------------------------------------------------------------
+    def detection_times(self, external_only: bool = True) -> List[float]:
+        """Per-trigger detection latencies (ms) from the validation engine."""
+        return self.validator.detection_times(external_only=external_only)
+
+    def false_positive_rate(self) -> float:
+        """Alarmed fraction of decided triggers."""
+        return self.validator.false_positive_rate()
+
+    @property
+    def alarms(self):
+        return self.validator.alarms
+
+    # ------------------------------------------------------------------
+    # Observability exports
+    # ------------------------------------------------------------------
+    def trace_payload(self) -> Dict[str, object]:
+        """The recorded trace as a JSON-able payload (requires trace=True)."""
+        if self.tracer is None:
+            raise ValidationError(
+                "tracing is off — build with JuryConfig(trace=True)")
+        return self.tracer.to_payload()
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Push metrics plus a fresh scrape of engine/deployment counters."""
+        if self.metrics is None:
+            raise ValidationError(
+                "metrics are off — build with JuryConfig(metrics=True)")
+        from repro.obs.metrics import collect_deployment
+        collect_deployment(self.metrics, self)
+        return self.metrics.snapshot()
 
     # ------------------------------------------------------------------
     # Aggregate stats for the evaluation harness

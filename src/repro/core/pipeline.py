@@ -54,6 +54,8 @@ from repro.core.consensus import ConsensusOutcome, _merge_network
 from repro.core.responses import Response, ResponseKind
 from repro.core.timeouts import StaticTimeout, TimeoutPolicy
 from repro.core.validator import ControllerState, DecisionCore, digest_progress
+from repro.obs import trace as obs_trace
+from repro.obs.trace import active_tracer
 from repro.sim.simulator import Simulator
 
 
@@ -140,7 +142,8 @@ class _Shard(DecisionCore):
                         mastership_lookup=pipeline.mastership_lookup,
                         state_aware=pipeline.state_aware,
                         taint_classification=pipeline.taint_classification,
-                        state=pipeline.state)
+                        state=pipeline.state,
+                        tracer=pipeline.tracer, metrics=pipeline.metrics)
         self.pipeline = pipeline
         self.index = index
         self.timeout: TimeoutPolicy = pipeline.timeout
@@ -236,6 +239,12 @@ class _Shard(DecisionCore):
             tau = response.trigger_id
             if tau in recently_decided:
                 stats.late_responses += 1
+                if self.tracer is not None:
+                    self.tracer.emit(self.sim.now, tau, obs_trace.LATE_DROP,
+                                     controller=response.controller_id)
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "validator_late_responses_total").inc()
                 continue
             record = records.get(tau)
             if record is None:
@@ -332,6 +341,8 @@ class _Shard(DecisionCore):
         record.decided = True
         responses = record.responses
         external = self._classify_external(record.count, responses)
+        if self.tracer is not None:
+            self._trace_decide(tau, record.count, external, timed_out)
         outcome = self._fast_consensus(responses, external)
         if outcome is None:
             self.stats.slowpath_decisions += 1
@@ -351,6 +362,8 @@ class _Shard(DecisionCore):
             trigger_id=tau, ok=not alarms, external=external,
             decided_at=self.sim.now, n_responses=record.count,
             detection_ms=detection_ms, timed_out=timed_out, alarms=alarms)
+        if self.tracer is not None or self.metrics is not None:
+            self._observe_decision(tau, result)
         self.stats.decided += 1
         if alarms:
             self.stats.alarmed += 1
@@ -468,7 +481,8 @@ class ValidationPipeline:
                  taint_classification: bool = True,
                  queue_capacity: int = 1024,
                  batch_max: int = 512,
-                 flush_interval_ms: float = 0.0):
+                 flush_interval_ms: float = 0.0,
+                 tracer=None, metrics=None):
         if shards < 1:
             raise ValueError(f"shards must be >= 1: {shards}")
         if queue_capacity < 1:
@@ -487,6 +501,12 @@ class ValidationPipeline:
         self.queue_capacity = queue_capacity
         self.batch_max = batch_max
         self.flush_interval_ms = flush_interval_ms
+        #: Observability (repro.obs); shards share both objects, and the
+        #: trace they produce carries no shard indices — engine-specific
+        #: detail (queues, batches, overflow) goes to the metrics registry
+        #: so traces stay byte-identical at any shard count.
+        self.tracer = active_tracer(tracer)
+        self.metrics = metrics
         #: Merged Ψid view shared by all shards (see module docstring).
         self.state: Dict[str, ControllerState] = {}
         self._shards = [_Shard(self, i) for i in range(shards)]
@@ -513,6 +533,13 @@ class ValidationPipeline:
     def ingest(self, response: Response) -> None:
         self.responses_received += 1
         tau = response.trigger_id
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, tau, obs_trace.INGEST,
+                             kind=response.kind.value,
+                             controller=response.controller_id)
+        if self.metrics is not None:
+            self.metrics.counter("validator_responses_total",
+                                 kind=response.kind.value).inc()
         # Route cache: ~2k+2 responses share each trigger id, so the
         # repr+CRC of shard_of amortises to one dict hit per response.
         shard = self._route.get(tau)

@@ -23,6 +23,7 @@ from typing import Any
 
 from repro.controllers.context import Taint, new_external_trigger_id
 from repro.core.selection import designated_secondaries
+from repro.obs import trace as obs_trace
 from repro.net.ovs import ReplicatingProxy
 from repro.openflow.encap import encapsulate_packet_in
 from repro.openflow.messages import FeaturesReply, PacketIn, RestRequest
@@ -55,6 +56,9 @@ class Replicator:
         proxy.on_switch_to_controller = self._on_switch_trigger
         self.triggers_replicated = 0
         self._connects_seen: set = set()
+        # Observers are shared deployment-wide; None means off (fast path).
+        self.tracer = deployment.tracer
+        self.metrics = deployment.metrics
 
     # ------------------------------------------------------------------
     def _on_switch_trigger(self, message: Any) -> None:
@@ -71,6 +75,13 @@ class Replicator:
         tau = new_external_trigger_id()
         # Stamp τ so the primary's own context uses the same trigger id.
         message.jury_tau = tau
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, tau, obs_trace.INTERCEPT,
+                             source="switch", primary=primary,
+                             kind=type(message).__name__)
+        if self.metrics is not None:
+            self.metrics.counter("replicator_triggers_total",
+                                 source="switch").inc()
         self._replicate(tau, primary, message,
                         via_proxy=True, intercepted_at=self.sim.now)
 
@@ -78,6 +89,13 @@ class Replicator:
         """Northbound interception: stamp τ and replicate the request."""
         tau = new_external_trigger_id()
         request.jury_tau = tau
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, tau, obs_trace.INTERCEPT,
+                             source="rest", primary=controller_id,
+                             kind=type(request).__name__)
+        if self.metrics is not None:
+            self.metrics.counter("replicator_triggers_total",
+                                 source="rest").inc()
         self._replicate(tau, controller_id, request,
                         via_proxy=False, intercepted_at=self.sim.now)
 
@@ -88,6 +106,9 @@ class Replicator:
         secondaries = designated_secondaries(
             tau, deployment.controller_ids, deployment.k, exclude=(primary,))
         taint = Taint(trigger_id=tau, primary_id=primary)
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, tau, obs_trace.REPLICATE,
+                             secondaries=len(secondaries))
         for secondary_id in secondaries:
             controller = deployment.cluster.controllers.get(secondary_id)
             if controller is None:
@@ -104,6 +125,8 @@ class Replicator:
                 intercepted_at=intercepted_at)
             deployment.replication_counter.add(trigger.wire_size())
             self.triggers_replicated += 1
+            if self.metrics is not None:
+                self.metrics.counter("replicator_copies_total").inc()
             if via_proxy and self.proxy.send_to_controller(secondary_id, trigger):
                 continue
             # REST triggers (or missing proxy channels) go point-to-point.

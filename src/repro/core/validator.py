@@ -30,6 +30,8 @@ from repro.core.alarms import Alarm, AlarmReason, ValidationResult
 from repro.core.consensus import ConsensusOutcome, evaluate_consensus, sanity_check
 from repro.core.responses import Response
 from repro.core.timeouts import StaticTimeout, TimeoutPolicy
+from repro.obs import trace as obs_trace
+from repro.obs.trace import active_tracer
 from repro.sim.simulator import Simulator
 
 
@@ -98,11 +100,17 @@ class DecisionCore:
                    mastership_lookup: Optional[Callable[[int], Optional[str]]] = None,
                    state_aware: bool = True,
                    taint_classification: bool = True,
-                   state: Optional[Dict[str, ControllerState]] = None) -> None:
+                   state: Optional[Dict[str, ControllerState]] = None,
+                   tracer=None, metrics=None) -> None:
         self.sim = sim
         self.k = k
         self.policy_engine = policy_engine
         self.mastership_lookup = mastership_lookup
+        #: Observability (repro.obs). ``None`` is the no-op fast path: every
+        #: instrumentation site guards with a single ``is not None`` branch,
+        #: and neither observer can alter a decision (read-only contract).
+        self.tracer = active_tracer(tracer)
+        self.metrics = metrics
         #: Ablation switches (DESIGN.md §5): snapshot-grouped consensus and
         #: taint-based external/internal classification.
         self.state_aware = state_aware
@@ -136,10 +144,27 @@ class DecisionCore:
     def _post_consensus_alarms(self, tau: Tuple, responses: List[Response],
                                outcome: ConsensusOutcome,
                                external: bool) -> List[Alarm]:
-        """Sanity, staleness, and policy checks after a consensus outcome."""
+        """Sanity, staleness, and policy checks after a consensus outcome.
+
+        Both the sequential validator and the pipeline's unanimity fast
+        path converge here, so the per-check spans emitted below describe
+        every decided trigger identically regardless of engine — the
+        trace-determinism contract of :mod:`repro.obs.trace` rests on it.
+        """
+        tracer = self.tracer
+        metrics = self.metrics
         alarms: List[Alarm] = []
         if not outcome.ok:
             alarms.append(self._alarm(tau, outcome, responses))
+        consensus_verdict = (obs_trace.VERDICT_OK if outcome.ok
+                             else outcome.reason.value)
+        if tracer is not None:
+            tracer.emit(self.sim.now, tau, obs_trace.CHECK_CONSENSUS,
+                        verdict=consensus_verdict,
+                        detail=outcome.offending or "")
+        if metrics is not None:
+            metrics.counter("validator_checks_total", check="consensus",
+                            verdict=consensus_verdict).inc()
 
         if outcome.ok:
             # Sanity runs for every decided trigger: empty cache and network
@@ -150,8 +175,31 @@ class DecisionCore:
                                 outcome.primary_id)
             if not sane.ok:
                 alarms.append(self._alarm(tau, sane, responses))
+            sanity_verdict = (obs_trace.VERDICT_OK if sane.ok
+                              else sane.reason.value)
+            if tracer is not None:
+                tracer.emit(self.sim.now, tau, obs_trace.CHECK_SANITY,
+                            verdict=sanity_verdict,
+                            detail=sane.offending or "")
+            if metrics is not None:
+                metrics.counter("validator_checks_total", check="sanity",
+                                verdict=sanity_verdict).inc()
 
-        alarms.extend(self._staleness_alarms(tau, responses))
+        stale = self._staleness_alarms(tau, responses)
+        alarms.extend(stale)
+        if self.staleness_threshold is not None:
+            stale_verdict = (obs_trace.VERDICT_OK if not stale
+                             else f"stale:{len(stale)}")
+            if tracer is not None:
+                tracer.emit(self.sim.now, tau, obs_trace.CHECK_STALENESS,
+                            verdict=stale_verdict,
+                            detail=",".join(sorted(
+                                a.offending_controller or "?"
+                                for a in stale)))
+            if metrics is not None:
+                metrics.counter("validator_checks_total", check="staleness",
+                                verdict=obs_trace.VERDICT_OK if not stale
+                                else "stale").inc()
 
         if self.policy_engine is not None:
             violations = self.policy_engine.check_decision(
@@ -161,7 +209,58 @@ class DecisionCore:
                     trigger_id=tau, reason=AlarmReason.POLICY_VIOLATION,
                     offending_controller=outcome.primary_id,
                     detail=str(violation), raised_at=self.sim.now))
+            policy_verdict = (obs_trace.VERDICT_OK if not violations
+                              else f"violations:{len(violations)}")
+            if tracer is not None:
+                tracer.emit(self.sim.now, tau, obs_trace.CHECK_POLICY,
+                            verdict=policy_verdict,
+                            detail=str(violations[0]) if violations else "")
+            if metrics is not None:
+                metrics.counter("validator_checks_total", check="policy",
+                                verdict=obs_trace.VERDICT_OK if not violations
+                                else "violation").inc()
         return alarms
+
+    def _observe_decision(self, tau: Tuple, result: ValidationResult) -> None:
+        """Emit the decide/alarm/accept spans and decision metrics.
+
+        Called by every validator flavour immediately after a trigger's
+        :class:`ValidationResult` is assembled; the DECIDE span itself is
+        emitted earlier (before the checks) by :meth:`_trace_decide` so the
+        per-trigger stage order matches causality.
+        """
+        tracer = self.tracer
+        if tracer is not None:
+            now = self.sim.now
+            if result.alarms:
+                for alarm in result.alarms:
+                    tracer.emit(now, tau, obs_trace.ALARM,
+                                verdict=alarm.reason.value,
+                                detail=alarm.offending_controller or "")
+            else:
+                tracer.emit(now, tau, obs_trace.ACCEPT,
+                            verdict=obs_trace.VERDICT_OK)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter(
+                "validator_decisions_total",
+                outcome="alarmed" if result.alarms else "ok").inc()
+            if result.timed_out:
+                metrics.counter("validator_timeout_decisions_total").inc()
+            metrics.histogram("validator_detection_ms").observe(
+                result.detection_ms)
+            metrics.histogram("validator_responses_per_trigger").observe(
+                result.n_responses)
+            for alarm in result.alarms:
+                metrics.counter("validator_alarms_total",
+                                reason=alarm.reason.value).inc()
+
+    def _trace_decide(self, tau: Tuple, count: int, external: bool,
+                      timed_out: bool) -> None:
+        """DECIDE span: Vτ closed, checks about to run (tracer non-None)."""
+        self.tracer.emit(self.sim.now, tau, obs_trace.DECIDE,
+                         verdict="timeout" if timed_out else "full-count",
+                         external=external, n_responses=count)
 
     def _staleness_alarms(self, tau: Tuple,
                           responses: List[Response]) -> List[Alarm]:
@@ -215,11 +314,13 @@ class Validator(DecisionCore):
                  mastership_lookup: Optional[Callable[[int], Optional[str]]] = None,
                  keep_results: bool = True,
                  state_aware: bool = True,
-                 taint_classification: bool = True):
+                 taint_classification: bool = True,
+                 tracer=None, metrics=None):
         self._init_core(sim, k, policy_engine=policy_engine,
                         mastership_lookup=mastership_lookup,
                         state_aware=state_aware,
-                        taint_classification=taint_classification)
+                        taint_classification=taint_classification,
+                        tracer=tracer, metrics=metrics)
         self.timeout = timeout if timeout is not None else StaticTimeout(150.0)
         self.keep_results = keep_results
         self._pending: Dict[Tuple, _TriggerRecord] = {}
@@ -248,8 +349,21 @@ class Validator(DecisionCore):
         """Process one incoming (id, τ, entry) response."""
         self.responses_received += 1
         tau = response.trigger_id
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(self.sim.now, tau, obs_trace.INGEST,
+                        kind=response.kind.value,
+                        controller=response.controller_id)
+        if self.metrics is not None:
+            self.metrics.counter("validator_responses_total",
+                                 kind=response.kind.value).inc()
         if tau in self._recently_decided:
             self.late_responses += 1
+            if tracer is not None:
+                tracer.emit(self.sim.now, tau, obs_trace.LATE_DROP,
+                            controller=response.controller_id)
+            if self.metrics is not None:
+                self.metrics.counter("validator_late_responses_total").inc()
             return
         record = self._pending.get(tau)
         if record is None:
@@ -293,6 +407,8 @@ class Validator(DecisionCore):
             record.timer.cancel()
         responses = [response for _, response in record.responses]
         external = self._classify_external(record.count, responses)
+        if self.tracer is not None:
+            self._trace_decide(tau, record.count, external, timed_out)
         outcome, alarms = self._run_checks(tau, responses, external)
 
         received = [r.trigger_received_at for r in responses
@@ -305,6 +421,8 @@ class Validator(DecisionCore):
             trigger_id=tau, ok=not alarms, external=external,
             decided_at=self.sim.now, n_responses=record.count,
             detection_ms=detection_ms, timed_out=timed_out, alarms=alarms)
+        if self.tracer is not None or self.metrics is not None:
+            self._observe_decision(tau, result)
         self.triggers_decided += 1
         if alarms:
             self.triggers_alarmed += 1

@@ -2,6 +2,7 @@
 
 from repro.harness.bench import (
     compare as bench_validator_compare,
+    compare_observability as bench_observability_compare,
     synthetic_validation_workload,
     write_payload,
 )
@@ -13,12 +14,19 @@ from repro.harness.experiment import (
 )
 from repro.harness.figures import ascii_cdf, ascii_series
 from repro.harness.metrics import cdf_points, mbps, percentile
-from repro.harness.reporting import format_series, format_table
+from repro.harness.reporting import (
+    CommandResult,
+    format_series,
+    format_table,
+    render_result,
+)
 
 __all__ = [
+    "CommandResult",
     "DetectionStats",
     "ascii_cdf",
     "ascii_series",
+    "bench_observability_compare",
     "bench_validator_compare",
     "Experiment",
     "ThroughputPoint",
@@ -28,6 +36,7 @@ __all__ = [
     "format_table",
     "mbps",
     "percentile",
+    "render_result",
     "synthetic_validation_workload",
     "write_payload",
 ]

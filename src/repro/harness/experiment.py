@@ -10,19 +10,16 @@ based network overheads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.controllers.cluster import ControllerCluster
 from repro.controllers.northbound import NorthboundApi
-from repro.controllers.odl import build_odl_cluster
-from repro.controllers.onos import build_onos_cluster
-from repro.controllers.profile import odl_profile, onos_profile
 from repro.core.deployment import JuryDeployment
 from repro.errors import WorkloadError
 from repro.harness.metrics import percentile
-from repro.net.channel import ByteCounter
-from repro.net.topology import Topology, linear_topology, three_tier_topology
+from repro.net.topology import Topology
 from repro.sim.simulator import Simulator
 
 
@@ -201,48 +198,26 @@ def build_experiment(
     state_aware: bool = True,
     taint_classification: bool = True,
     pipeline: Optional[int] = None,
+    trace: bool = False,
+    metrics: bool = False,
 ) -> Experiment:
-    """Assemble a full experiment.
+    """Deprecated keyword seam for :meth:`repro.api.Jury.experiment`.
 
-    ``k=None`` builds a vanilla (non-JURY) cluster; otherwise JURY is
-    deployed with ``k`` secondaries. ``kind`` selects the controller model
-    ("onos" or "odl"), ``topology`` the fabric ("linear" or "three_tier").
-    ``pipeline=N`` swaps the sequential validator for the sharded
-    :class:`~repro.core.pipeline.ValidationPipeline` with ``N`` shards.
+    Folds its arguments into a :class:`~repro.config.JuryConfig` and
+    delegates; prefer building the config yourself. ``k=None`` still builds
+    a vanilla (non-JURY) cluster.
     """
-    sim = Simulator(seed=seed)
-    if topology == "linear":
-        topo = linear_topology(sim, switches)
-    elif topology == "three_tier":
-        topo = three_tier_topology(sim)
-    else:
-        raise WorkloadError(f"unknown topology {topology!r}")
-
-    overrides = dict(profile_overrides or {})
-    if kind == "onos":
-        profile = onos_profile(**overrides)
-        cluster, store = build_onos_cluster(sim, n=n, profile=profile)
-    elif kind == "odl":
-        profile = odl_profile(**overrides)
-        cluster, store = build_odl_cluster(sim, n=n, profile=profile)
-    else:
-        raise WorkloadError(f"unknown controller kind {kind!r}")
-
-    cluster.connect_topology(topo)
-
-    jury = None
-    if k is not None:
-        jury = JuryDeployment(cluster, k=k, timeout_ms=timeout_ms,
-                              policy_engine=policy_engine,
-                              state_aware=state_aware,
-                              taint_classification=taint_classification,
-                              pipeline=pipeline)
-        jury.validator.keep_results = keep_results
-
-    northbound = None
-    if with_northbound:
-        northbound = NorthboundApi(cluster)
-        if jury is not None:
-            jury.attach_northbound(northbound)
-
-    return Experiment(sim, topo, cluster, store, jury=jury, northbound=northbound)
+    warnings.warn(
+        "build_experiment(...) is deprecated; build a JuryConfig and call "
+        "Jury.experiment(config) (or Jury.build(config) for the deployment)",
+        DeprecationWarning, stacklevel=2)
+    from repro.api import Jury
+    from repro.config import JuryConfig
+    config = JuryConfig(
+        kind=kind, n=n, k=k, topology=topology, switches=switches,
+        seed=seed, timeout_ms=timeout_ms, policy_engine=policy_engine,
+        profile_overrides=tuple(sorted((profile_overrides or {}).items())),
+        with_northbound=with_northbound, keep_results=keep_results,
+        state_aware=state_aware, taint_classification=taint_classification,
+        pipeline=pipeline, trace=trace, metrics=metrics)
+    return Jury.experiment(config)

@@ -1,0 +1,82 @@
+"""Trigger-lifecycle observability: tracing and metrics for the validation path.
+
+Two complementary views of the same pipeline:
+
+* :class:`~repro.obs.trace.Tracer` — per-trigger lifecycle *spans*
+  (intercept → replicate → ingest → Algorithm-1 checks with verdicts →
+  alarm/accept), keyed on simulated time and deterministic under replay.
+* :class:`~repro.obs.metrics.MetricsRegistry` — counter/gauge/histogram
+  families (per-check verdicts, detection latency, per-shard queue and
+  batch behaviour) for aggregate health.
+
+Both are strictly read-only observers of the validation path: enabling
+them cannot change a decision, and disabling them (``tracer=None`` /
+``metrics=None``, the default) costs one branch per instrumented event.
+See ``docs/observability.md`` for the span model and metric catalog.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_deployment,
+    collect_pipeline,
+    dump_metrics,
+)
+from repro.obs.trace import (
+    ACCEPT,
+    ALARM,
+    CHECK_CONSENSUS,
+    CHECK_POLICY,
+    CHECK_SANITY,
+    CHECK_STALENESS,
+    DECIDE,
+    INGEST,
+    INTERCEPT,
+    LATE_DROP,
+    REPLICATE,
+    STAGE_RANK,
+    VERDICT_OK,
+    NullTracer,
+    Span,
+    Tracer,
+    TriggerTimeline,
+    active_tracer,
+    dump_trace,
+    load_trace,
+    match_trigger_key,
+    span_sort_key,
+)
+
+__all__ = [
+    "ACCEPT",
+    "ALARM",
+    "CHECK_CONSENSUS",
+    "CHECK_POLICY",
+    "CHECK_SANITY",
+    "CHECK_STALENESS",
+    "Counter",
+    "DECIDE",
+    "Gauge",
+    "Histogram",
+    "INGEST",
+    "INTERCEPT",
+    "LATE_DROP",
+    "MetricsRegistry",
+    "NullTracer",
+    "REPLICATE",
+    "STAGE_RANK",
+    "Span",
+    "Tracer",
+    "TriggerTimeline",
+    "VERDICT_OK",
+    "active_tracer",
+    "collect_deployment",
+    "collect_pipeline",
+    "dump_metrics",
+    "dump_trace",
+    "load_trace",
+    "match_trigger_key",
+    "span_sort_key",
+]

@@ -1,0 +1,370 @@
+"""Per-trigger lifecycle tracing for the validation path.
+
+JURY's output is an alarm with attribution; *why* the alarm fired — which
+Algorithm-1 check failed, what the validator had seen by then, where the
+trigger spent its time — is what an operator debugging a cross-plane
+divergence actually needs. This module records that decision path as a
+stream of :class:`Span` records keyed on **simulated time**, so traces are
+deterministic: replaying the same recorded response stream (see
+:class:`~repro.workloads.recorder.ValidatorStreamRecorder`) reproduces the
+trace byte for byte, at any pipeline shard count.
+
+Design rules that keep tracing equivalence-safe:
+
+* A tracer never schedules events, never draws randomness, and never
+  mutates validator state — it only appends records. Tracing on/off cannot
+  change a single decision, which is what lets the differential suite run
+  byte-identical with tracing enabled.
+* Spans carry only *engine-independent* facts (stage, verdict, counts).
+  Shard indices, batch sizes, and queue depths live in the
+  :class:`~repro.obs.metrics.MetricsRegistry` instead — a trace produced at
+  ``pipeline=1`` and ``pipeline=4`` from the same stream is identical.
+* The canonical encoding (:meth:`Tracer.canonical`) sorts spans by
+  ``(time, trigger id, stage rank)`` with a stable sort, mirroring
+  :func:`repro.core.alarms.canonical_alarm_stream`; equality of canonical
+  traces is the trace-determinism contract asserted in the test suite.
+
+The no-op fast path is ``tracer=None``: instrumentation sites guard with a
+single ``is not None`` check, so a deployment built without ``trace=True``
+pays one predictable branch per instrumented event and nothing else.
+:class:`NullTracer` exists for call sites that want an object either way;
+components normalise it to ``None`` internally via :func:`active_tracer`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# Stage vocabulary
+# ----------------------------------------------------------------------
+# One trigger's lifecycle, in causal order. The rank both orders timeline
+# rendering and tiebreaks the canonical sort at equal simulated times.
+
+INTERCEPT = "intercept"          #: replicator saw the external trigger
+REPLICATE = "replicate"          #: taint-wrapped copies shipped to secondaries
+INGEST = "ingest"                #: one response reached the validator
+LATE_DROP = "late-drop"          #: response for an already-decided trigger
+DECIDE = "decide"                #: Vτ closed (full count or θτ expiry)
+CHECK_CONSENSUS = "check:consensus"
+CHECK_SANITY = "check:sanity"
+CHECK_STALENESS = "check:staleness"
+CHECK_POLICY = "check:policy"
+ALARM = "alarm"                  #: one alarm raised for this trigger
+ACCEPT = "accept"                #: decided clean — no alarms
+
+STAGE_RANK: Dict[str, int] = {
+    INTERCEPT: 0,
+    REPLICATE: 1,
+    INGEST: 2,
+    LATE_DROP: 3,
+    DECIDE: 4,
+    CHECK_CONSENSUS: 5,
+    CHECK_SANITY: 6,
+    CHECK_STALENESS: 7,
+    CHECK_POLICY: 8,
+    ALARM: 9,
+    ACCEPT: 10,
+}
+
+#: Verdict value for a passing check.
+VERDICT_OK = "ok"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One typed event in a trigger's lifecycle, at a simulated instant.
+
+    ``attrs`` is a sorted tuple of ``(key, value)`` pairs — hashable and
+    deterministic, unlike a dict whose insertion order would leak
+    call-site accidents into the canonical encoding.
+    """
+
+    at: float
+    trigger_id: Tuple
+    stage: str
+    verdict: Optional[str] = None
+    detail: str = ""
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+    def attr(self, key: str, default=None):
+        """Look up one attribute by name."""
+        for k, v in self.attrs:
+            if k == key:
+                return v
+        return default
+
+    def canonical_line(self) -> str:
+        """One-line canonical rendering, stable across runs and engines."""
+        attrs = ";".join(f"{k}={v!r}" for k, v in self.attrs)
+        verdict = self.verdict if self.verdict is not None else "-"
+        return (f"{self.at:.9f}|{self.trigger_id!r}|{self.stage}|"
+                f"{verdict}|{self.detail}|{attrs}")
+
+
+def span_sort_key(span: Span) -> Tuple[float, str, int]:
+    """Deterministic total order for canonical trace encoding.
+
+    Stable-sorting by this key leaves same-key spans (e.g. several ingests
+    of one trigger at one instant) in emission order, which per trigger is
+    arrival order on whichever shard owns it — identical at any shard
+    count, because all of a trigger's responses route to one shard.
+    """
+    return (span.at, repr(span.trigger_id),
+            STAGE_RANK.get(span.stage, len(STAGE_RANK)))
+
+
+def _freeze_attrs(attrs: Dict[str, object]) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(attrs.items()))
+
+
+class Tracer:
+    """Collects lifecycle spans for every trigger that crosses the system.
+
+    One tracer is shared by the whole deployment (replicators, validator or
+    pipeline shards, alarm emission); the single append-only list keeps
+    memory accounting simple and the export deterministic.
+    """
+
+    #: Instrumentation sites check this once at construction; a subclass
+    #: returning False (``NullTracer``) is normalised away entirely.
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._by_trigger: Dict[str, List[Span]] = {}
+
+    # ------------------------------------------------------------------
+    # Emission (the validator-side hot path when tracing is on)
+    # ------------------------------------------------------------------
+    def emit(self, at: float, trigger_id: Tuple, stage: str,
+             verdict: Optional[str] = None, detail: str = "",
+             **attrs: object) -> Span:
+        """Record one span. Returns it (handy in tests)."""
+        span = Span(at=at, trigger_id=trigger_id, stage=stage,
+                    verdict=verdict, detail=detail,
+                    attrs=_freeze_attrs(attrs) if attrs else ())
+        self.spans.append(span)
+        self._by_trigger.setdefault(repr(trigger_id), []).append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def trigger_keys(self) -> List[str]:
+        """``repr`` keys of every traced trigger, in first-seen order."""
+        return list(self._by_trigger)
+
+    def spans_for(self, trigger_id) -> List[Span]:
+        """All spans of one trigger, in emission order.
+
+        Accepts the trigger id tuple or its ``repr`` string (the form the
+        CLI and JSON export use).
+        """
+        key = trigger_id if isinstance(trigger_id, str) else repr(trigger_id)
+        return list(self._by_trigger.get(key, []))
+
+    def timeline(self, trigger_id) -> "TriggerTimeline":
+        """The reconstructed lifecycle of one trigger."""
+        spans = self.spans_for(trigger_id)
+        key = trigger_id if isinstance(trigger_id, str) else repr(trigger_id)
+        return TriggerTimeline(trigger_key=key, spans=sorted(
+            spans, key=span_sort_key))
+
+    def stage_counts(self) -> Dict[str, int]:
+        """Span count per stage — the conservation ledger."""
+        counts: Dict[str, int] = {}
+        for span in self.spans:
+            counts[span.stage] = counts.get(span.stage, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Canonical encoding and JSON export
+    # ------------------------------------------------------------------
+    def canonical(self) -> bytes:
+        """Byte-exact canonical encoding of the whole trace.
+
+        Two runs are trace-equivalent iff their canonical encodings compare
+        equal; see the module docstring for why this is engine-independent.
+        """
+        ordered = sorted(self.spans, key=span_sort_key)
+        return "\n".join(s.canonical_line() for s in ordered).encode("utf-8")
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-able export (``jury-repro trace --output``)."""
+        ordered = sorted(self.spans, key=span_sort_key)
+        return {
+            "format": "jury-trace",
+            "version": 1,
+            "span_count": len(ordered),
+            "trigger_count": len(self._by_trigger),
+            "spans": [
+                {
+                    "t": span.at,
+                    "trigger": repr(span.trigger_id),
+                    "stage": span.stage,
+                    "verdict": span.verdict,
+                    "detail": span.detail,
+                    "attrs": {k: v for k, v in span.attrs},
+                }
+                for span in ordered
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_payload(payload: Dict[str, object]) -> "Tracer":
+        """Rebuild a tracer from :meth:`to_payload` output.
+
+        Trigger ids come back as their ``repr`` strings (tuples do not
+        survive JSON); every lookup API accepts that form.
+        """
+        if payload.get("format") != "jury-trace":
+            raise ValueError("not a jury-trace payload")
+        tracer = Tracer()
+        for entry in payload.get("spans", []):
+            span = Span(
+                at=float(entry["t"]),
+                # Stored pre-repr'd: mark with a string trigger id whose
+                # repr round-trips to itself for grouping purposes.
+                trigger_id=_ReprKey(entry["trigger"]),
+                stage=str(entry["stage"]),
+                verdict=entry.get("verdict"),
+                detail=str(entry.get("detail", "")),
+                attrs=_freeze_attrs(dict(entry.get("attrs", {}))),
+            )
+            tracer.spans.append(span)
+            tracer._by_trigger.setdefault(entry["trigger"], []).append(span)
+        return tracer
+
+
+class _ReprKey(str):
+    """A string whose ``repr`` is itself — lets reloaded spans (which only
+    kept the repr of their trigger id) group and sort exactly like live
+    spans do."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # noqa: D105 - identity repr by design
+        return str.__str__(self)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing (the explicit-object no-op path)."""
+
+    enabled = False
+
+    def emit(self, at, trigger_id, stage, verdict=None, detail="",
+             **attrs) -> None:  # type: ignore[override]
+        return None
+
+
+def active_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Normalise a tracer argument to the internal fast-path convention.
+
+    Components store ``None`` for "tracing off" so hot paths pay exactly
+    one ``is not None`` branch; a disabled tracer (``NullTracer``) is
+    folded into that same representation here.
+    """
+    if tracer is None or not tracer.enabled:
+        return None
+    return tracer
+
+
+# ----------------------------------------------------------------------
+# Timeline reconstruction
+# ----------------------------------------------------------------------
+
+@dataclass
+class TriggerTimeline:
+    """One trigger's lifecycle: ordered spans plus derived summary facts."""
+
+    trigger_key: str
+    spans: List[Span] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.spans
+
+    @property
+    def started_at(self) -> float:
+        return self.spans[0].at if self.spans else 0.0
+
+    @property
+    def decided_at(self) -> Optional[float]:
+        for span in self.spans:
+            if span.stage == DECIDE:
+                return span.at
+        return None
+
+    @property
+    def verdict(self) -> str:
+        """``accept``, ``alarm:<reasons>``, or ``undecided``."""
+        reasons = [s.verdict for s in self.spans if s.stage == ALARM]
+        if reasons:
+            return "alarm:" + ",".join(sorted(set(r or "?" for r in reasons)))
+        if any(s.stage == ACCEPT for s in self.spans):
+            return "accept"
+        return "undecided"
+
+    @property
+    def checks(self) -> List[Span]:
+        return [s for s in self.spans if s.stage.startswith("check:")]
+
+    def rows(self) -> List[List[str]]:
+        """Human-renderable rows: relative time, stage, verdict, detail."""
+        base = self.started_at
+        rows = []
+        for span in self.spans:
+            attrs = " ".join(f"{k}={v}" for k, v in span.attrs)
+            detail = span.detail
+            if attrs:
+                detail = f"{detail} [{attrs}]" if detail else f"[{attrs}]"
+            rows.append([f"+{span.at - base:.3f} ms", span.stage,
+                         span.verdict if span.verdict is not None else "-",
+                         detail])
+        return rows
+
+
+def load_trace(path: str) -> Tracer:
+    """Read a trace JSON file written by ``jury-repro trace --output``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return Tracer.from_payload(json.load(handle))
+
+
+def dump_trace(tracer: Tracer, path: str) -> None:
+    """Write a trace JSON file (stable key order, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(tracer.to_json())
+        handle.write("\n")
+
+
+def match_trigger_key(tracer: Tracer, query: str) -> Optional[str]:
+    """Resolve a user-supplied trigger query to a traced trigger key.
+
+    Accepts the exact ``repr`` form (``('ext', 42)``), the compact
+    ``ext:42`` shorthand, or a bare substring; returns the first traced
+    key that matches, or ``None``.
+    """
+    keys = tracer.trigger_keys()
+    if query in keys:
+        return query
+    if ":" in query and "(" not in query:
+        head, _, tail = query.partition(":")
+        parts = [head] + tail.split(":")
+        rendered = "(" + ", ".join(
+            repr(int(p)) if p.lstrip("-").isdigit() else repr(p)
+            for p in parts) + ")"
+        if rendered in keys:
+            return rendered
+    for key in keys:
+        if query in key:
+            return key
+    return None

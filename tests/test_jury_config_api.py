@@ -1,0 +1,181 @@
+"""The redesigned construction API: JuryConfig, Jury.build, and the shims.
+
+Covers config immutability/validation, the single build entry point (with
+and without a caller-supplied cluster), the deployment facade methods, and
+behavioural equivalence of the deprecated ``build_experiment`` /
+``JuryDeployment(cluster, k=...)`` keyword seams with the config path.
+
+Equivalence runs use ``k = n - 1``: designated-secondary selection then
+degenerates to the full pool, so live runs are comparable even though
+trigger ids come from process-global counters (same trick as
+test_determinism.py).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import Jury, JuryConfig, JuryDeployment, MetricsRegistry, Tracer
+from repro.config import POLICY_SETS, register_policy_set
+from repro.core.pipeline import ValidationPipeline
+from repro.core.validator import Validator
+from repro.errors import ValidationError
+from repro.harness.experiment import Experiment, build_experiment
+from repro.workloads.traffic import TrafficDriver
+
+N = 5
+K = N - 1  # full-pool secondary selection: live runs become comparable
+
+
+# ----------------------------------------------------------------------
+# The config object
+# ----------------------------------------------------------------------
+
+def test_config_is_frozen():
+    config = JuryConfig(k=2)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.k = 3
+    changed = config.replace(k=3, trace=True)
+    assert (changed.k, changed.trace) == (3, True)
+    assert (config.k, config.trace) == (2, False)
+
+
+def test_config_validation():
+    with pytest.raises(ValidationError):
+        JuryConfig(k=-1)
+    with pytest.raises(ValidationError):
+        JuryConfig(pipeline=0)
+    with pytest.raises(ValidationError):
+        JuryConfig(policies=("no-such-set",))
+    JuryConfig(k=None)  # vanilla-cluster configs are valid
+
+
+def test_effective_timeout_follows_controller_kind():
+    assert JuryConfig(kind="onos").effective_timeout_ms == 250.0
+    assert JuryConfig(kind="odl").effective_timeout_ms == 1200.0
+    assert JuryConfig(kind="odl", timeout_ms=90.0).effective_timeout_ms == 90.0
+
+
+def test_named_policy_sets_resolve_lazily():
+    assert "default" in POLICY_SETS
+    engine = JuryConfig(policies=("default",)).build_policy_engine()
+    assert engine is not None and engine.policies
+    register_policy_set("test-empty", lambda: engine)
+    try:
+        merged = JuryConfig(
+            policies=("default", "test-empty")).build_policy_engine()
+        assert len(merged.policies) == 2 * len(engine.policies)
+    finally:
+        POLICY_SETS.pop("test-empty")
+
+
+def test_observability_builders_follow_flags():
+    off = JuryConfig()
+    assert off.build_tracer() is None and off.build_metrics() is None
+    on = JuryConfig(trace=True, metrics=True)
+    assert isinstance(on.build_tracer(), Tracer)
+    assert isinstance(on.build_metrics(), MetricsRegistry)
+    description = on.describe()
+    assert description["trace"] and description["metrics"]
+
+
+# ----------------------------------------------------------------------
+# Jury.build / Jury.experiment
+# ----------------------------------------------------------------------
+
+def test_build_hosts_a_full_testbed():
+    jury = Jury.build(JuryConfig(k=K, n=N, switches=6, seed=21))
+    assert isinstance(jury, JuryDeployment)
+    assert isinstance(jury.experiment, Experiment)
+    assert jury.experiment.jury is jury
+    assert isinstance(jury.validator, Validator)
+    assert jury.detection_times() == []
+    assert jury.false_positive_rate() == 0.0
+
+
+def test_build_onto_an_existing_cluster_selects_engine():
+    exp = Jury.experiment(JuryConfig(k=None, n=N, switches=6, seed=22))
+    jury = Jury.build(JuryConfig(k=K, pipeline=4), cluster=exp.cluster)
+    assert isinstance(jury.validator, ValidationPipeline)
+    assert jury.validator.shards == 4
+    assert jury.config.pipeline == 4
+
+
+def test_build_rejects_non_config_and_vanilla():
+    with pytest.raises(ValidationError):
+        Jury.build({"k": 2})
+    with pytest.raises(ValidationError):
+        Jury.build(JuryConfig(k=None))
+
+
+def test_build_wires_observability_through_the_stack():
+    jury = Jury.build(JuryConfig(k=K, n=N, switches=6, seed=23,
+                                 trace=True, metrics=True))
+    assert isinstance(jury.tracer, Tracer)
+    assert jury.validator.tracer is jury.tracer
+    for replicator in jury.replicators.values():
+        assert replicator.tracer is jury.tracer
+    snapshot = jury.metrics_snapshot()
+    assert "pipeline_shards" not in snapshot  # sequential engine
+    off = Jury.build(JuryConfig(k=K, n=N, switches=6, seed=24))
+    assert off.tracer is None and off.metrics is None
+    with pytest.raises(ValidationError):
+        off.trace_payload()
+    with pytest.raises(ValidationError):
+        off.metrics_snapshot()
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims: same behaviour, plus the warning
+# ----------------------------------------------------------------------
+
+def _fingerprint(experiment):
+    validator = experiment.validator
+    return (
+        validator.triggers_decided,
+        validator.triggers_alarmed,
+        validator.responses_received,
+        round(sum(r.detection_ms for r in validator.results), 6),
+        tuple(sorted(a.reason.value for a in validator.alarms)),
+    )
+
+
+def _drive(experiment):
+    experiment.warmup()
+    driver = TrafficDriver(experiment.sim, experiment.topology,
+                           packet_in_rate_per_s=800.0, duration_ms=400.0)
+    driver.start()
+    experiment.run(1000.0)
+    return _fingerprint(experiment)
+
+
+def test_build_experiment_shim_matches_config_path():
+    with pytest.warns(DeprecationWarning):
+        legacy = build_experiment(kind="onos", n=N, k=K, switches=6,
+                                  seed=31, timeout_ms=250.0)
+    modern = Jury.experiment(JuryConfig(kind="onos", n=N, k=K, switches=6,
+                                        seed=31, timeout_ms=250.0))
+    assert _drive(legacy) == _drive(modern)
+
+
+def test_deployment_kwarg_shim_matches_config_path():
+    legacy_exp = Jury.experiment(JuryConfig(k=None, n=N, switches=6, seed=32))
+    with pytest.warns(DeprecationWarning):
+        legacy = JuryDeployment(legacy_exp.cluster, k=K, timeout_ms=250.0)
+    assert legacy.config.k == K
+    assert legacy.config.effective_timeout_ms == 250.0
+    modern_exp = Jury.experiment(JuryConfig(k=None, n=N, switches=6, seed=32))
+    modern = Jury.build(JuryConfig(k=K, timeout_ms=250.0),
+                        cluster=modern_exp.cluster)
+    assert type(legacy.validator) is type(modern.validator)
+    assert legacy.validator.timeout.current() == modern.validator.timeout.current()
+    assert legacy.k == modern.k == K
+
+
+def test_deployment_requires_k_or_config():
+    exp = Jury.experiment(JuryConfig(k=None, n=N, switches=6, seed=33))
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValidationError):
+            JuryDeployment(exp.cluster)

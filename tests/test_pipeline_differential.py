@@ -29,7 +29,7 @@ from repro.faults.synthetic import (
     LinkFailureFault,
     UndesirableFlowModFault,
 )
-from repro.harness.experiment import build_experiment
+from repro import Jury, JuryConfig, Tracer
 from repro.workloads.recorder import ValidatorStreamRecorder, replay_validation_stream
 from repro.workloads.traffic import TrafficDriver
 
@@ -40,10 +40,10 @@ BENIGN_SEEDS = (11, 23, 47)
 
 
 def _build(seed: int):
-    experiment = build_experiment(
+    experiment = Jury.experiment(JuryConfig(
         kind="onos", n=5, k=K, switches=8, seed=seed,
-        timeout_ms=TIMEOUT_MS, policy_engine=default_policy_engine(),
-        with_northbound=True)
+        timeout_ms=TIMEOUT_MS, policies=("default",),
+        with_northbound=True))
     experiment.warmup()
     return experiment
 
@@ -177,6 +177,55 @@ def test_fault_streams_byte_identical(workloads, name, reason):
         assert canonical_alarm_stream(pipeline.alarms) == expected, \
             f"alarm stream diverged at N={shards} on {name}"
         assert _result_fingerprint(pipeline) == _result_fingerprint(sequential)
+
+
+def _sequential_traced(records, mastership, tracer):
+    return _replay(records, mastership, lambda sim, lookup: Validator(
+        sim, K, timeout=StaticTimeout(TIMEOUT_MS),
+        policy_engine=default_policy_engine(), mastership_lookup=lookup,
+        tracer=tracer))
+
+
+def _pipeline_traced(records, mastership, shards, tracer):
+    return _replay(records, mastership, lambda sim, lookup: ValidationPipeline(
+        sim, K, shards=shards, timeout=StaticTimeout(TIMEOUT_MS),
+        policy_engine=default_policy_engine(), mastership_lookup=lookup,
+        tracer=tracer))
+
+
+def test_tracing_on_keeps_alarm_streams_byte_identical(workloads):
+    """The differential contract must survive tracing being enabled —
+    tracers are read-only observers, at every shard count."""
+    for name in ("benign-11", "fault-t1", "fault-t2", "fault-t3"):
+        records, mastership = workloads[name]
+        baseline = _sequential(records, mastership)
+        expected = canonical_alarm_stream(baseline.alarms)
+        seq_tracer = Tracer()
+        traced = _sequential_traced(records, mastership, seq_tracer)
+        assert canonical_alarm_stream(traced.alarms) == expected, \
+            f"tracing changed the sequential alarm stream on {name}"
+        assert _result_fingerprint(traced) == _result_fingerprint(baseline)
+        for shards in SHARD_COUNTS:
+            tracer = Tracer()
+            pipeline = _pipeline_traced(records, mastership, shards, tracer)
+            assert canonical_alarm_stream(pipeline.alarms) == expected, \
+                f"alarm stream diverged at N={shards} with tracing on ({name})"
+
+
+def test_traces_are_engine_and_shard_count_independent(workloads):
+    """Same recorded stream → byte-identical canonical trace, whether it
+    runs through the sequential validator or the pipeline at any N."""
+    for name in ("benign-11", "fault-t2"):
+        records, mastership = workloads[name]
+        seq_tracer = Tracer()
+        _sequential_traced(records, mastership, seq_tracer)
+        expected = seq_tracer.canonical()
+        assert expected, "traced replay must produce spans"
+        for shards in SHARD_COUNTS:
+            tracer = Tracer()
+            _pipeline_traced(records, mastership, shards, tracer)
+            assert tracer.canonical() == expected, \
+                f"trace diverged at N={shards} on {name}"
 
 
 def test_pipeline_stats_account_for_every_response(workloads):

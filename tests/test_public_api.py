@@ -46,6 +46,20 @@ def test_exported_classes_and_functions_documented(name):
             assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
 
 
+def test_repro_public_exports_resolve_lazily():
+    for symbol in ("Jury", "JuryConfig", "JuryDeployment", "Validator",
+                   "ValidationPipeline", "Response", "Alarm", "AlarmReason",
+                   "ValidationResult", "Tracer", "MetricsRegistry"):
+        assert symbol in repro.__all__
+        obj = getattr(repro, symbol)
+        assert obj is not None, f"repro.{symbol} resolved to None"
+        if inspect.isclass(obj):
+            assert obj.__doc__, f"repro.{symbol} lacks a docstring"
+    assert "Jury" in dir(repro)
+    with pytest.raises(AttributeError):
+        repro.not_an_export
+
+
 def test_version_metadata():
     assert repro.__version__ == "1.0.0"
     assert "DSN 2016" in repro.__paper__
