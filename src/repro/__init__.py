@@ -39,6 +39,11 @@ _EXPORTS = {
     "ValidationResult": ("repro.core.alarms", "ValidationResult"),
     "Tracer": ("repro.obs.trace", "Tracer"),
     "MetricsRegistry": ("repro.obs.metrics", "MetricsRegistry"),
+    "AlarmExplanation": ("repro.obs.diagnose", "AlarmExplanation"),
+    "AlarmForensics": ("repro.obs.diagnose", "AlarmForensics"),
+    "ReplicaHealthTracker": ("repro.obs.health", "ReplicaHealthTracker"),
+    "SloMonitor": ("repro.obs.health", "SloMonitor"),
+    "SnapshotSink": ("repro.obs.export", "SnapshotSink"),
 }
 
 __all__ = ["__version__", "__paper__", *sorted(_EXPORTS)]

@@ -169,6 +169,123 @@ class UnusedImportRule(Rule):
         return used
 
 
+#: Observer attribute names wired through the decision path. Binding one
+#: (``self.tracer = ...``) and calling its hook API (``tracer.emit(...)``)
+#: are the contract; reaching *into* one is not.
+_OBSERVER_NAMES = {"tracer", "metrics", "forensics", "health",
+                   "snapshot_sink"}
+
+#: Method names that mutate built-in containers (and the observers built
+#: from them).
+_MUTATOR_METHODS = {"append", "extend", "insert", "add", "update", "clear",
+                    "pop", "popitem", "remove", "discard", "setdefault",
+                    "sort"}
+
+
+def _attr_chain(node: ast.AST):
+    """``a.b[k].c`` → ``["a", "b", "c"]``; None when the root is no Name.
+
+    Subscripts are transparent (indexing into an observer's table is still
+    reaching into the observer); chains rooted in call results are skipped —
+    the object's provenance is unknowable statically.
+    """
+    parts = []
+    current = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Name):
+            parts.append(current.id)
+            return list(reversed(parts))
+        else:
+            return None
+
+
+def _observer_index(chain):
+    """Index of the observer name in the chain, if it is the root object.
+
+    Only ``tracer...`` (index 0) and ``self.tracer...`` / ``pipeline.
+    tracer...`` (index 1) count: deeper occurrences are somebody else's
+    attribute that merely shares the name.
+    """
+    for index in (0, 1):
+        if index < len(chain) and chain[index] in _OBSERVER_NAMES:
+            return index
+    return None
+
+
+@register
+class ObserverMutationRule(Rule):
+    """H406 — decision-path code mutating an observer's internals."""
+
+    rule_id = "H406"
+    severity = Severity.WARNING
+    summary = "observer mutated from decision path"
+    rationale = ("Tracer/metrics/forensics/health objects are read-only "
+                 "observers of the validation path: the determinism "
+                 "contract (byte-identical alarm streams with observability "
+                 "on or off) only holds if decision code never writes into "
+                 "them except through their append-only hook API. Reaching "
+                 "into an observer's state from outside repro.obs couples "
+                 "decisions to observer wiring.")
+
+    def check(self, module: ModuleContext) -> Iterator[tuple]:
+        normalized = module.path.replace("\\", "/")
+        if "/obs/" in normalized or normalized.startswith("obs/"):
+            return  # observer internals legitimately mutate themselves
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                        continue
+                    chain = _attr_chain(target)
+                    if chain is None:
+                        continue
+                    index = _observer_index(chain)
+                    if index is None:
+                        continue
+                    # Binding the observer slot itself (self.tracer = x)
+                    # is wiring, not mutation; writing past it is.
+                    past_observer = (len(chain) - 1 > index
+                                     or isinstance(target, ast.Subscript)
+                                     and chain[-1] == chain[index])
+                    if past_observer:
+                        yield (node,
+                               f"assignment into "
+                               f"'{'.'.join(chain)}' mutates observer "
+                               f"state from the decision path; observers "
+                               f"must only be written through their own "
+                               f"hook methods")
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    chain = _attr_chain(target)
+                    if chain is None:
+                        continue
+                    index = _observer_index(chain)
+                    if index is not None and len(chain) - 1 > index:
+                        yield (node,
+                               f"del on '{'.'.join(chain)}' mutates "
+                               f"observer state from the decision path")
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain is None or chain[-1] not in _MUTATOR_METHODS:
+                    continue
+                index = _observer_index(chain)
+                # tracer.emit(...) (depth 1) is the hook API; a mutator
+                # two or more levels down (tracer.spans.append) reaches
+                # into the observer's containers.
+                if index is not None and len(chain) - index >= 3:
+                    yield (node,
+                           f"'{'.'.join(chain)}(...)' mutates observer "
+                           f"internals from the decision path; route "
+                           f"writes through the observer's hook API")
+
+
 def _handler_label(node: ast.ExceptHandler) -> str:
     if node.type is None:
         return "(bare)"

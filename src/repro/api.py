@@ -15,6 +15,11 @@
     exp.warmup(); exp.begin_window(); exp.run(10_000)
     exp.jury.detection_times()
 
+With ``diagnose=True`` / ``health=True`` in the config, the returned
+deployment also exposes the forensics facades — ``diagnose_payload()``
+(per-alarm explanations), ``health_snapshot()`` (replica scores plus SLO
+status), and ``prometheus_text()`` (the full exposition document).
+
 Everything the legacy seams offered — ``build_experiment(...)`` keyword
 soup, ``JuryDeployment(cluster, k=..., ...)`` — routes through here now;
 those remain as deprecated shims.

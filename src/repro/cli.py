@@ -11,7 +11,14 @@ Gives operators the paper's experiments without writing code:
 * ``trace`` — reconstruct one trigger's lifecycle (intercept → replicate →
   ingest → Algorithm-1 checks → alarm/accept) from a live run or a trace
   JSON file (see ``docs/observability.md``).
-* ``metrics`` — run under traffic and dump the metrics registry.
+* ``metrics`` — run under traffic and dump the metrics registry
+  (``--format prom`` for the Prometheus text exposition).
+* ``diagnose`` — per-alarm forensics: the failed Algorithm-1 check,
+  dissenting replicas, field-level cache/network diffs, and the inferred
+  T1/T2/T3 fault class, live or offline from recorded
+  alarm-log/trace files.
+* ``health`` — rolling-window replica health scores (with hysteresis on
+  the suspected-faulty flag) and SLO rule status.
 * ``list-faults`` — show the fault catalog.
 * ``analyze`` — static determinism/taint-safety analysis of controller and
   app code (the CI gate; see ``docs/static_analysis.md``).
@@ -87,7 +94,9 @@ ODL_FAULTS = {"odl-flow-mod-drop", "odl-incorrect-flow-mod",
 def _config_from_args(args, kind: Optional[str] = None,
                       k: Optional[int] = None,
                       trace: bool = False,
-                      metrics: bool = False) -> JuryConfig:
+                      metrics: bool = False,
+                      diagnose: bool = False,
+                      health: bool = False) -> JuryConfig:
     """One place where argparse namespaces become a :class:`JuryConfig`."""
     kind = kind or args.controller
     return JuryConfig(
@@ -102,13 +111,17 @@ def _config_from_args(args, kind: Optional[str] = None,
         pipeline=getattr(args, "pipeline", None),
         trace=trace,
         metrics=metrics,
+        diagnose=diagnose,
+        health=health,
     )
 
 
 def _build(args, kind: Optional[str] = None, k: Optional[int] = None,
-           trace: bool = False, metrics: bool = False):
+           trace: bool = False, metrics: bool = False,
+           diagnose: bool = False, health: bool = False):
     experiment = Jury.experiment(
-        _config_from_args(args, kind=kind, k=k, trace=trace, metrics=metrics))
+        _config_from_args(args, kind=kind, k=k, trace=trace, metrics=metrics,
+                          diagnose=diagnose, health=health))
     experiment.warmup()
     return experiment
 
@@ -316,12 +329,138 @@ def cmd_metrics(args) -> CommandResult:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
             handle.write("\n")
+    if args.format == "prom":
+        # Prometheus text is its own exposition format, not a table: render
+        # it verbatim through the "human" channel.
+        text = experiment.jury.prometheus_text()
+        return CommandResult.ok("metrics", human=text.rstrip("\n"),
+                                data={"command": "metrics",
+                                      "metrics": snapshot})
     registry = experiment.jury.metrics
     human = format_table(
         f"JURY metrics — {args.controller} n={args.nodes} k={args.replicas}",
         ["metric", "type", "value"], registry.rows())
     return CommandResult.ok("metrics", human=human,
                             data={"command": "metrics", "metrics": snapshot})
+
+
+def _diagnosis_payload_from_files(args):
+    """Offline diagnosis: reconstruct explanations from recorded files."""
+    from repro.obs.diagnose import explanations_from_files
+
+    try:
+        return explanations_from_files(args.alarm_log, trace_path=args.trace)
+    except (OSError, ValueError) as exc:
+        return CommandResult.usage_error("diagnose", f"diagnose: {exc}")
+
+
+def cmd_diagnose(args) -> CommandResult:
+    from repro.obs.diagnose import (
+        dump_diagnosis,
+        export_explanations,
+        find_explanation,
+        render_explanations,
+    )
+
+    if args.trace is not None and args.alarm_log is None:
+        return CommandResult.usage_error(
+            "diagnose", "diagnose: --trace needs --alarm-log (the trace "
+                        "alone does not carry alarm records)")
+
+    if args.alarm_log is not None:
+        explanations = _diagnosis_payload_from_files(args)
+        if isinstance(explanations, CommandResult):
+            return explanations
+    else:
+        fault = None
+        if args.fault is not None:
+            if args.fault not in FAULTS:
+                return CommandResult.usage_error(
+                    "diagnose", f"diagnose: unknown fault {args.fault!r} "
+                                f"(see list-faults)")
+            fault = FAULTS[args.fault]()
+        kind = "odl" if args.fault in ODL_FAULTS else None
+        experiment = _build(args, kind=kind, diagnose=True)
+        alarm_log = None
+        if args.record_alarm_log:
+            from repro.core.alarm_log import AlarmLog
+            alarm_log = AlarmLog(experiment.validator)
+        if fault is not None:
+            run_scenario(experiment, fault)
+        else:
+            _drive_traffic(experiment, args)
+        if alarm_log is not None:
+            from repro.core.alarm_log import dump_alarm_log
+            dump_alarm_log(alarm_log, args.record_alarm_log)
+        explanations = experiment.jury.forensics.explanations()
+
+    payload = export_explanations(explanations)
+    if args.output:
+        dump_diagnosis(payload, args.output)
+
+    if args.alarm is not None:
+        match = find_explanation(explanations, args.alarm)
+        if match is None:
+            known = ", ".join(
+                entry["id"] for entry in payload["alarms"][:5]) or "<none>"
+            return CommandResult.usage_error(
+                "diagnose", f"diagnose: no alarm matches {args.alarm!r} "
+                            f"(first ids: {known})")
+        explanation_id, explanation = match
+        human = explanation.render(explanation_id)
+        data = {"command": "diagnose", "alarm": explanation_id,
+                "explanation": explanation.to_dict()}
+        return CommandResult.ok("diagnose", human=human, data=data)
+
+    human = render_explanations(explanations)
+    data = {"command": "diagnose", **payload}
+    return CommandResult.ok("diagnose", human=human, data=data)
+
+
+def cmd_health(args) -> CommandResult:
+    experiment = _build(args, metrics=True, health=True)
+    _drive_traffic(experiment, args)
+    jury = experiment.jury
+
+    if args.output:
+        from repro.obs.export import health_jsonl
+        reports = jury.health.evaluate(experiment.sim.now)
+        statuses = None
+        if jury.slo is not None and jury.metrics is not None:
+            from repro.obs.metrics import collect_deployment
+            collect_deployment(jury.metrics, jury)
+            statuses = jury.slo.evaluate(jury.metrics, experiment.sim.now)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(health_jsonl(reports, slo_statuses=statuses,
+                                      now=experiment.sim.now))
+
+    if args.format == "prom":
+        text = jury.prometheus_text()
+        snapshot = jury.health_snapshot()
+        return CommandResult.ok("health", human=text.rstrip("\n"),
+                                data={"command": "health", **snapshot})
+
+    snapshot = jury.health_snapshot()
+    replica_rows = [
+        [r["controller_id"], f"{r['score']:.3f}",
+         f"{r['disagreement_rate']:.3f}", f"{r['timeout_miss_rate']:.3f}",
+         f"{r['lag_p95_ms']:.1f}", "YES" if r["suspected"] else "no"]
+        for r in snapshot["replicas"].values()]
+    tables = [format_table(
+        f"replica health — {args.controller} n={args.nodes} "
+        f"k={args.replicas} @ t={snapshot['time_ms']:.0f} ms",
+        ["replica", "score", "disagree", "timeout-miss", "lag p95 (ms)",
+         "suspected"], replica_rows)]
+    if snapshot.get("slo"):
+        slo_rows = [[s["name"], f"{s['value']:.4f}", f"{s['threshold']:.4f}",
+                     "ok" if s["ok"] else "BREACH"]
+                    for s in snapshot["slo"]]
+        tables.append(format_table("SLO rules",
+                                   ["rule", "value", "threshold", "status"],
+                                   slo_rows))
+    human = "\n".join(tables)
+    return CommandResult.ok("health", human=human,
+                            data={"command": "health", **snapshot})
 
 
 def cmd_analyze(args) -> CommandResult:
@@ -429,6 +568,9 @@ def cmd_bench_obs(args) -> CommandResult:
     errors = []
     if not payload["alarm_streams_identical"]:
         errors.append("bench obs: alarm streams diverged with tracing on")
+    if not payload["alarm_streams_identical_full"]:
+        errors.append("bench obs: alarm streams diverged with the full "
+                      "stack (forensics + health) on")
     if not payload["span_conservation"]["holds"]:
         errors.append("bench obs: span conservation violated "
                       f"({payload['span_conservation']})")
@@ -455,10 +597,14 @@ def cmd_bench_obs(args) -> CommandResult:
                  f"{payload['off2']['ops_per_s']:,.0f}"],
                 ["tracing + metrics on", f"{payload['on']['wall_s']:.4f}",
                  f"{payload['on']['ops_per_s']:,.0f}"],
+                ["full stack (1 run)", f"{payload['full']['wall_s']:.4f}",
+                 f"{payload['full']['ops_per_s']:,.0f}"],
             ]),
         f"tracing-off delta (noise floor): {payload['off_delta_pct']:.2f}%   "
-        f"tracing-on overhead: {payload['trace_overhead_pct']:.2f}%",
-        f"alarm streams identical: {payload['alarm_streams_identical']}   "
+        f"tracing-on overhead: {payload['trace_overhead_pct']:.2f}%   "
+        f"full-stack overhead: {payload['full_overhead_pct']:.2f}%",
+        f"alarm streams identical: {payload['alarm_streams_identical']} "
+        f"(full stack: {payload['alarm_streams_identical_full']})   "
         f"spans: {payload['on']['spans']}",
         f"wrote {args.output}",
     ])
@@ -478,12 +624,12 @@ def cmd_list_faults(args) -> CommandResult:
     return CommandResult.ok("list-faults", human=human, data=data)
 
 
-def _add_format(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--format", choices=("human", "json"),
+def _add_format(parser: argparse.ArgumentParser, extra=()) -> None:
+    parser.add_argument("--format", choices=("human", "json") + tuple(extra),
                         default="human", help="report format")
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+def _add_common(parser: argparse.ArgumentParser, format_extra=()) -> None:
     parser.add_argument("--controller", choices=("onos", "odl"),
                         default="onos")
     parser.add_argument("--nodes", "-n", type=int, default=7)
@@ -499,7 +645,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pipeline", type=int, default=None, metavar="N",
                         help="validate through the sharded pipeline with "
                              "N shards (default: sequential validator)")
-    _add_format(parser)
+    _add_format(parser, extra=format_extra)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -547,10 +693,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     metrics = commands.add_parser(
         "metrics", help="run under traffic and dump the metrics registry")
-    _add_common(metrics)
+    _add_common(metrics, format_extra=("prom",))
     metrics.add_argument("--output", default=None, metavar="METRICS.json",
                          help="also write the snapshot as JSON")
     metrics.set_defaults(fn=cmd_metrics)
+
+    diagnose = commands.add_parser(
+        "diagnose",
+        help="explain alarms: failed check, dissenting replicas, "
+             "field-level diffs, T1/T2/T3 fault class")
+    _add_common(diagnose)
+    diagnose.add_argument("alarm", nargs="?", default=None,
+                          help="alarm to explain: id (A0001), trigger "
+                               "shorthand (ext:42), or a substring "
+                               "(omit for all alarms)")
+    diagnose.add_argument("--fault", default=None, metavar="NAME",
+                          help="inject this catalog fault instead of "
+                               "driving plain traffic")
+    diagnose.add_argument("--alarm-log", default=None, metavar="ALARMS.jsonl",
+                          help="reconstruct offline from a recorded alarm "
+                               "log instead of running")
+    diagnose.add_argument("--trace", default=None, metavar="TRACE.json",
+                          help="recorded trace enriching the offline "
+                               "reconstruction (with --alarm-log)")
+    diagnose.add_argument("--output", default=None, metavar="DIAG.json",
+                          help="also write the diagnosis payload as JSON")
+    diagnose.add_argument("--record-alarm-log", default=None,
+                          metavar="ALARMS.jsonl",
+                          help="record the run's alarm log for later "
+                               "offline diagnosis (live runs only)")
+    diagnose.set_defaults(fn=cmd_diagnose)
+
+    health = commands.add_parser(
+        "health",
+        help="replica health scores (rolling-window, with hysteresis) "
+             "and SLO rule status")
+    _add_common(health, format_extra=("prom",))
+    health.add_argument("--output", default=None, metavar="HEALTH.jsonl",
+                        help="also write health/SLO records as JSONL")
+    health.set_defaults(fn=cmd_health)
 
     list_faults = commands.add_parser("list-faults", help="show the catalog")
     _add_format(list_faults)
@@ -636,7 +817,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     result = args.fn(args)
-    return render_result(result, getattr(args, "format", "human"))
+    fmt = getattr(args, "format", "human")
+    # "prom" output is pre-rendered exposition text in result.human.
+    return render_result(result, "human" if fmt == "prom" else fmt)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -59,8 +59,10 @@ class JuryConfig:
 
     Observability: ``trace`` wires a :class:`~repro.obs.Tracer` through the
     full validation path; ``metrics`` a
-    :class:`~repro.obs.MetricsRegistry`. Both default off (the zero-cost
-    path).
+    :class:`~repro.obs.MetricsRegistry`; ``diagnose`` attaches alarm
+    forensics; ``health`` replica health scoring + SLO monitoring;
+    ``snapshot_interval_ms`` a periodic export sink on the pipeline flush
+    path. All default off (the zero-cost path).
 
     Hosting shape (used when :meth:`repro.api.Jury.build` must assemble
     the testbed too): ``kind``, ``n``, ``switches``, ``topology``,
@@ -88,6 +90,14 @@ class JuryConfig:
     # Observability.
     trace: bool = False
     metrics: bool = False
+    #: Alarm forensics: attach an AlarmExplanation to every alarm
+    #: (repro.obs.diagnose).
+    diagnose: bool = False
+    #: Replica health scoring + SLO monitoring (repro.obs.health).
+    health: bool = False
+    #: Periodic metrics/health snapshots on the pipeline flush path, every
+    #: this-many simulated ms (repro.obs.export.SnapshotSink). ``None`` off.
+    snapshot_interval_ms: Optional[float] = None
 
     # Hosting shape.
     kind: str = "onos"
@@ -104,6 +114,11 @@ class JuryConfig:
         if self.pipeline is not None and self.pipeline < 1:
             raise ValidationError(
                 f"pipeline shard count must be >= 1: {self.pipeline}")
+        if (self.snapshot_interval_ms is not None
+                and self.snapshot_interval_ms <= 0):
+            raise ValidationError(
+                f"snapshot_interval_ms must be positive: "
+                f"{self.snapshot_interval_ms}")
         unknown = [name for name in self.policies if name not in POLICY_SETS]
         if unknown:
             raise ValidationError(
@@ -158,6 +173,18 @@ class JuryConfig:
         from repro.obs.metrics import MetricsRegistry
         return MetricsRegistry()
 
+    def build_forensics(self):
+        if not self.diagnose:
+            return None
+        from repro.obs.diagnose import AlarmForensics
+        return AlarmForensics()
+
+    def build_health(self):
+        if not self.health:
+            return None
+        from repro.obs.health import ReplicaHealthTracker
+        return ReplicaHealthTracker()
+
     def profile_overrides_dict(self) -> dict:
         return dict(self.profile_overrides or ())
 
@@ -174,6 +201,9 @@ class JuryConfig:
             "taint_classification": self.taint_classification,
             "trace": self.trace,
             "metrics": self.metrics,
+            "diagnose": self.diagnose,
+            "health": self.health,
+            "snapshot_interval_ms": self.snapshot_interval_ms,
             "kind": self.kind,
             "n": self.n,
             "switches": self.switches,

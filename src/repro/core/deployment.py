@@ -101,6 +101,18 @@ class JuryDeployment:
         #: ``None`` (config.trace/metrics off) is the zero-cost path.
         self.tracer = active_tracer(config.build_tracer())
         self.metrics = config.build_metrics()
+        self.forensics = config.build_forensics()
+        self.health = config.build_health()
+        self.slo = None
+        if self.health is not None:
+            from repro.obs.health import SloMonitor
+            self.slo = SloMonitor()
+        self.snapshot_sink = None
+        if config.snapshot_interval_ms is not None:
+            from repro.obs.export import SnapshotSink
+            self.snapshot_sink = SnapshotSink(
+                config.snapshot_interval_ms,
+                registry=self.metrics, health=self.health)
 
         timeout_policy = config.build_timeout()
         engine = config.build_policy_engine()
@@ -118,7 +130,9 @@ class JuryDeployment:
                 queue_capacity=config.queue_capacity,
                 batch_max=config.batch_max,
                 flush_interval_ms=config.flush_interval_ms,
-                tracer=self.tracer, metrics=self.metrics)
+                tracer=self.tracer, metrics=self.metrics,
+                forensics=self.forensics, health=self.health,
+                snapshot_sink=self.snapshot_sink)
         else:
             self.validator = Validator(
                 self.sim, k,
@@ -128,7 +142,8 @@ class JuryDeployment:
                 state_aware=config.state_aware,
                 taint_classification=config.taint_classification,
                 keep_results=config.keep_results,
-                tracer=self.tracer, metrics=self.metrics)
+                tracer=self.tracer, metrics=self.metrics,
+                forensics=self.forensics, health=self.health)
 
         latency = (config.validator_latency
                    if config.validator_latency is not None
@@ -207,6 +222,48 @@ class JuryDeployment:
         from repro.obs.metrics import collect_deployment
         collect_deployment(self.metrics, self)
         return self.metrics.snapshot()
+
+    def diagnose_payload(self) -> Dict[str, object]:
+        """All alarm explanations as a JSON-able diagnosis payload."""
+        if self.forensics is None:
+            raise ValidationError(
+                "diagnosis is off — build with JuryConfig(diagnose=True)")
+        from repro.obs.diagnose import export_explanations
+        return export_explanations(self.forensics.explanations())
+
+    def health_snapshot(self) -> Dict[str, object]:
+        """Replica health reports plus SLO statuses at the current time."""
+        if self.health is None:
+            raise ValidationError(
+                "health scoring is off — build with JuryConfig(health=True)")
+        payload = self.health.snapshot(self.sim.now)
+        if self.slo is not None and self.metrics is not None:
+            from repro.obs.metrics import collect_deployment
+            collect_deployment(self.metrics, self)
+            payload["slo"] = [
+                status.to_dict()
+                for status in self.slo.evaluate(self.metrics, self.sim.now)]
+        return payload
+
+    def prometheus_text(self) -> str:
+        """Metrics/health/SLO state in the Prometheus text format."""
+        if self.metrics is None and self.health is None:
+            raise ValidationError(
+                "nothing to export — build with JuryConfig(metrics=True) "
+                "and/or JuryConfig(health=True)")
+        from repro.obs.export import prometheus_text
+        reports = None
+        statuses = None
+        if self.metrics is not None:
+            from repro.obs.metrics import collect_deployment
+            collect_deployment(self.metrics, self)
+        if self.health is not None:
+            reports = self.health.evaluate(self.sim.now)
+            if self.slo is not None and self.metrics is not None:
+                statuses = self.slo.evaluate(self.metrics, self.sim.now)
+        return prometheus_text(registry=self.metrics,
+                               health_reports=reports,
+                               slo_statuses=statuses)
 
     # ------------------------------------------------------------------
     # Aggregate stats for the evaluation harness

@@ -143,7 +143,8 @@ class _Shard(DecisionCore):
                         state_aware=pipeline.state_aware,
                         taint_classification=pipeline.taint_classification,
                         state=pipeline.state,
-                        tracer=pipeline.tracer, metrics=pipeline.metrics)
+                        tracer=pipeline.tracer, metrics=pipeline.metrics,
+                        forensics=pipeline.forensics, health=pipeline.health)
         self.pipeline = pipeline
         self.index = index
         self.timeout: TimeoutPolicy = pipeline.timeout
@@ -189,6 +190,11 @@ class _Shard(DecisionCore):
     def _flush(self) -> None:
         self._flush_scheduled = False
         self._process_available()
+        sink = self.pipeline.snapshot_sink
+        if sink is not None:
+            # Periodic export rides the flush path: the sink snapshots at
+            # most once per interval boundary, never schedules sim events.
+            sink.observe(self.sim.now)
 
     def _process_available(self) -> None:
         """Ingest up to ``batch_max`` queued responses, oldest first.
@@ -362,8 +368,9 @@ class _Shard(DecisionCore):
             trigger_id=tau, ok=not alarms, external=external,
             decided_at=self.sim.now, n_responses=record.count,
             detection_ms=detection_ms, timed_out=timed_out, alarms=alarms)
-        if self.tracer is not None or self.metrics is not None:
-            self._observe_decision(tau, result)
+        if (self.tracer is not None or self.metrics is not None
+                or self.forensics is not None or self.health is not None):
+            self._observe_decision(tau, result, responses, outcome, external)
         self.stats.decided += 1
         if alarms:
             self.stats.alarmed += 1
@@ -482,7 +489,8 @@ class ValidationPipeline:
                  queue_capacity: int = 1024,
                  batch_max: int = 512,
                  flush_interval_ms: float = 0.0,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None,
+                 forensics=None, health=None, snapshot_sink=None):
         if shards < 1:
             raise ValueError(f"shards must be >= 1: {shards}")
         if queue_capacity < 1:
@@ -507,6 +515,11 @@ class ValidationPipeline:
         #: so traces stay byte-identical at any shard count.
         self.tracer = active_tracer(tracer)
         self.metrics = metrics
+        self.forensics = forensics
+        self.health = health
+        #: Periodic exporter (repro.obs.export.SnapshotSink) driven by the
+        #: shard flush path; like the other observers it is pull-only.
+        self.snapshot_sink = snapshot_sink
         #: Merged Ψid view shared by all shards (see module docstring).
         self.state: Dict[str, ControllerState] = {}
         self._shards = [_Shard(self, i) for i in range(shards)]
@@ -540,6 +553,14 @@ class ValidationPipeline:
         if self.metrics is not None:
             self.metrics.counter("validator_responses_total",
                                  kind=response.kind.value).inc()
+        if self.health is not None:
+            # Engine-level hook (pre-queue) so response events match the
+            # sequential validator's regardless of shard count.
+            received = response.trigger_received_at
+            self.health.record_response(
+                self.sim.now, response.controller_id,
+                lag_ms=None if received is None
+                else max(0.0, self.sim.now - received))
         # Route cache: ~2k+2 responses share each trigger id, so the
         # repr+CRC of shard_of amortises to one dict hit per response.
         shard = self._route.get(tau)

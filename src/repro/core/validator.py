@@ -101,16 +101,21 @@ class DecisionCore:
                    state_aware: bool = True,
                    taint_classification: bool = True,
                    state: Optional[Dict[str, ControllerState]] = None,
-                   tracer=None, metrics=None) -> None:
+                   tracer=None, metrics=None,
+                   forensics=None, health=None) -> None:
         self.sim = sim
         self.k = k
         self.policy_engine = policy_engine
         self.mastership_lookup = mastership_lookup
         #: Observability (repro.obs). ``None`` is the no-op fast path: every
         #: instrumentation site guards with a single ``is not None`` branch,
-        #: and neither observer can alter a decision (read-only contract).
+        #: and no observer can alter a decision (read-only contract). The
+        #: forensics and health observers (repro.obs.diagnose / .health)
+        #: follow the same rules as the tracer and the metrics registry.
         self.tracer = active_tracer(tracer)
         self.metrics = metrics
+        self.forensics = forensics
+        self.health = health
         #: Ablation switches (DESIGN.md §5): snapshot-grouped consensus and
         #: taint-based external/internal classification.
         self.state_aware = state_aware
@@ -221,10 +226,16 @@ class DecisionCore:
                                 else "violation").inc()
         return alarms
 
-    def _observe_decision(self, tau: Tuple, result: ValidationResult) -> None:
-        """Emit the decide/alarm/accept spans and decision metrics.
+    def _observe_decision(self, tau: Tuple, result: ValidationResult,
+                          responses: Sequence[Response],
+                          outcome: ConsensusOutcome,
+                          external: bool) -> None:
+        """Feed the decision to every enabled observer.
 
-        Called by every validator flavour immediately after a trigger's
+        Emits the alarm/accept spans and decision metrics, hands the
+        evidence bundle (responses + consensus outcome) to the forensics
+        observer, and records the decision event for health scoring. Called
+        by every validator flavour immediately after a trigger's
         :class:`ValidationResult` is assembled; the DECIDE span itself is
         emitted earlier (before the checks) by :meth:`_trace_decide` so the
         per-trigger stage order matches causality.
@@ -254,6 +265,12 @@ class DecisionCore:
             for alarm in result.alarms:
                 metrics.counter("validator_alarms_total",
                                 reason=alarm.reason.value).inc()
+        if self.forensics is not None:
+            self.forensics.observe_decision(tau, responses, outcome,
+                                            result, external)
+        if self.health is not None:
+            self.health.record_decision(self.sim.now, responses,
+                                        result.alarms, result.timed_out)
 
     def _trace_decide(self, tau: Tuple, count: int, external: bool,
                       timed_out: bool) -> None:
@@ -315,12 +332,14 @@ class Validator(DecisionCore):
                  keep_results: bool = True,
                  state_aware: bool = True,
                  taint_classification: bool = True,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None,
+                 forensics=None, health=None):
         self._init_core(sim, k, policy_engine=policy_engine,
                         mastership_lookup=mastership_lookup,
                         state_aware=state_aware,
                         taint_classification=taint_classification,
-                        tracer=tracer, metrics=metrics)
+                        tracer=tracer, metrics=metrics,
+                        forensics=forensics, health=health)
         self.timeout = timeout if timeout is not None else StaticTimeout(150.0)
         self.keep_results = keep_results
         self._pending: Dict[Tuple, _TriggerRecord] = {}
@@ -357,6 +376,12 @@ class Validator(DecisionCore):
         if self.metrics is not None:
             self.metrics.counter("validator_responses_total",
                                  kind=response.kind.value).inc()
+        if self.health is not None:
+            received = response.trigger_received_at
+            self.health.record_response(
+                self.sim.now, response.controller_id,
+                lag_ms=None if received is None
+                else max(0.0, self.sim.now - received))
         if tau in self._recently_decided:
             self.late_responses += 1
             if tracer is not None:
@@ -421,8 +446,9 @@ class Validator(DecisionCore):
             trigger_id=tau, ok=not alarms, external=external,
             decided_at=self.sim.now, n_responses=record.count,
             detection_ms=detection_ms, timed_out=timed_out, alarms=alarms)
-        if self.tracer is not None or self.metrics is not None:
-            self._observe_decision(tau, result)
+        if (self.tracer is not None or self.metrics is not None
+                or self.forensics is not None or self.health is not None):
+            self._observe_decision(tau, result, responses, outcome, external)
         self.triggers_decided += 1
         if alarms:
             self.triggers_alarmed += 1

@@ -9,12 +9,52 @@ Two complementary views of the same pipeline:
   families (per-check verdicts, detection latency, per-shard queue and
   batch behaviour) for aggregate health.
 
-Both are strictly read-only observers of the validation path: enabling
-them cannot change a decision, and disabling them (``tracer=None`` /
-``metrics=None``, the default) costs one branch per instrumented event.
-See ``docs/observability.md`` for the span model and metric catalog.
+Built on top of them, three diagnosis/health layers:
+
+* :class:`~repro.obs.diagnose.AlarmForensics` — per-alarm
+  :class:`~repro.obs.diagnose.AlarmExplanation` records (failed check,
+  dissenting replicas, cache/network diffs, T1/T2/T3 fault class).
+* :class:`~repro.obs.health.ReplicaHealthTracker` /
+  :class:`~repro.obs.health.SloMonitor` — rolling-window replica health
+  scores with hysteresis, plus SLO threshold rules over the registry.
+* :mod:`repro.obs.export` — zero-dependency Prometheus-text and JSONL
+  exporters and the periodic :class:`~repro.obs.export.SnapshotSink`.
+
+All are strictly read-only observers of the validation path: enabling
+them cannot change a decision, and disabling them (``None``, the default)
+costs one branch per instrumented event. See ``docs/observability.md``
+for the span model, metric catalog, explanation schema, and health/SLO
+formulas.
 """
 
+from repro.obs.diagnose import (
+    CHECK_BY_REASON,
+    FAULT_CLASS_BY_REASON,
+    AlarmExplanation,
+    AlarmForensics,
+    FieldDiff,
+    diff_entries,
+    explain_alarm,
+    explanations_from_files,
+    export_explanations,
+    find_explanation,
+    render_explanations,
+)
+from repro.obs.export import (
+    SnapshotSink,
+    health_jsonl,
+    lint_prometheus_text,
+    metrics_jsonl,
+    prometheus_text,
+)
+from repro.obs.health import (
+    HealthReport,
+    ReplicaHealthTracker,
+    SloMonitor,
+    SloRule,
+    SloStatus,
+    default_slo_rules,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -52,13 +92,19 @@ from repro.obs.trace import (
 __all__ = [
     "ACCEPT",
     "ALARM",
+    "CHECK_BY_REASON",
     "CHECK_CONSENSUS",
     "CHECK_POLICY",
     "CHECK_SANITY",
     "CHECK_STALENESS",
+    "AlarmExplanation",
+    "AlarmForensics",
     "Counter",
     "DECIDE",
+    "FAULT_CLASS_BY_REASON",
+    "FieldDiff",
     "Gauge",
+    "HealthReport",
     "Histogram",
     "INGEST",
     "INTERCEPT",
@@ -66,7 +112,12 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "REPLICATE",
+    "ReplicaHealthTracker",
     "STAGE_RANK",
+    "SloMonitor",
+    "SloRule",
+    "SloStatus",
+    "SnapshotSink",
     "Span",
     "Tracer",
     "TriggerTimeline",
@@ -74,9 +125,20 @@ __all__ = [
     "active_tracer",
     "collect_deployment",
     "collect_pipeline",
+    "default_slo_rules",
+    "diff_entries",
     "dump_metrics",
     "dump_trace",
+    "explain_alarm",
+    "explanations_from_files",
+    "export_explanations",
+    "find_explanation",
+    "health_jsonl",
+    "lint_prometheus_text",
     "load_trace",
     "match_trigger_key",
+    "metrics_jsonl",
+    "prometheus_text",
+    "render_explanations",
     "span_sort_key",
 ]

@@ -161,6 +161,22 @@ class MetricsRegistry:
         return sum(c.value for (n, _), c in self._counters.items()
                    if n == name)
 
+    def instruments(self, kind: Optional[str] = None):
+        """Yield ``(name, labelset, instrument, kind)`` deterministically.
+
+        Sorted by (kind, name, labelset); ``kind`` filters to one of
+        ``counter`` / ``gauge`` / ``histogram``. This is the exporter
+        surface (:mod:`repro.obs.export`).
+        """
+        tables = (("counter", self._counters), ("gauge", self._gauges),
+                  ("histogram", self._histograms))
+        for table_kind, table in tables:
+            if kind is not None and table_kind != kind:
+                continue
+            for (name, labels), instrument in sorted(
+                    table.items(), key=lambda item: item[0]):
+                yield name, labels, instrument, table_kind
+
     def snapshot(self) -> Dict[str, object]:
         """Deterministic JSON-able dump of every instrument.
 
@@ -175,8 +191,11 @@ class MetricsRegistry:
                     table.items(), key=lambda item: item[0]):
                 rendered = name
                 if labels:
+                    # Labels are sorted at creation (_labelset), but the
+                    # render sorts again defensively so dumps stay stable
+                    # even for label sets constructed by hand.
                     rendered += "{" + ",".join(
-                        f"{k}={v}" for k, v in labels) + "}"
+                        f"{k}={v}" for k, v in sorted(labels)) + "}"
                 out[rendered] = {"type": kind,
                                  "value": instrument.snapshot()}
         return out

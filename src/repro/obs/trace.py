@@ -353,6 +353,8 @@ def match_trigger_key(tracer: Tracer, query: str) -> Optional[str]:
     ``ext:42`` shorthand, or a bare substring; returns the first traced
     key that matches, or ``None``.
     """
+    if not query or not query.strip():
+        return None  # an empty query would substring-match the first key
     keys = tracer.trigger_keys()
     if query in keys:
         return query

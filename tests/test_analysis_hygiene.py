@@ -179,3 +179,71 @@ def test_suppression_is_line_scoped():
             pass
     """
     assert "H402" in _rules(src)
+
+
+# ----------------------------------------------------------------------
+# H406 — observer purity (no observer mutation from decision paths)
+# ----------------------------------------------------------------------
+
+def test_h406_flags_container_mutation_through_observer():
+    src = """
+    class Validator:
+        def _decide(self, span):
+            self.tracer.spans.append(span)
+    """
+    assert "H406" in _rules(src)
+
+
+def test_h406_flags_assignment_into_observer_state():
+    src = """
+    class Validator:
+        def _decide(self):
+            self.metrics.tables = {}
+            tracer.counts["late"] = 1
+    """
+    assert _rules(src).count("H406") == 2
+
+
+def test_h406_allows_binding_and_hook_calls():
+    src = """
+    class Validator:
+        def __init__(self, tracer=None, health=None):
+            self.tracer = tracer
+            self.health = health
+
+        def ingest(self, response, now):
+            if self.health is not None:
+                self.health.record_response(now, response.controller_id)
+            if self.tracer is not None:
+                self.tracer.emit(now, "ingest")
+    """
+    assert "H406" not in _rules(src)
+
+
+def test_h406_ignores_unrelated_names_and_deep_attributes():
+    src = """
+    def f(report):
+        report.summary.metrics_like.append(1)  # not an observer root
+        buckets = {}
+        buckets.setdefault("a", []).append(2)
+    """
+    assert "H406" not in _rules(src)
+
+
+def test_h406_exempts_obs_modules():
+    src = """
+    class Tracer:
+        def emit(self, span):
+            tracer = self
+            tracer.spans.append(span)
+    """
+    assert "H406" not in _rules(src, path="src/repro/obs/trace.py")
+
+
+def test_h406_is_suppressible():
+    src = """
+    class V:
+        def f(self, span):
+            self.tracer.spans.append(span)  # jury: ignore[H406]
+    """
+    assert "H406" not in _rules(src)

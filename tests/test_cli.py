@@ -59,3 +59,111 @@ def test_detection_command_renders_cdf(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# ----------------------------------------------------------------------
+# Observability commands: trace / metrics / diagnose / health
+# ----------------------------------------------------------------------
+
+_SMALL = ["--nodes", "3", "-k", "2", "--switches", "4",
+          "--rate", "500", "--duration", "300", "--seed", "3"]
+
+
+def test_trace_unknown_trigger_exits_nonzero(capsys):
+    code = main(["trace", "ext:999999"] + _SMALL)
+    assert code == 2
+    assert "no traced trigger" in capsys.readouterr().err
+
+
+def test_metrics_prom_format_lints_clean(capsys):
+    from repro.obs.export import lint_prometheus_text
+    code = main(["metrics", "--format", "prom"] + _SMALL)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "# TYPE validator_responses_total counter" in out
+    assert lint_prometheus_text(out.strip("\n") + "\n") == []
+
+
+def test_diagnose_live_fault_names_class(capsys):
+    import json
+    code = main(["diagnose", "--fault", "link-failure", "--nodes", "5",
+                 "-k", "4", "--switches", "6", "--seed", "4",
+                 "--format", "json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["alarm_count"] > 0
+    classes = {alarm["fault_class"] for alarm in payload["alarms"]}
+    assert classes == {"T1"}
+
+
+def test_diagnose_unknown_alarm_exits_nonzero(capsys):
+    code = main(["diagnose", "ZZZZ", "--fault", "link-failure",
+                 "--nodes", "5", "-k", "4", "--switches", "6",
+                 "--seed", "4"])
+    assert code == 2
+    assert "no alarm matches" in capsys.readouterr().err
+
+
+def test_diagnose_unknown_fault_exits_nonzero(capsys):
+    code = main(["diagnose", "--fault", "no-such-fault"])
+    assert code == 2
+    assert "unknown fault" in capsys.readouterr().err
+
+
+def test_diagnose_offline_round_trip(tmp_path, capsys):
+    import json
+    log = tmp_path / "alarms.jsonl"
+    code = main(["diagnose", "--fault", "link-failure", "--nodes", "5",
+                 "-k", "4", "--switches", "6", "--seed", "4",
+                 "--record-alarm-log", str(log), "--format", "json"])
+    live = json.loads(capsys.readouterr().out)
+    assert code == 0 and log.exists()
+    code = main(["diagnose", "--alarm-log", str(log), "--format", "json"])
+    offline = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert offline["alarm_count"] == live["alarm_count"]
+    assert [a["fault_class"] for a in offline["alarms"]] \
+        == [a["fault_class"] for a in live["alarms"]]
+
+
+def test_diagnose_missing_alarm_log_exits_nonzero(tmp_path, capsys):
+    code = main(["diagnose", "--alarm-log", str(tmp_path / "missing.jsonl")])
+    assert code == 2
+    assert "diagnose" in capsys.readouterr().err
+
+
+def test_health_human_and_json(capsys):
+    import json
+    code = main(["health"] + _SMALL)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "replica health" in out
+    assert "slo" in out.lower()
+    code = main(["health", "--format", "json"] + _SMALL)
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["replicas"]
+    assert {report["controller_id"] for report in
+            payload["replicas"].values()} == set(payload["replicas"])
+
+
+def test_health_prom_format_lints_clean(capsys):
+    from repro.obs.export import lint_prometheus_text
+    code = main(["health", "--format", "prom"] + _SMALL)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "jury_replica_health_score" in out
+    assert "jury_slo_ok" in out
+    assert lint_prometheus_text(out.strip("\n") + "\n") == []
+
+
+def test_health_jsonl_output(tmp_path, capsys):
+    import json
+    path = tmp_path / "health.jsonl"
+    code = main(["health", "--output", str(path)] + _SMALL)
+    capsys.readouterr()
+    assert code == 0
+    record = json.loads(path.read_text(encoding="utf-8").splitlines()[0])
+    assert record["kind"] == "health"
+    assert record["replicas"]

@@ -1,0 +1,206 @@
+"""Unit tests for alarm forensics: diffs, explanations, export, offline."""
+
+import json
+
+import pytest
+
+from repro.core.alarm_log import AlarmLog, dump_alarm_log
+from repro.core.alarms import AlarmReason, canonical_alarm_stream
+from repro.faults.base import run_scenario
+from repro.faults.synthetic import LinkFailureFault
+from repro.obs.diagnose import (
+    CHECK_BY_REASON,
+    FAULT_CLASS_BY_REASON,
+    FieldDiff,
+    diff_entries,
+    explanation_id,
+    explanations_from_files,
+    export_explanations,
+    find_explanation,
+    render_explanations,
+)
+from repro.obs.trace import dump_trace
+from repro import Jury, JuryConfig
+
+
+def _cache(db, key, op, **fields):
+    return ("cache", db, key, op, tuple(sorted(fields.items())))
+
+
+def _flow_mod(dpid, command, match, actions, priority):
+    return ("flow_mod", dpid, command, match, actions, priority)
+
+
+# ----------------------------------------------------------------------
+# diff_entries
+# ----------------------------------------------------------------------
+
+def test_diff_entries_reports_changed_fields():
+    expected = (_cache("FlowsDB", ("flow", 1), "create", state="added"),)
+    actual = (_cache("FlowsDB", ("flow", 1), "create", state="pending_add"),)
+    diffs = diff_entries(expected, actual)
+    assert len(diffs) == 1
+    diff = diffs[0]
+    assert diff.kind == "changed" and diff.field == "state"
+    assert diff.expected == "'added'" and diff.actual == "'pending_add'"
+
+
+def test_diff_entries_reports_missing_and_unexpected():
+    expected = (_flow_mod(1, "add", ("ip", 1), (("output", 2),), 100),)
+    actual = (_flow_mod(2, "add", ("ip", 9), (("output", 3),), 50),)
+    kinds = sorted(d.kind for d in diff_entries(expected, actual))
+    assert kinds == ["missing", "unexpected"]
+
+
+def test_diff_entries_same_flow_different_actions_is_field_change():
+    expected = (_flow_mod(1, "add", ("ip", 1), (("output", 2),), 100),)
+    actual = (_flow_mod(1, "add", ("ip", 1), (("drop", 0),), 100),)
+    diffs = diff_entries(expected, actual)
+    assert [d.field for d in diffs] == ["actions"]
+
+
+def test_diff_entries_is_deterministic_and_empty_on_equal():
+    entries = (_cache("A", 1, "update", x=1), _cache("B", 2, "delete", y=2))
+    assert diff_entries(entries, entries) == ()
+    reversed_order = tuple(reversed(entries))
+    assert diff_entries(entries, reversed_order) == ()
+
+
+def test_field_diff_render_forms():
+    assert FieldDiff(kind="missing", key="k").render().startswith("- k")
+    assert FieldDiff(kind="unexpected", key="k").render().startswith("+ k")
+    changed = FieldDiff(kind="changed", key="k", field="f",
+                        expected="1", actual="2").render()
+    assert "expected 1 got 2" in changed
+
+
+# ----------------------------------------------------------------------
+# Live forensics on a real fault
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fault_run():
+    experiment = Jury.experiment(JuryConfig(
+        kind="onos", n=5, k=4, switches=8, seed=5, timeout_ms=250.0,
+        policies=("default",), with_northbound=True, diagnose=True))
+    experiment.warmup()
+    log = AlarmLog(experiment.validator)
+    result = run_scenario(experiment, LinkFailureFault(1, 2))
+    assert result.detected
+    return experiment, log
+
+
+def test_every_alarm_gets_an_explanation(fault_run):
+    experiment, _ = fault_run
+    alarms = experiment.jury.alarms
+    assert alarms
+    for alarm in alarms:
+        explanation = alarm.explanation
+        assert explanation is not None
+        assert explanation.trigger_id == repr(alarm.trigger_id)
+        assert explanation.reason == alarm.reason.value
+        assert explanation.failed_check == CHECK_BY_REASON[alarm.reason]
+        assert (explanation.fault_class
+                == FAULT_CLASS_BY_REASON[alarm.reason])
+
+
+def test_consensus_explanations_carry_field_diffs(fault_run):
+    experiment, _ = fault_run
+    consensus = [a.explanation for a in experiment.jury.alarms
+                 if a.reason is AlarmReason.CONSENSUS_MISMATCH]
+    assert consensus, "link failure must raise consensus alarms"
+    assert any(e.cache_diffs or e.network_diffs for e in consensus), \
+        "at least one consensus explanation must pin the diverging entries"
+    for explanation in consensus:
+        assert explanation.offending_controller
+        assert explanation.offending_controller \
+            in explanation.dissenting_replicas
+
+
+def test_explanation_attachment_keeps_canonical_stream(fault_run):
+    """alarm.explanation must not leak into the canonical encoding."""
+    experiment, _ = fault_run
+    stream = canonical_alarm_stream(experiment.jury.alarms)
+    assert b"explanation" not in stream
+    assert b"AlarmExplanation" not in stream
+
+
+def test_export_ids_and_json_round_trip(fault_run):
+    experiment, _ = fault_run
+    explanations = experiment.jury.forensics.explanations()
+    payload = export_explanations(explanations)
+    assert payload["format"] == "jury-diagnose"
+    assert payload["alarm_count"] == len(explanations)
+    assert [e["id"] for e in payload["alarms"]] \
+        == [explanation_id(i) for i in range(len(explanations))]
+    # JSON-serializable without custom encoders, stable under re-dump.
+    first = json.dumps(payload, sort_keys=True)
+    assert json.dumps(json.loads(first), sort_keys=True) == first
+
+
+def test_find_explanation_by_id_shorthand_and_substring(fault_run):
+    experiment, _ = fault_run
+    explanations = experiment.jury.forensics.explanations()
+    assert find_explanation(explanations, "a0001")[0] == "A0001"
+    trigger = explanations[0].trigger_id
+    assert find_explanation(explanations, trigger)[1] is explanations[0]
+    assert find_explanation(explanations, "no-such-alarm") is None
+    assert find_explanation(explanations, "") is None
+
+
+def test_render_explanations_is_deterministic(fault_run):
+    experiment, _ = fault_run
+    explanations = experiment.jury.forensics.explanations()
+    text = render_explanations(explanations)
+    assert text == render_explanations(explanations)
+    assert "A0001" in text and "fault class" in text
+    assert render_explanations([]) == "no alarms — nothing to diagnose"
+
+
+# ----------------------------------------------------------------------
+# Offline reconstruction
+# ----------------------------------------------------------------------
+
+def test_offline_reconstruction_matches_live_verdicts(fault_run, tmp_path):
+    experiment, log = fault_run
+    alarm_path = tmp_path / "alarms.jsonl"
+    dump_alarm_log(log, str(alarm_path))
+    offline = explanations_from_files(str(alarm_path))
+    live = experiment.jury.forensics.explanations()
+    assert len(offline) == len(live)
+    for off, lv in zip(offline, live):
+        assert off.source == "offline"
+        assert (off.trigger_id, off.reason, off.failed_check,
+                off.fault_class, off.offending_controller) \
+            == (lv.trigger_id, lv.reason, lv.failed_check,
+                lv.fault_class, lv.offending_controller)
+
+
+def test_offline_with_trace_recovers_externality(tmp_path):
+    experiment = Jury.experiment(JuryConfig(
+        kind="onos", n=5, k=4, switches=8, seed=6, timeout_ms=250.0,
+        policies=("default",), with_northbound=True,
+        diagnose=True, trace=True))
+    experiment.warmup()
+    log = AlarmLog(experiment.validator)
+    result = run_scenario(experiment, LinkFailureFault(1, 2))
+    assert result.detected
+    alarm_path = tmp_path / "alarms.jsonl"
+    trace_path = tmp_path / "trace.json"
+    dump_alarm_log(log, str(alarm_path))
+    dump_trace(experiment.jury.tracer, str(trace_path))
+    offline = explanations_from_files(str(alarm_path),
+                                      trace_path=str(trace_path))
+    live = experiment.jury.forensics.explanations()
+    assert [o.external for o in offline] == [l.external for l in live]
+
+
+def test_offline_rejects_malformed_alarm_log(tmp_path):
+    bad = tmp_path / "alarms.jsonl"
+    bad.write_text('{"time_ms": 1.0}\n', encoding="utf-8")
+    with pytest.raises(ValueError):
+        explanations_from_files(str(bad))
+    garbage = tmp_path / "garbage.jsonl"
+    garbage.write_text("not json\n", encoding="utf-8")
+    with pytest.raises(ValueError):
+        explanations_from_files(str(garbage))

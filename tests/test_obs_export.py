@@ -1,0 +1,182 @@
+"""Unit tests for the Prometheus/JSONL exporters and the snapshot sink."""
+
+import json
+
+from repro.obs.export import (
+    SnapshotSink,
+    escape_label_value,
+    health_jsonl,
+    lint_prometheus_text,
+    metrics_jsonl,
+    prometheus_text,
+)
+from repro.obs.health import ReplicaHealthTracker, SloMonitor
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("validator_responses_total", kind="cache").inc(7)
+    registry.counter("validator_responses_total", kind="network").inc(3)
+    registry.gauge("pipeline_queue_depth", shard="0").set(12.0)
+    for value in (1.0, 2.0, 10.0):
+        registry.histogram("validator_detection_ms").observe(value)
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Prometheus rendering
+# ----------------------------------------------------------------------
+
+def test_counter_and_gauge_series():
+    text = prometheus_text(registry=_registry())
+    assert "# TYPE validator_responses_total counter" in text
+    assert 'validator_responses_total{kind="cache"} 7' in text
+    assert "# TYPE pipeline_queue_depth gauge" in text
+    assert 'pipeline_queue_depth{shard="0"} 12' in text
+
+
+def test_histograms_render_as_summaries_with_sum_and_count():
+    text = prometheus_text(registry=_registry())
+    assert "# TYPE validator_detection_ms summary" in text
+    assert 'validator_detection_ms{quantile="0.5"}' in text
+    assert 'validator_detection_ms{quantile="0.95"}' in text
+    assert "validator_detection_ms_sum 13" in text
+    assert "validator_detection_ms_count 3" in text
+
+
+def test_type_header_appears_once_per_family():
+    text = prometheus_text(registry=_registry())
+    assert text.count("# TYPE validator_responses_total counter") == 1
+
+
+def test_health_and_slo_families():
+    tracker = ReplicaHealthTracker()
+    tracker.record_response(10.0, "c1", lag_ms=2.0)
+    reports = tracker.evaluate(500.0)
+    registry = _registry()
+    monitor = SloMonitor()
+    statuses = monitor.evaluate(registry, 500.0)
+    text = prometheus_text(registry=registry, health_reports=reports,
+                           slo_statuses=statuses)
+    assert 'jury_replica_health_score{replica="c1"}' in text
+    assert 'jury_replica_suspected{replica="c1"} 0' in text
+    assert 'jury_slo_ok{rule="late-drop-rate"} 1' in text
+    assert 'jury_slo_threshold{rule="detection-latency-p95"} 500' in text
+
+
+def test_label_escaping():
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+    registry = MetricsRegistry()
+    registry.counter("weird_total", detail='say "hi"\n').inc()
+    text = prometheus_text(registry=registry)
+    assert 'detail="say \\"hi\\"\\n"' in text
+    assert lint_prometheus_text(text) == []
+
+
+def test_generated_documents_always_lint_clean():
+    tracker = ReplicaHealthTracker()
+    tracker.record_response(1.0, "c1", lag_ms=1.0)
+    monitor = SloMonitor()
+    registry = _registry()
+    text = prometheus_text(registry=registry,
+                           health_reports=tracker.evaluate(100.0),
+                           slo_statuses=monitor.evaluate(registry, 100.0))
+    assert lint_prometheus_text(text) == []
+
+
+# ----------------------------------------------------------------------
+# The line-format linter itself
+# ----------------------------------------------------------------------
+
+def test_lint_accepts_minimal_valid_document():
+    text = ("# TYPE a_total counter\n"
+            "a_total 1\n"
+            'a_total{x="y"} 2.5\n')
+    assert lint_prometheus_text(text) == []
+
+
+def test_lint_flags_undeclared_family():
+    errors = lint_prometheus_text("mystery_metric 1\n")
+    assert any("undeclared" in error for error in errors)
+
+
+def test_lint_flags_duplicate_series():
+    text = ("# TYPE a_total counter\n"
+            "a_total 1\n"
+            "a_total 2\n")
+    assert any("duplicate" in error for error in lint_prometheus_text(text))
+
+
+def test_lint_flags_malformed_sample_and_unknown_type():
+    assert lint_prometheus_text("# TYPE a wibble\n") != []
+    assert lint_prometheus_text("# TYPE a_total counter\n!!bad line\n") != []
+
+
+def test_lint_flags_type_after_samples():
+    text = ("# TYPE a_total counter\n"
+            "a_total 1\n"
+            "# TYPE a_total counter\n")
+    assert lint_prometheus_text(text) != []
+
+
+# ----------------------------------------------------------------------
+# JSONL exporters
+# ----------------------------------------------------------------------
+
+def test_metrics_jsonl_record_parses_and_is_stable():
+    first = metrics_jsonl(_registry(), 250.0)
+    record = json.loads(first)
+    assert record["kind"] == "metrics" and record["time_ms"] == 250.0
+    assert any("validator_responses_total" in key
+               for key in record["metrics"])
+    assert metrics_jsonl(_registry(), 250.0) == first
+
+
+def test_health_jsonl_carries_reports_and_slo():
+    tracker = ReplicaHealthTracker()
+    tracker.record_response(1.0, "c1", lag_ms=1.0)
+    monitor = SloMonitor()
+    registry = _registry()
+    record = json.loads(health_jsonl(
+        tracker.evaluate(100.0),
+        slo_statuses=monitor.evaluate(registry, 100.0), now=100.0))
+    assert record["kind"] == "health"
+    assert list(record["replicas"]) == ["c1"]
+    assert {s["name"] for s in record["slo"]} \
+        == {"detection-latency-p95", "ingest-overflow-rate", "late-drop-rate"}
+    # SLO statuses are optional (standalone health tracker, no registry).
+    bare = json.loads(health_jsonl(tracker.evaluate(100.0), now=100.0))
+    assert bare["slo"] == []
+
+
+# ----------------------------------------------------------------------
+# SnapshotSink
+# ----------------------------------------------------------------------
+
+def test_sink_records_once_per_boundary():
+    sink = SnapshotSink(100.0, registry=_registry())
+    sink.observe(10.0)      # below the first boundary: nothing
+    assert sink.records == []
+    sink.observe(105.0)     # crosses 100
+    sink.observe(107.0)     # same interval: no new record
+    sink.observe(350.0)     # idle gap: one record at the first uncrossed
+    assert [r["boundary_ms"] for r in sink.records] == [100.0, 200.0]
+    sink.observe(360.0)     # 400 not yet crossed
+    assert len(sink.records) == 2
+
+
+def test_sink_jsonl_round_trip(tmp_path):
+    tracker = ReplicaHealthTracker()
+    tracker.record_response(5.0, "c1", lag_ms=1.0)
+    sink = SnapshotSink(50.0, registry=_registry(), health=tracker)
+    sink.observe(60.0)
+    sink.observe(120.0)
+    path = tmp_path / "snapshots.jsonl"
+    sink.dump(str(path))
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        record = json.loads(line)
+        assert record["kind"] == "snapshot"
+        assert "metrics" in record and "health" in record

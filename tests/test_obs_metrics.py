@@ -18,6 +18,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     collect_pipeline,
+    dump_metrics,
 )
 from repro.obs.trace import ACCEPT, ALARM, DECIDE, INGEST, LATE_DROP, Tracer
 from repro.sim.simulator import Simulator
@@ -174,3 +175,51 @@ def test_detection_histogram_counts_decisions():
     assert histogram.count == engine.triggers_decided
     snapshot = registry.snapshot()["validator_detection_ms"]
     assert snapshot["value"]["count"] == engine.triggers_decided
+
+
+# ----------------------------------------------------------------------
+# Stable export encoding (label-set ordering, dump_metrics round-trip)
+# ----------------------------------------------------------------------
+
+def test_snapshot_renders_label_sets_in_sorted_order():
+    registry = MetricsRegistry()
+    # Kwargs order differs between the two series; the rendered keys must
+    # not depend on it.
+    registry.counter("checks_total", verdict="ok", check="sanity").inc()
+    registry.counter("checks_total", check="policy", verdict="fail").inc()
+    keys = [key for key in registry.snapshot() if key.startswith("checks")]
+    assert keys == ["checks_total{check=policy,verdict=fail}",
+                    "checks_total{check=sanity,verdict=ok}"]
+
+
+def test_dump_metrics_is_stable_across_label_insertion_order(tmp_path):
+    def build(flip):
+        registry = MetricsRegistry()
+        if flip:
+            registry.counter("c_total", b="2", a="1").inc(3)
+            registry.gauge("g", zone="x", rack="r").set(5.0)
+        else:
+            registry.counter("c_total", a="1", b="2").inc(3)
+            registry.gauge("g", rack="r", zone="x").set(5.0)
+        return registry
+
+    first, second = tmp_path / "a.json", tmp_path / "b.json"
+    dump_metrics(build(False), str(first))
+    dump_metrics(build(True), str(second))
+    assert first.read_text(encoding="utf-8") \
+        == second.read_text(encoding="utf-8")
+
+
+def test_instruments_iterates_sorted_with_kind_filter():
+    registry = MetricsRegistry()
+    registry.counter("b_total").inc()
+    registry.counter("a_total", x="1").inc()
+    registry.gauge("depth").set(1.0)
+    registry.histogram("lat_ms").observe(2.0)
+    everything = list(registry.instruments())
+    names = [item[0] for item in everything]
+    kinds = [item[3] for item in everything]
+    assert names == ["a_total", "b_total", "depth", "lat_ms"]
+    assert kinds == ["counter", "counter", "gauge", "histogram"]
+    only_histograms = list(registry.instruments("histogram"))
+    assert [item[0] for item in only_histograms] == ["lat_ms"]

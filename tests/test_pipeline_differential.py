@@ -228,6 +228,99 @@ def test_traces_are_engine_and_shard_count_independent(workloads):
                 f"trace diverged at N={shards} on {name}"
 
 
+def _full_stack(records, mastership, shards=None):
+    """Replay with the whole observability stack attached."""
+    from repro.obs.diagnose import AlarmForensics
+    from repro.obs.health import ReplicaHealthTracker
+    from repro.obs.metrics import MetricsRegistry
+
+    forensics = AlarmForensics()
+    health = ReplicaHealthTracker()
+    registry = MetricsRegistry()
+
+    def make(sim, lookup):
+        kwargs = dict(timeout=StaticTimeout(TIMEOUT_MS),
+                      policy_engine=default_policy_engine(),
+                      mastership_lookup=lookup, metrics=registry,
+                      forensics=forensics, health=health)
+        if shards is None:
+            return Validator(sim, K, **kwargs)
+        return ValidationPipeline(sim, K, shards=shards, **kwargs)
+
+    engine = _replay(records, mastership, make)
+    return engine, forensics, health, registry
+
+
+def test_forensics_and_health_keep_alarm_streams_byte_identical(workloads):
+    """Diagnosis + health enabled must not move a single alarm byte."""
+    for name in ("benign-11", "fault-t1", "fault-t2", "fault-t3"):
+        records, mastership = workloads[name]
+        expected = canonical_alarm_stream(
+            _sequential(records, mastership).alarms)
+        engine, _, _, _ = _full_stack(records, mastership)
+        assert canonical_alarm_stream(engine.alarms) == expected, \
+            f"forensics/health changed the sequential alarm stream on {name}"
+        for shards in SHARD_COUNTS:
+            engine, _, _, _ = _full_stack(records, mastership, shards=shards)
+            assert canonical_alarm_stream(engine.alarms) == expected, \
+                (f"alarm stream diverged at N={shards} with the full "
+                 f"stack on ({name})")
+
+
+def test_explanations_are_engine_and_shard_count_independent(workloads):
+    """Same stream → byte-identical diagnosis payload at any shard count."""
+    import json
+
+    from repro.obs.diagnose import export_explanations
+
+    for name in ("fault-t1", "fault-t2", "fault-t3"):
+        records, mastership = workloads[name]
+        _, forensics, _, _ = _full_stack(records, mastership)
+        expected = json.dumps(export_explanations(forensics.explanations()),
+                              sort_keys=True)
+        assert forensics.alarm_count > 0, f"{name} must explain something"
+        for shards in SHARD_COUNTS:
+            _, forensics, _, _ = _full_stack(records, mastership,
+                                             shards=shards)
+            actual = json.dumps(export_explanations(forensics.explanations()),
+                                sort_keys=True)
+            assert actual == expected, \
+                f"explanations diverged at N={shards} on {name}"
+
+
+def test_health_and_exports_are_shard_count_independent(workloads):
+    """Health reports, SLO statuses, and the Prometheus document all match
+    between the sequential validator and the pipeline at every N."""
+    from repro.obs.export import lint_prometheus_text, prometheus_text
+    from repro.obs.health import SloMonitor
+
+    for name in ("benign-11", "fault-t1"):
+        records, mastership = workloads[name]
+        horizon = max(r.time_ms for r in records) + 4 * TIMEOUT_MS
+
+        def render(engine_tuple):
+            _, _, health, registry = engine_tuple
+            reports = health.evaluate(horizon)
+            statuses = SloMonitor().evaluate(registry, horizon)
+            # No collect_pipeline scrape: per-shard queue series are the
+            # one legitimately engine-shaped family.
+            return reports, prometheus_text(registry=registry,
+                                            health_reports=reports,
+                                            slo_statuses=statuses)
+
+        expected_reports, expected_text = render(
+            _full_stack(records, mastership))
+        assert expected_reports, "health must have seen replicas"
+        assert lint_prometheus_text(expected_text) == []
+        for shards in SHARD_COUNTS:
+            reports, text = render(
+                _full_stack(records, mastership, shards=shards))
+            assert reports == expected_reports, \
+                f"health reports diverged at N={shards} on {name}"
+            assert text == expected_text, \
+                f"prometheus export diverged at N={shards} on {name}"
+
+
 def test_pipeline_stats_account_for_every_response(workloads):
     records, mastership = workloads["benign-11"]
     pipeline = _pipeline(records, mastership, 4)
