@@ -1,0 +1,133 @@
+"""Content-hash keyed result cache for incremental analysis.
+
+The analyzer's cost is parsing + rule visits, both pure functions of
+(file contents, analyzer version). The cache keys each file by the SHA-1 of
+its bytes and stores the per-module findings *and* the extracted
+:class:`~repro.analysis.project_index.ModuleFacts`, so a warm run rebuilds
+the whole project index — and re-runs the cross-module X-rules, which are
+cheap — without re-parsing a single unchanged file.
+
+The whole cache is invalidated when the analyzer itself changes: the header
+records a fingerprint hashed over the source bytes of every module in
+``repro.analysis``, so editing a rule never serves stale results. A corrupt
+or incompatible cache file is silently ignored (it is only ever an
+optimization).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project_index import ModuleFacts
+
+#: Default cache location (relative to the invocation cwd, like reports).
+DEFAULT_CACHE_PATH = ".jury-analysis-cache.json"
+
+_CACHE_VERSION = 1
+
+_analyzer_fingerprint: Optional[str] = None
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha1(source.encode("utf-8")).hexdigest()
+
+
+def analyzer_fingerprint() -> str:
+    """Hash over the analysis package's own sources (cache invalidation)."""
+    global _analyzer_fingerprint
+    if _analyzer_fingerprint is None:
+        digest = hashlib.sha1()
+        package_dir = Path(__file__).parent
+        for path in sorted(package_dir.glob("*.py")):
+            digest.update(path.name.encode("utf-8"))
+            try:
+                digest.update(path.read_bytes())
+            except OSError:
+                continue
+        _analyzer_fingerprint = digest.hexdigest()
+    return _analyzer_fingerprint
+
+
+class AnalysisCache:
+    """Per-file (findings, facts) results keyed by content hash."""
+
+    def __init__(self, path: str = DEFAULT_CACHE_PATH):
+        self.path = path
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str = DEFAULT_CACHE_PATH) -> "AnalysisCache":
+        """Load a cache file; any problem yields an empty (fresh) cache."""
+        cache = cls(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (OSError, ValueError):
+            return cache
+        if (not isinstance(raw, dict)
+                or raw.get("version") != _CACHE_VERSION
+                or raw.get("analyzer") != analyzer_fingerprint()):
+            return cache
+        files = raw.get("files")
+        if isinstance(files, dict):
+            cache._entries = files
+        return cache
+
+    def get(self, display: str,
+            file_hash: str) -> Optional[Tuple[List[Finding],
+                                              Optional[ModuleFacts]]]:
+        """Cached (findings, facts) for a file, or ``None`` on miss."""
+        entry = self._entries.get(display)
+        if not isinstance(entry, dict) or entry.get("hash") != file_hash:
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding.from_dict(f) for f in entry["findings"]]
+            raw_facts = entry.get("facts")
+            facts = ModuleFacts.from_dict(raw_facts) if raw_facts else None
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, facts
+
+    def put(self, display: str, file_hash: str, findings: List[Finding],
+            facts: Optional[ModuleFacts]) -> None:
+        self._entries[display] = {
+            "hash": file_hash,
+            "findings": [f.to_dict() for f in findings],
+            "facts": facts.to_dict() if facts is not None else None,
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def write(self) -> None:
+        """Persist atomically; write failures are ignored (cache is advisory)."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "analyzer": analyzer_fingerprint(),
+            "files": self._entries,
+        }
+        tmp_path = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:  # jury: ignore[H403] — best-effort tmp cleanup
+                pass
+        else:
+            self._dirty = False

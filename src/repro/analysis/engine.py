@@ -1,39 +1,80 @@
-"""The analysis engine: file discovery, parsing, rule dispatch, baselining.
+"""The analysis engine: discovery, rule dispatch, caching, parallelism.
 
 ``analyze_paths`` is the one-call API used by the CLI, the CI gate, and the
 self-application test: give it files/directories and (optionally) a baseline,
 get back an :class:`AnalysisReport` with per-``file:line`` findings.
+
+The run has two phases. The **module phase** parses each file and runs the
+per-file rule families (D/T/S/H), simultaneously extracting the
+:class:`~repro.analysis.project_index.ModuleFacts` the cross-module rules
+need; it is embarrassingly parallel (``jobs``) and memoized per file in the
+:class:`~repro.analysis.cache.AnalysisCache` keyed by content hash. The
+**project phase** assembles the facts into a
+:class:`~repro.analysis.project_index.ProjectIndex` and runs the
+interprocedural X-rules over the whole graph — cheap enough that it always
+runs fresh, so a warm cache still yields exact results. Policy XML files
+passed explicitly are linted with the P-rules against the same index.
 """
 
 from __future__ import annotations
 
 import ast
 import os
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.cache import AnalysisCache, content_hash
 from repro.analysis.findings import AnalysisReport, Finding, Severity
-from repro.analysis.registry import ModuleContext, Rule, all_rules
+from repro.analysis.project_index import (
+    ModuleFacts,
+    build_project_index,
+    extract_module_facts,
+)
+from repro.analysis.registry import ModuleContext, Rule, all_rules, project_rules
 
 #: Rule id reserved for files the engine itself cannot analyze.
 PARSE_ERROR_RULE = "P001"
 
 
+def _walk_py_files(root: Path) -> Iterator[Path]:
+    """Yield ``.py`` files under ``root`` in a deterministic order.
+
+    Follows directory symlinks but keeps a realpath trail so a cycle
+    (``pkg/loop -> pkg``) terminates instead of recursing forever; files
+    reached through several link paths dedupe via ``resolve()`` upstream.
+    """
+    seen: Set[str] = set()
+    for dirpath, dirnames, filenames in os.walk(root, followlinks=True):
+        real = os.path.realpath(dirpath)
+        if real in seen:
+            dirnames[:] = []
+            continue
+        seen.add(real)
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield Path(dirpath, name)
+
+
 def discover_files(paths: Sequence[str]) -> List[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted list of unique ``.py`` files.
+
+    The result is independent of argument order, directory-entry order, and
+    symlink aliasing, so two runs over the same tree see the same files in
+    the same sequence — a prerequisite for byte-identical reports.
+    """
     files: List[Path] = []
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            files.extend(p for p in path.rglob("*.py")
-                         if "__pycache__" not in p.parts)
+            files.extend(p.resolve() for p in _walk_py_files(path))
         elif path.suffix == ".py" and path.exists():
-            files.append(path)
+            files.append(path.resolve())
         elif not path.exists():
             raise FileNotFoundError(f"no such file or directory: {raw}")
-    unique = sorted({p.resolve() for p in files})
-    return unique
+    return sorted(set(files))
 
 
 def _display_path(path: Path) -> str:
@@ -44,34 +85,79 @@ def _display_path(path: Path) -> str:
         return str(path)
 
 
-class Analyzer:
-    """Runs a rule set over modules and applies baseline/suppressions."""
+def _analyze_module(source: str, display: str,
+                    rules: Optional[Sequence[Rule]] = None,
+                    ) -> Tuple[List[Finding], Optional[ModuleFacts]]:
+    """Module phase for one file: per-file findings + extracted facts."""
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule_id=PARSE_ERROR_RULE, severity=Severity.ERROR, path=display,
+            line=exc.lineno or 1, column=(exc.offset or 0) + 1,
+            message=f"file does not parse: {exc.msg}")
+        return [finding], None
+    module = ModuleContext(path=display, source=source, tree=tree)
+    findings: List[Finding] = []
+    for rule in (rules if rules is not None else all_rules()):
+        findings.extend(rule.run(module))
+    findings.sort(key=Finding.sort_key)
+    return findings, extract_module_facts(module)
 
-    def __init__(self, rules: Optional[Iterable[Rule]] = None):
-        self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
+
+def _module_worker(item: Tuple[str, str]
+                   ) -> Tuple[str, List[Finding], Optional[ModuleFacts]]:
+    """Top-level (picklable) worker for the ``--jobs`` process pool."""
+    display, source = item
+    findings, facts = _analyze_module(source, display)
+    return display, findings, facts
+
+
+class Analyzer:
+    """Runs rule sets over modules and applies baseline/suppressions."""
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None,
+                 cross_rules: Optional[Iterable[Rule]] = None):
+        #: A custom per-module rule set disables the cache and the process
+        #: pool (both assume the builtin catalog) — tests inject tiny rule
+        #: sets and must get exactly those rules, nothing memoized.
+        self.custom_rules = rules is not None
+        self.rules: List[Rule] = (list(rules) if rules is not None
+                                  else all_rules())
+        if cross_rules is not None:
+            self.cross_rules: List[Rule] = list(cross_rules)
+        else:
+            self.cross_rules = [] if self.custom_rules else project_rules()
 
     # ------------------------------------------------------------------
     def analyze_source(self, source: str, path: str = "<memory>") -> List[Finding]:
         """Analyze one in-memory module (test fixtures, editors)."""
-        try:
-            tree = ast.parse(source, filename=path)
-        except SyntaxError as exc:
-            return [Finding(
-                rule_id=PARSE_ERROR_RULE, severity=Severity.ERROR,
-                path=path, line=exc.lineno or 1, column=(exc.offset or 0) + 1,
-                message=f"file does not parse: {exc.msg}")]
-        module = ModuleContext(path=path, source=source, tree=tree)
-        findings: List[Finding] = []
-        for rule in self.rules:
-            findings.extend(rule.run(module))
-        return sorted(findings, key=Finding.sort_key)
+        findings, _ = _analyze_module(source, path, rules=self.rules)
+        return findings
 
+    # ------------------------------------------------------------------
     def analyze_paths(self, paths: Sequence[str],
-                      baseline: Optional[Baseline] = None) -> AnalysisReport:
-        """Analyze files/directories; baseline-matched findings are split out."""
+                      baseline: Optional[Baseline] = None,
+                      jobs: int = 1,
+                      cache: Optional[AnalysisCache] = None) -> AnalysisReport:
+        """Analyze files/directories; baseline-matched findings split out.
+
+        ``jobs`` > 1 fans the module phase out over a process pool;
+        ``cache`` serves unchanged files from their content-hash entry.
+        Both are exact optimizations: the report is byte-identical across
+        cold, warm, serial, and parallel runs.
+        """
+        if self.custom_rules:
+            cache = None
         report = AnalysisReport()
         all_findings: List[Finding] = []
-        for path in discover_files(paths):
+        xml_paths = [raw for raw in paths
+                     if str(raw).endswith(".xml") and Path(raw).is_file()]
+        py_paths = [raw for raw in paths if raw not in xml_paths]
+
+        pending: List[Tuple[str, str, str]] = []  # display, source, hash
+        facts: List[ModuleFacts] = []
+        for path in discover_files(py_paths):
             display = _display_path(path)
             try:
                 source = path.read_text(encoding="utf-8")
@@ -82,7 +168,41 @@ class Analyzer:
                     message=f"file is unreadable: {exc}"))
                 continue
             report.files_scanned += 1
-            all_findings.extend(self.analyze_source(source, path=display))
+            if cache is not None:
+                file_hash = content_hash(source)
+                hit = cache.get(display, file_hash)
+                if hit is not None:
+                    cached_findings, cached_facts = hit
+                    all_findings.extend(cached_findings)
+                    if cached_facts is not None:
+                        facts.append(cached_facts)
+                    report.cache_hits += 1
+                    continue
+                pending.append((display, source, file_hash))
+            else:
+                pending.append((display, source, ""))
+
+        hashes = {display: file_hash for display, _, file_hash in pending}
+        for display, found, mod_facts in self._run_module_phase(pending, jobs):
+            all_findings.extend(found)
+            if mod_facts is not None:
+                facts.append(mod_facts)
+            if cache is not None:
+                cache.put(display, hashes[display], found, mod_facts)
+
+        index = None
+        if self.cross_rules or xml_paths:
+            index = build_project_index(facts)
+        for rule in self.cross_rules:
+            all_findings.extend(rule.run_project(index))
+        if xml_paths:
+            from repro.policy.lint import lint_policy_file
+            for raw in sorted(xml_paths):
+                report.files_scanned += 1
+                all_findings.extend(lint_policy_file(str(raw), index=index))
+        if cache is not None:
+            cache.write()
+
         all_findings.sort(key=Finding.sort_key)
         if baseline is None:
             report.findings = all_findings
@@ -98,9 +218,31 @@ class Analyzer:
         report.stale_baseline = sorted(baseline.fingerprints() - matched_fps)
         return report
 
+    # ------------------------------------------------------------------
+    def _run_module_phase(self, pending: Sequence[Tuple[str, str, str]],
+                          jobs: int) -> Iterator[
+                              Tuple[str, List[Finding],
+                                    Optional[ModuleFacts]]]:
+        items = [(display, source) for display, source, _ in pending]
+        if jobs <= 1 or len(items) < 2 or self.custom_rules:
+            for display, source in items:
+                findings, facts = _analyze_module(source, display,
+                                                  rules=self.rules)
+                yield display, findings, facts
+            return
+        chunk = max(1, len(items) // (jobs * 4))
+        # Dev-tool parallelism, not simulation code: per-file analysis is
+        # pure and pool.map preserves input order, so results stay
+        # deterministic.
+        with ProcessPoolExecutor(max_workers=jobs) as pool:  # jury: ignore[D105]
+            yield from pool.map(_module_worker, items, chunksize=chunk)
+
 
 def analyze_paths(paths: Sequence[str],
                   baseline: Optional[Baseline] = None,
-                  rules: Optional[Iterable[Rule]] = None) -> AnalysisReport:
+                  rules: Optional[Iterable[Rule]] = None,
+                  jobs: int = 1,
+                  cache: Optional[AnalysisCache] = None) -> AnalysisReport:
     """Module-level convenience wrapper around :class:`Analyzer`."""
-    return Analyzer(rules=rules).analyze_paths(paths, baseline=baseline)
+    return Analyzer(rules=rules).analyze_paths(paths, baseline=baseline,
+                                               jobs=jobs, cache=cache)

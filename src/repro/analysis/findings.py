@@ -80,9 +80,18 @@ class Finding:
             "line": self.line,
             "column": self.column,
             "symbol": self.symbol,
+            "ordinal": self.ordinal,
             "message": self.message,
             "fingerprint": self.fingerprint(),
         }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (the result cache round-trips findings)."""
+        return cls(rule_id=raw["rule"], severity=Severity.parse(raw["severity"]),
+                   path=raw["path"], line=raw["line"], column=raw["column"],
+                   symbol=raw.get("symbol", ""), ordinal=raw.get("ordinal", 0),
+                   message=raw["message"])
 
 
 @dataclass
@@ -95,6 +104,8 @@ class AnalysisReport:
     #: Baseline fingerprints that no longer match anything (stale entries).
     stale_baseline: list = field(default_factory=list)
     files_scanned: int = 0
+    #: Files served from the incremental result cache (no re-parse).
+    cache_hits: int = 0
 
     def count_at_least(self, severity: Severity) -> int:
         return sum(1 for f in self.findings if f.severity >= severity)

@@ -170,6 +170,10 @@ class Rule:
     summary: str = ""
     #: Which JURY fault class / mechanism the rule guards (docs + reports).
     rationale: str = ""
+    #: Dispatch kind: ``module`` rules run per parsed file, ``project``
+    #: rules run once over the whole :class:`ProjectIndex`, ``policy``
+    #: rules run over parsed policy documents.
+    kind: str = "module"
 
     def check(self, module: ModuleContext) -> Iterator[tuple]:
         raise NotImplementedError
@@ -216,18 +220,35 @@ def _load_builtin_rules() -> None:
     from repro.analysis import (  # noqa: F401  # jury: ignore[H405]
         rules_determinism,
         rules_hygiene,
+        rules_policy,
         rules_sanity,
         rules_taint,
+        rules_xmodule,
     )
 
 
 def all_rules() -> List[Rule]:
-    """Instantiate the full builtin catalog, sorted by rule id."""
+    """Instantiate the per-module builtin catalog, sorted by rule id."""
     _load_builtin_rules()
-    return [cls() for _, cls in sorted(_REGISTRY.items())]
+    return [cls() for _, cls in sorted(_REGISTRY.items())
+            if cls.kind == "module"]
+
+
+def project_rules() -> List[Rule]:
+    """Instantiate the interprocedural (ProjectIndex-driven) rules."""
+    _load_builtin_rules()
+    return [cls() for _, cls in sorted(_REGISTRY.items())
+            if cls.kind == "project"]
+
+
+def policy_rules() -> List[Rule]:
+    """Instantiate the policy-document (P-family) rules."""
+    _load_builtin_rules()
+    return [cls() for _, cls in sorted(_REGISTRY.items())
+            if cls.kind == "policy"]
 
 
 def rule_catalog() -> List[Type[Rule]]:
-    """The registered rule classes (docs, ``--list-rules``)."""
+    """The registered rule classes across all kinds (docs, --list-rules)."""
     _load_builtin_rules()
     return [cls for _, cls in sorted(_REGISTRY.items())]

@@ -1,9 +1,10 @@
 """Human and JSON reporters for analysis runs.
 
 The human format leads with per-family counts — D (determinism), T
-(taint-safety), S (sanity pairing), H (hygiene) — so a clean run still shows
-which invariants were checked; JSON carries the full rule catalog alongside
-the findings for machine consumers (CI annotations, dashboards).
+(taint-safety), S (sanity pairing), H (hygiene), X (cross-module), P
+(policy/parse) — so a clean run still shows which invariants were checked;
+JSON carries the full rule catalog alongside the findings for machine
+consumers (CI annotations, dashboards).
 """
 
 from __future__ import annotations
@@ -19,7 +20,8 @@ _FAMILY_TITLES = {
     "T": "taint-safety",
     "S": "sanity pairing",
     "H": "hygiene",
-    "P": "parse",
+    "X": "cross-module",
+    "P": "policy/parse",
 }
 
 
@@ -38,8 +40,10 @@ def render_human(report: AnalysisReport, fail_on: Severity) -> str:
         f"{family}/{_FAMILY_TITLES.get(family, '?')}: "
         f"{counts.get(family, 0)}"
         for family in sorted(set(_families_in_catalog()) | set(counts)))
+    cached = (f" ({report.cache_hits} cached)"
+              if report.cache_hits else "")
     lines.append(f"jury-repro analyze — {report.files_scanned} file(s) "
-                 f"scanned, {len(report.findings)} finding(s)")
+                 f"scanned{cached}, {len(report.findings)} finding(s)")
     lines.append(f"  {summary}")
     for finding in report.findings:
         lines.append(finding.render())

@@ -1,0 +1,320 @@
+"""P-rules: static verification of policy documents (Table 2 / Fig 3).
+
+A policy file is configuration with first-match semantics: a clause that can
+never fire, or that names a cache no datastore exposes, fails silently at
+the worst possible time — when an operator believes a constraint is being
+enforced. These rules lint parsed policy clauses *before* deployment:
+
+* P601 — a clause is fully subsumed by an earlier clause with the opposite
+  ``allow`` decision (a contradiction: the later clause can never apply).
+* P602 — a clause is subsumed by an earlier clause with the *same* decision
+  (shadowed / redundant; usually a stale leftover).
+* P603 — a directive names an unknown cache, enum value, entry field, or
+  XML attribute (checked against the datastore registry and the OpenFlow
+  match schema).
+* P604 — a trigger kind that no controller code in the analyzed project
+  ever mints (checked against the :class:`ProjectIndex`).
+
+Rules operate on any clause-like object exposing the
+:class:`~repro.policy.parser.PolicyClause` surface (the XML parser's raw
+clauses, or the adapter ``policy.lint`` wraps around built-in ``Policy``
+objects), grouped into a :class:`PolicyDocument`.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, field as dc_field
+from dataclasses import fields as dataclass_fields
+from fnmatch import fnmatch
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project_index import ProjectIndex
+from repro.analysis.registry import ALL_RULES, Rule, register
+from repro.datastore.caches import KNOWN_CACHES
+from repro.openflow.match import Match
+from repro.policy.language import (
+    DEST_LOCAL,
+    DEST_REMOTE,
+    TRIGGER_EXTERNAL,
+    TRIGGER_INTERNAL,
+    WILDCARD,
+)
+from repro.policy.parser import ParseIssue
+
+#: Legal enum vocabularies, per the language (§ Table 2).
+_TRIGGER_VALUES = (WILDCARD, TRIGGER_INTERNAL, TRIGGER_EXTERNAL)
+_DEST_VALUES = (WILDCARD, DEST_LOCAL, DEST_REMOTE)
+_OPERATION_VALUES = (WILDCARD, "create", "update", "delete")
+_ALLOW_VALUES = ("yes", "no", "true", "false")
+
+#: Entry-pattern field names the schemas understand: OpenFlow match fields
+#: plus the topology/cache key vocabulary used by the datastore helpers.
+_MATCH_FIELDS = frozenset(f.name for f in dataclass_fields(Match))
+_TOPOLOGY_FIELDS = frozenset({"dpid", "priority", "port", "ports", "mac",
+                              "ip", "master"})
+_ENTRY_FIELDS = _MATCH_FIELDS | _TOPOLOGY_FIELDS
+
+#: ``field=value`` tokens inside an entry pattern.
+_ENTRY_FIELD_RE = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*)\s*=")
+
+#: Directives compared wildcard-or-equal during subsumption.
+_SUBSUMPTION_AXES = ("controller", "trigger", "cache", "operation",
+                     "destination")
+
+
+@dataclass
+class PolicyDocument:
+    """One policy source plus the context the P-rules need.
+
+    ``clauses`` are clause-like objects (see module docstring);
+    ``schema_issues`` are the parser's lenient findings about unknown
+    attributes; ``suppressions`` maps line numbers to suppressed rule ids
+    (scanned from ``jury: ignore`` markers inside XML comments); ``index``
+    is the project call-graph, when one was built alongside this lint run.
+    """
+
+    path: str
+    clauses: Sequence = ()
+    schema_issues: Sequence[ParseIssue] = ()
+    suppressions: Dict[int, Set[str]] = dc_field(default_factory=dict)
+    index: Optional[ProjectIndex] = None
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return rules is not None and (ALL_RULES in rules or rule_id in rules)
+
+
+def _has_predicate(clause) -> bool:
+    return getattr(clause, "entry_predicate", None) is not None
+
+
+def _entry_subsumes(broad: str, narrow: str) -> bool:
+    """Does entry pattern ``broad`` cover everything ``narrow`` matches?"""
+    if broad == WILDCARD or broad == narrow:
+        return True
+    # A concrete (glob-free) narrow entry is covered iff broad matches it.
+    if not any(ch in narrow for ch in "*?["):
+        return fnmatch(narrow, broad)
+    return False
+
+
+def subsumes(earlier, later) -> bool:
+    """Does ``earlier`` match every write ``later`` matches?
+
+    Conservative: predicates are opaque, so a clause carrying one never
+    subsumes (it may decline writes the directives accept), and a clause
+    carrying one is never reported as subsumed (the predicate is reason
+    enough for it to coexist with a broader clause).
+    """
+    if _has_predicate(earlier) or _has_predicate(later):
+        return False
+    for axis in _SUBSUMPTION_AXES:
+        broad = getattr(earlier, axis)
+        if broad != WILDCARD and broad != getattr(later, axis):
+            return False
+    return _entry_subsumes(earlier.entry, later.entry)
+
+
+def _suggest(value: str, vocabulary: Iterable[str]) -> str:
+    close = difflib.get_close_matches(value, list(vocabulary), n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""
+
+
+class PolicyRule(Rule):
+    """Base for policy-document rules.
+
+    Subclasses implement :meth:`check_document`, yielding
+    ``(line, column, message, symbol)`` tuples; :meth:`run_policy` turns
+    them into findings with ordinal attribution and honors suppressions on
+    the reported line.
+    """
+
+    kind = "policy"
+
+    def check_document(self, doc: PolicyDocument) -> Iterator[
+            Tuple[int, int, str, str]]:
+        raise NotImplementedError
+
+    def run_policy(self, doc: PolicyDocument) -> Iterable[Finding]:
+        ordinals: Dict[Tuple[str, str], int] = {}
+        findings: List[Finding] = []
+        for line, column, message, symbol in self.check_document(doc):
+            if doc.is_suppressed(self.rule_id, line):
+                continue
+            key = (symbol, message)
+            ordinal = ordinals.get(key, 0)
+            ordinals[key] = ordinal + 1
+            findings.append(Finding(
+                rule_id=self.rule_id, severity=self.severity, path=doc.path,
+                line=line, column=column, message=message, symbol=symbol,
+                ordinal=ordinal))
+        return sorted(findings, key=Finding.sort_key)
+
+
+class _SubsumptionRule(PolicyRule):
+    """Shared first-match shadowing scan; subclasses pick the allow parity."""
+
+    #: True → report pairs whose decisions differ (contradiction).
+    decisions_differ = True
+
+    def phrase(self, earlier, later) -> str:
+        raise NotImplementedError
+
+    def check_document(self, doc: PolicyDocument) -> Iterator[
+            Tuple[int, int, str, str]]:
+        clauses = list(doc.clauses)
+        for j, later in enumerate(clauses):
+            for earlier in clauses[:j]:
+                if not subsumes(earlier, later):
+                    continue
+                if (earlier.allow != later.allow) != self.decisions_differ:
+                    continue
+                yield (later.line, later.column,
+                       self.phrase(earlier, later), later.label)
+                break  # one report per dead clause is enough
+
+
+@register
+class PolicyContradictionRule(_SubsumptionRule):
+    """P601 — clause subsumed by an earlier clause that decides opposite."""
+
+    rule_id = "P601"
+    severity = Severity.ERROR
+    summary = "contradicted policy clause (unreachable, opposite decision)"
+    rationale = ("First-match semantics: a clause whose every match is "
+                 "already claimed by an earlier clause with the opposite "
+                 "allow decision never fires. The operator wrote a "
+                 "constraint the engine will silently never enforce — the "
+                 "configuration-level analogue of dead code with inverted "
+                 "intent.")
+    decisions_differ = True
+
+    def phrase(self, earlier, later) -> str:
+        decision = "allow" if earlier.allow else "deny"
+        return (f"clause '{later.label}' contradicts earlier clause "
+                f"'{earlier.label}' (line {earlier.line}): every write it "
+                f"matches is already decided '{decision}' by the earlier "
+                f"clause, so this clause can never take effect")
+
+
+@register
+class PolicyShadowedRule(_SubsumptionRule):
+    """P602 — clause subsumed by an earlier clause with the same decision."""
+
+    rule_id = "P602"
+    severity = Severity.WARNING
+    summary = "shadowed policy clause (redundant under first-match)"
+    rationale = ("A subsumed clause with the same decision is dead weight: "
+                 "usually a stale leftover from a broadened earlier clause. "
+                 "Harmless today, but it misleads review and masks the "
+                 "contradiction that appears the day either clause's "
+                 "decision is edited.")
+    decisions_differ = False
+
+    def phrase(self, earlier, later) -> str:
+        return (f"clause '{later.label}' is shadowed by earlier clause "
+                f"'{earlier.label}' (line {earlier.line}): it matches a "
+                f"subset of that clause's writes with the same decision "
+                f"and can be removed")
+
+
+@register
+class PolicySchemaRule(PolicyRule):
+    """P603 — directive values the schemas don't know."""
+
+    rule_id = "P603"
+    severity = Severity.ERROR
+    summary = "unknown cache, enum value, entry field, or attribute"
+    rationale = ("A policy constraining a cache that no datastore exposes, "
+                 "or matching an entry field absent from the OpenFlow "
+                 "schema, matches nothing — the constraint silently never "
+                 "applies. Caught against the same registries the engine "
+                 "itself uses (KNOWN_CACHES, the Match dataclass), so the "
+                 "linter cannot drift from the runtime.")
+
+    def check_document(self, doc: PolicyDocument) -> Iterator[
+            Tuple[int, int, str, str]]:
+        for issue in doc.schema_issues:
+            if issue.kind == "schema":
+                yield issue.line, issue.column, issue.message, ""
+        for clause in doc.clauses:
+            yield from self._check_clause(clause)
+
+    def _check_clause(self, clause) -> Iterator[Tuple[int, int, str, str]]:
+        label = clause.label
+        allow_raw = getattr(clause, "allow_raw", "").strip().lower()
+        if allow_raw and allow_raw not in _ALLOW_VALUES:
+            yield (clause.line, clause.column,
+                   f"clause '{label}': invalid allow value {allow_raw!r} "
+                   f"(expected Yes or No)", label)
+        trigger = clause.trigger
+        if trigger not in _TRIGGER_VALUES:
+            line, column = clause.position_of("Action")
+            yield (line, column,
+                   f"clause '{label}': unknown trigger type {trigger!r}"
+                   f"{_suggest(trigger, _TRIGGER_VALUES[1:])}", label)
+        cache = clause.cache
+        if cache != WILDCARD and cache not in KNOWN_CACHES:
+            line, column = clause.position_of("Cache")
+            yield (line, column,
+                   f"clause '{label}': unknown cache {cache!r}"
+                   f"{_suggest(cache, KNOWN_CACHES)}", label)
+        operation = clause.operation
+        if operation not in _OPERATION_VALUES:
+            line, column = clause.position_of("Cache")
+            yield (line, column,
+                   f"clause '{label}': unknown operation {operation!r}"
+                   f"{_suggest(operation, _OPERATION_VALUES[1:])}", label)
+        destination = clause.destination
+        if destination not in _DEST_VALUES:
+            line, column = clause.position_of("Destination")
+            yield (line, column,
+                   f"clause '{label}': unknown destination {destination!r}"
+                   f"{_suggest(destination, _DEST_VALUES[1:])}", label)
+        for name in _ENTRY_FIELD_RE.findall(clause.entry):
+            if name not in _ENTRY_FIELDS:
+                line, column = clause.position_of("Cache")
+                yield (line, column,
+                       f"clause '{label}': entry pattern references unknown "
+                       f"field {name!r}"
+                       f"{_suggest(name, sorted(_ENTRY_FIELDS))}", label)
+
+
+@register
+class PolicyTriggerProvenanceRule(PolicyRule):
+    """P604 — trigger kinds no analyzed controller code ever mints."""
+
+    rule_id = "P604"
+    severity = Severity.ERROR
+    summary = "policy constrains a trigger kind no controller app emits"
+    rationale = ("A deny policy on external triggers protects nothing if "
+                 "the deployed controller apps only ever mint internal "
+                 "trigger contexts: the clause is dead configuration. The "
+                 "project call graph knows which trigger kinds the code "
+                 "actually mints; a clause naming any other kind deserves "
+                 "a hard question before deployment.")
+
+    def check_document(self, doc: PolicyDocument) -> Iterator[
+            Tuple[int, int, str, str]]:
+        if doc.index is None:
+            return
+        emitted = self.emitted_kinds(doc.index)
+        for clause in doc.clauses:
+            trigger = clause.trigger
+            if trigger == WILDCARD or trigger not in _TRIGGER_VALUES:
+                continue  # wildcards always apply; bad enums are P603's
+            if trigger in emitted:
+                continue
+            line, column = clause.position_of("Action")
+            known = ", ".join(sorted(emitted)) or "none"
+            yield (line, column,
+                   f"clause '{clause.label}': no analyzed controller code "
+                   f"emits {trigger!r} triggers (emitted kinds: {known}); "
+                   f"this clause can never match a live write", clause.label)
+
+    @staticmethod
+    def emitted_kinds(index: ProjectIndex) -> Set[str]:
+        return index.emitted_trigger_kinds()

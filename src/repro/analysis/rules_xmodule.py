@@ -1,0 +1,191 @@
+"""X-rules: interprocedural rules over the ProjectIndex call graph.
+
+The per-file D/T/S/H families see one module at a time, so an observer that
+mutates validator state *two calls deep* — or a validator hot path that
+reaches a wall-clock read through a helper in another file — is invisible
+to them. Each X-rule picks a set of *entry points* (functions with a
+contractual obligation: observer purity, hot-path time discipline,
+pipeline-output determinism), walks the resolved call graph from each
+entry, and reports the entry whose reachable closure violates the
+obligation.
+
+Findings are anchored at the **entry point** (the caller that owns the
+contract), with the offending call path and site in the message. A
+``# jury: ignore[X50x]`` suppression therefore belongs on the entry
+function's ``def`` line; suppressing the callee's line silences only the
+per-file rule that fires there (D101/D102/...), never the interprocedural
+finding — the contract is the caller's, and the callee may be shared by
+entry points with different obligations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project_index import (
+    GLOBAL_RNG,
+    SET_ITERATION,
+    STATE_MUTATION,
+    WALL_CLOCK,
+    Effect,
+    FunctionFacts,
+    ModuleFacts,
+    ProjectIndex,
+)
+from repro.analysis.registry import Rule, register
+
+#: Path fragments selecting observer modules (entry scope of X501).
+_OBSERVER_PATH_FRAGMENTS = ("obs/",)
+
+#: Path fragments selecting validator hot-path modules (X502 entry scope).
+_HOT_PATH_FRAGMENTS = ("core/validator.py", "core/pipeline.py",
+                       "core/consensus.py")
+
+#: Path fragments selecting pipeline modules (X503 entry scope).
+_PIPELINE_FRAGMENTS = ("core/pipeline.py",)
+
+
+def _path_matches(path: str, fragments: Tuple[str, ...]) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(fragment in normalized or normalized.startswith(fragment)
+               for fragment in fragments)
+
+
+class ProjectRule(Rule):
+    """Base for reachability rules: entry scope + effect kind + message.
+
+    Subclasses set ``entry_fragments`` (module paths whose public functions
+    carry the contract) and ``effect_kinds`` (the violating behaviours),
+    and phrase the violation via :meth:`describe`.
+    """
+
+    kind = "project"
+    entry_fragments: Tuple[str, ...] = ()
+    effect_kinds: Tuple[str, ...] = ()
+
+    def describe(self, effect: Effect) -> str:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def entry_points(self, index: ProjectIndex) -> Iterator[
+            Tuple[str, ModuleFacts, FunctionFacts]]:
+        for mod in index.modules:
+            if not _path_matches(mod.path, self.entry_fragments):
+                continue
+            for fn in mod.functions:
+                if fn.is_public:
+                    yield f"{mod.module_name}.{fn.qualname}", mod, fn
+
+    def run_project(self, index: ProjectIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for entry_name, mod, fn in self.entry_points(index):
+            if index.is_suppressed(mod, self.rule_id, fn.lineno):
+                continue
+            findings.extend(self._check_entry(index, entry_name, mod, fn))
+        return sorted(findings, key=Finding.sort_key)
+
+    def _check_entry(self, index: ProjectIndex, entry_name: str,
+                     mod: ModuleFacts, fn: FunctionFacts) -> Iterator[Finding]:
+        paths = index.reachable_from(entry_name)
+        reported: Dict[str, int] = {}
+        for reached_name in sorted(paths):
+            reached = index.function(reached_name)
+            if reached is None:
+                continue
+            offending = [e for e in reached.effects
+                         if e.kind in self.effect_kinds]
+            if not offending:
+                continue
+            # One finding per (entry, reached function): the first offending
+            # site plus a count keeps reports readable and fingerprints
+            # stable under within-function edits.
+            effect = min(offending, key=lambda e: (e.line, e.column))
+            extra = (f" (+{len(offending) - 1} more site(s))"
+                     if len(offending) > 1 else "")
+            reached_mod = index.module_of(reached_name)
+            site = (f"{reached_mod.path}:{effect.line}"
+                    if reached_mod else f"line {effect.line}")
+            if reached_name == entry_name:
+                via = "directly"
+            else:
+                hops = [index.function(p).qualname if index.function(p)
+                        else p for p in paths[reached_name]]
+                via = "via " + " -> ".join(hops)
+            ordinal = reported.get(reached.qualname, 0)
+            reported[reached.qualname] = ordinal + 1
+            yield Finding(
+                rule_id=self.rule_id, severity=self.severity,
+                path=mod.path, line=fn.lineno, column=fn.column,
+                symbol=fn.qualname, ordinal=ordinal,
+                message=self.describe(effect).format(
+                    entry=fn.qualname, reached=reached.qualname,
+                    via=via, detail=effect.detail, site=site) + extra)
+
+
+@register
+class ObserverPurityRule(ProjectRule):
+    """X501 — observer entry points must not (transitively) mutate state."""
+
+    rule_id = "X501"
+    severity = Severity.ERROR
+    summary = "observer reaches a validator/datastore mutation"
+    rationale = ("The byte-identical-alarm-stream contract rests on "
+                 "observers (obs/) being pure: an observer that mutates "
+                 "validator or datastore state — even through a helper two "
+                 "calls deep — couples decisions to whether observability "
+                 "is enabled, the exact divergence class H406 fences from "
+                 "the engine side.")
+    entry_fragments = _OBSERVER_PATH_FRAGMENTS
+    effect_kinds = (STATE_MUTATION,)
+
+    def describe(self, effect: Effect) -> str:
+        return ("observer entry '{entry}' reaches '{reached}' ({via}), "
+                "which mutates engine state: {detail} at {site}; observers "
+                "must stay pure — return or store the derived value on the "
+                "observer itself")
+
+
+@register
+class SimulatedTimeDisciplineRule(ProjectRule):
+    """X502 — validator hot path must not reach wall clock / global RNG."""
+
+    rule_id = "X502"
+    severity = Severity.ERROR
+    summary = "validator hot path reaches wall clock or global RNG"
+    rationale = ("T1/T3 accuracy: replicas and re-executions share only "
+                 "simulated time and seeded RNGs; a hot-path call chain "
+                 "that ends in time.time()/random.random() — even in "
+                 "another module — makes honest replicas diverge "
+                 "(false CONSENSUS_MISMATCH) exactly like a direct D101/"
+                 "D102 hit would.")
+    entry_fragments = _HOT_PATH_FRAGMENTS
+    effect_kinds = (WALL_CLOCK, GLOBAL_RNG)
+
+    def describe(self, effect: Effect) -> str:
+        what = ("reads the wall clock" if effect.kind == WALL_CLOCK
+                else "draws from the process-global RNG")
+        return ("hot-path entry '{entry}' reaches '{reached}' ({via}), "
+                f"which {what}: " + "{detail} at {site}; use sim.now / a "
+                "seeded random.Random parameter")
+
+
+@register
+class AlarmStreamDeterminismRule(ProjectRule):
+    """X503 — pipeline-reachable code must not order output by set walks."""
+
+    rule_id = "X503"
+    severity = Severity.WARNING
+    summary = "pipeline-reachable unordered set iteration"
+    rationale = ("The pipeline's merged alarm stream is byte-compared "
+                 "against the sequential validator; any set iteration "
+                 "reachable from the pipeline can leak insertion/hash "
+                 "order into that stream. Wrap the iteration in sorted() "
+                 "or key it deterministically.")
+    entry_fragments = _PIPELINE_FRAGMENTS
+    effect_kinds = (SET_ITERATION,)
+
+    def describe(self, effect: Effect) -> str:
+        return ("pipeline entry '{entry}' reaches '{reached}' ({via}), "
+                "which iterates an unordered set at {site}; wrap in "
+                "sorted() so alarm-stream order is replica-independent")

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -467,6 +468,7 @@ def cmd_analyze(args) -> CommandResult:
     # Imported lazily: the analyzer is stdlib-only and must stay usable in
     # minimal environments, but the other commands shouldn't pay for it.
     from repro.analysis import (
+        AnalysisCache,
         Baseline,
         Severity,
         analyze_paths,
@@ -498,8 +500,10 @@ def cmd_analyze(args) -> CommandResult:
         except ValueError as exc:
             return CommandResult.usage_error("analyze", f"analyze: {exc}")
 
+    cache = None if args.no_cache else AnalysisCache.load(args.cache)
     try:
-        report = analyze_paths(args.paths, baseline=baseline)
+        report = analyze_paths(args.paths, baseline=baseline,
+                               jobs=args.jobs, cache=cache)
     except FileNotFoundError as exc:
         return CommandResult.usage_error("analyze", f"analyze: {exc}")
 
@@ -516,6 +520,111 @@ def cmd_analyze(args) -> CommandResult:
         command="analyze", exit_code=1 if failed else 0,
         human=render_human(report, fail_on),
         data=json.loads(render_json(report, fail_on)))
+
+
+def cmd_analyze_policy(args) -> CommandResult:
+    """Statically verify policy XML (P-rules) before deployment."""
+    from repro.analysis import AnalysisReport, Severity, render_human, render_json
+    from repro.policy.lint import lint_builtin_policies, lint_policy_file
+
+    if not args.paths and not args.builtin:
+        return CommandResult.usage_error(
+            "analyze-policy",
+            "analyze-policy: give at least one policy file (or --builtin)")
+    fail_on = Severity.parse(args.fail_on)
+
+    index = None
+    project = args.project
+    if project is None and os.path.isdir("src/repro"):
+        project = "src/repro"
+    if project and project != "none":
+        from repro.analysis import (
+            build_project_index,
+            discover_files,
+            extract_module_facts,
+        )
+        from repro.analysis.registry import ModuleContext
+        import ast as ast_mod
+        facts = []
+        try:
+            files = discover_files([project])
+        except FileNotFoundError as exc:
+            return CommandResult.usage_error(
+                "analyze-policy", f"analyze-policy: {exc}")
+        for path in files:
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast_mod.parse(source, filename=str(path))
+            except (OSError, UnicodeDecodeError, SyntaxError):
+                continue  # unparseable project files just shrink the index
+            facts.append(extract_module_facts(
+                ModuleContext(path=str(path), source=source, tree=tree)))
+        index = build_project_index(facts)
+
+    paths = []
+    for raw in args.paths:
+        if os.path.isdir(raw):
+            paths.extend(sorted(
+                os.path.join(raw, name) for name in os.listdir(raw)
+                if name.endswith(".xml")))
+        else:
+            paths.append(raw)
+    report = AnalysisReport()
+    for path in paths:
+        report.files_scanned += 1
+        report.findings.extend(lint_policy_file(path, index=index))
+    if args.builtin:
+        report.findings.extend(lint_builtin_policies(index=index))
+    report.findings.sort(key=lambda f: f.sort_key())
+
+    failed = bool(report.count_at_least(fail_on))
+    return CommandResult(
+        command="analyze-policy", exit_code=1 if failed else 0,
+        human=render_human(report, fail_on),
+        data=json.loads(render_json(report, fail_on)))
+
+
+def cmd_bench_analyze(args) -> CommandResult:
+    from repro.harness.bench import compare_analysis, write_payload
+
+    payload = compare_analysis(paths=tuple(args.paths), jobs=args.jobs,
+                               reps=args.reps)
+    write_payload(payload, args.output)
+    errors = []
+    if not payload["reports_identical"]:
+        errors.append("bench analyze: cold/parallel/warm reports diverged")
+    if (args.min_warm_speedup is not None
+            and payload["warm_speedup"] < args.min_warm_speedup):
+        errors.append(
+            f"bench analyze: warm speedup {payload['warm_speedup']:.1f}x "
+            f"below the {args.min_warm_speedup:.1f}x gate")
+    # The parallel gate only binds when parallelism is physically possible:
+    # on a single-CPU runner the pool can't beat the sequential pass.
+    if payload["cpu_count"] > 1 and payload["parallel_speedup"] < 1.0:
+        errors.append(
+            f"bench analyze: --jobs {payload['jobs']} slower than "
+            f"sequential ({payload['parallel_speedup']:.2f}x) on a "
+            f"{payload['cpu_count']}-CPU host")
+    human = "\n".join([
+        format_table(
+            f"analyzer benchmark — {payload['files_scanned']} files, "
+            f"best of {payload['reps']}",
+            ["variant", "wall (s)"],
+            [
+                ["cold, jobs=1", f"{payload['cold_jobs1']['wall_s']:.3f}"],
+                [f"cold, jobs={payload['jobs']}",
+                 f"{payload['cold_jobsN']['wall_s']:.3f}"],
+                ["warm cache", f"{payload['warm']['wall_s']:.3f}"],
+            ]),
+        f"warm speedup: {payload['warm_speedup']:.1f}x   "
+        f"parallel speedup: {payload['parallel_speedup']:.2f}x "
+        f"({payload['cpu_count']} CPU(s))   "
+        f"reports identical: {payload['reports_identical']}",
+        f"wrote {args.output}",
+    ])
+    return CommandResult(command="bench analyze",
+                         exit_code=1 if errors else 0,
+                         human=human, data=payload, errors=errors)
 
 
 def cmd_bench_validator(args) -> CommandResult:
@@ -739,9 +848,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = commands.add_parser(
         "analyze",
-        help="static determinism/taint-safety analysis (D/T/S/H rules)")
+        help="static analysis: per-file D/T/S/H rules plus cross-module "
+             "X rules over the project call graph")
     analyze.add_argument("paths", nargs="*", metavar="PATH",
-                         help="files or directories to analyze")
+                         help="files or directories to analyze (explicit "
+                              ".xml files are linted as policy documents)")
     analyze.add_argument("--format", choices=("human", "json"),
                          default="human", help="report format")
     analyze.add_argument(
@@ -758,7 +869,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when findings at/above this severity exist")
     analyze.add_argument("--list-rules", action="store_true",
                          help="print the rule catalog and exit")
+    analyze.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="analyze files with N worker processes")
+    analyze.add_argument("--cache", default=".jury-analysis-cache.json",
+                         metavar="PATH",
+                         help="incremental result cache file")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="disable the incremental result cache")
     analyze.set_defaults(fn=cmd_analyze)
+
+    analyze_policy = commands.add_parser(
+        "analyze-policy",
+        help="statically verify policy XML before deployment "
+             "(P-rules: contradictions, shadowing, schema, provenance)")
+    analyze_policy.add_argument(
+        "paths", nargs="*", metavar="POLICY.xml",
+        help="policy files (or directories of .xml files) to verify")
+    analyze_policy.add_argument(
+        "--builtin", action="store_true",
+        help="also lint the built-in policy sets shipped with the repro")
+    analyze_policy.add_argument(
+        "--project", default=None, metavar="DIR",
+        help="project tree for the call-graph provenance checks "
+             "(default: src/repro when present; 'none' disables P604)")
+    analyze_policy.add_argument("--format", choices=("human", "json"),
+                                default="human", help="report format")
+    analyze_policy.add_argument(
+        "--fail-on", choices=("warning", "error"), default="warning",
+        help="exit non-zero at/above this severity (default: warning — "
+             "shadowed clauses should block deployment too)")
+    analyze_policy.set_defaults(fn=cmd_analyze_policy)
 
     bench = commands.add_parser(
         "bench", help="wall-clock performance benchmarks")
@@ -811,6 +951,24 @@ def build_parser() -> argparse.ArgumentParser:
                            help="path for the JSON payload")
     _add_format(bench_obs)
     bench_obs.set_defaults(fn=cmd_bench_obs)
+
+    bench_analyze = bench_targets.add_parser(
+        "analyze",
+        help="static-analyzer performance: cold vs warm cache vs --jobs")
+    bench_analyze.add_argument("paths", nargs="*", default=["src/repro"],
+                               metavar="PATH",
+                               help="tree(s) to analyze (default: src/repro)")
+    bench_analyze.add_argument("--jobs", type=int, default=4,
+                               help="worker processes for the parallel run")
+    bench_analyze.add_argument("--reps", type=int, default=3,
+                               help="repetitions per variant (best kept)")
+    bench_analyze.add_argument("--min-warm-speedup", type=float, default=5.0,
+                               help="fail if the warm-cache run is not at "
+                                    "least this much faster than cold")
+    bench_analyze.add_argument("--output", default="BENCH_analysis.json",
+                               help="path for the JSON payload")
+    _add_format(bench_analyze)
+    bench_analyze.set_defaults(fn=cmd_bench_analyze)
     return parser
 
 

@@ -46,12 +46,6 @@ class Alarm:
     detail: str = ""
     raised_at: float = 0.0
     responses: Tuple = ()
-    #: Forensic record attached by the diagnosis observer
-    #: (:class:`repro.obs.diagnose.AlarmForensics`) when enabled. Excluded
-    #: from comparison and from the canonical encoding below, so the
-    #: byte-identical alarm-stream contract holds with forensics on or off.
-    explanation: Optional[object] = field(default=None, compare=False,
-                                          repr=False)
 
     def __str__(self) -> str:
         who = self.offending_controller or "<unknown>"

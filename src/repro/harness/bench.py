@@ -313,6 +313,90 @@ def compare_observability(triggers: int = 20_000, k: int = 6, seed: int = 0,
     }
 
 
+def compare_analysis(paths: Tuple[str, ...] = ("src/repro",),
+                     jobs: int = 4, reps: int = 3,
+                     cache_path: str = "") -> Dict[str, object]:
+    """Benchmark the static analyzer: cold vs warm vs parallel module phase.
+
+    Three variants over the same tree, best-of-``reps`` wall time each:
+    ``cold_jobs1`` (no cache, sequential), ``cold_jobsN`` (no cache,
+    ``jobs`` worker processes), and ``warm`` (content-hash cache populated
+    by a priming run). All three must produce byte-identical finding lists
+    — the cache and the pool are exact optimizations, and the payload
+    records that equivalence alongside the speedups.
+
+    ``cpu_count`` is recorded because the parallel speedup is only
+    physically possible with >1 CPU; gates reading this payload must
+    condition on it.
+    """
+    import os
+    import tempfile
+
+    from repro.analysis.cache import AnalysisCache
+    from repro.analysis.engine import analyze_paths as run_analysis
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        cpus = os.cpu_count() or 1
+
+    def timed(**kwargs) -> Tuple[float, object]:
+        gc.collect()
+        t0 = time.perf_counter()  # jury: ignore[D101]
+        report = run_analysis(list(paths), **kwargs)
+        return time.perf_counter() - t0, report  # jury: ignore[D101]
+
+    def best_of(variant_kwargs) -> Tuple[float, List[float], object]:
+        walls: List[float] = []
+        report = None
+        for _ in range(reps):
+            wall, report = timed(**variant_kwargs())
+            walls.append(wall)
+        return min(walls), walls, report
+
+    own_cache = not cache_path
+    if own_cache:
+        handle, cache_path = tempfile.mkstemp(suffix=".jury-cache.json")
+        os.close(handle)
+        os.unlink(cache_path)
+    try:
+        cold1_best, cold1_walls, cold1_report = best_of(lambda: {})
+        coldn_best, coldn_walls, coldn_report = best_of(
+            lambda: {"jobs": jobs})
+        # Priming run fills the cache; the measured runs are fully warm.
+        run_analysis(list(paths), cache=AnalysisCache.load(cache_path))
+        warm_best, warm_walls, warm_report = best_of(
+            lambda: {"cache": AnalysisCache.load(cache_path)})
+    finally:
+        if own_cache:
+            try:
+                os.unlink(cache_path)
+            except OSError:  # jury: ignore[H403] — tmp cache may not exist
+                pass
+
+    def digest(report) -> List[dict]:
+        return [f.to_dict() for f in report.findings]
+
+    identical = (digest(cold1_report) == digest(coldn_report)
+                 == digest(warm_report))
+    return {
+        "paths": list(paths),
+        "files_scanned": cold1_report.files_scanned,
+        "findings": len(cold1_report.findings),
+        "reps": reps,
+        "jobs": jobs,
+        "cpu_count": cpus,
+        "cold_jobs1": {"wall_s": cold1_best, "runs": cold1_walls},
+        "cold_jobsN": {"wall_s": coldn_best, "runs": coldn_walls},
+        "warm": {"wall_s": warm_best, "runs": warm_walls,
+                 "cache_hits": warm_report.cache_hits},
+        "warm_speedup": cold1_best / warm_best if warm_best > 0 else 0.0,
+        "parallel_speedup": (cold1_best / coldn_best
+                             if coldn_best > 0 else 0.0),
+        "reports_identical": identical,
+    }
+
+
 def write_payload(payload: Dict[str, object], path: str) -> None:
     """Write a benchmark payload as stable, diff-friendly JSON."""
     with open(path, "w", encoding="utf-8") as handle:

@@ -14,12 +14,14 @@ and the external/internal classification — and records:
 * the inferred **T1/T2/T3 fault class** of the paper's taxonomy.
 
 Explanations are plain frozen data: deterministic, JSON-serializable, and
-attached to the alarm object itself (``alarm.explanation``) without touching
-the canonical alarm encoding — the byte-identical alarm-stream contract of
-the differential suite is unaffected. The forensics object is a pure
-observer behind the same ``None`` fast path as the tracer and the metrics
-registry; it never schedules events, draws randomness, or mutates validator
-state.
+held entirely inside the forensics object — look one up for a given alarm
+with :meth:`AlarmForensics.explanation_for`. Alarm objects themselves are
+never touched, so the byte-identical alarm-stream contract of the
+differential suite holds with forensics on or off by construction (the
+X501 cross-module rule enforces this: observers must not mutate engine
+state, even one attribute deep). The forensics object is a pure observer
+behind the same ``None`` fast path as the tracer and the metrics registry;
+it never schedules events, draws randomness, or mutates validator state.
 
 ``explanations_from_files`` rebuilds (degraded) explanations offline from a
 recorded trace + alarm-log pair, for post-mortem use when the live run did
@@ -329,18 +331,30 @@ def explain_alarm(alarm: Alarm, responses: Sequence[Response],
         **evidence)
 
 
+def _alarm_key(alarm: Alarm) -> Tuple:
+    """Identity-free lookup key for an alarm (its canonical fields)."""
+    return (repr(alarm.trigger_id), alarm.reason.value,
+            alarm.offending_controller or "", alarm.detail, alarm.raised_at)
+
+
 class AlarmForensics:
-    """Observer that attaches an :class:`AlarmExplanation` to every alarm.
+    """Observer that builds an :class:`AlarmExplanation` for every alarm.
 
     Shared by the sequential validator and all pipeline shards the same way
     the tracer is; the per-trigger storage keeps shard interleavings out of
     the exported order (one shard owns all of a trigger's alarms, so each
     per-trigger list is internally deterministic, and export sorts the
     trigger buckets globally).
+
+    Explanations live only here — the alarm objects pass through untouched
+    (observer purity, X501). Retrieval is by the alarm's canonical fields
+    via :meth:`explanation_for`; alarms with identical canonical fields get
+    identical explanations, so the first recorded one stands for all.
     """
 
     def __init__(self) -> None:
         self._by_trigger: Dict[str, List[AlarmExplanation]] = {}
+        self._by_alarm: Dict[Tuple, AlarmExplanation] = {}
 
     def observe_decision(self, tau: Tuple, responses: Sequence[Response],
                          outcome: ConsensusOutcome, result,
@@ -352,7 +366,11 @@ class AlarmForensics:
         for alarm in result.alarms:
             explanation = explain_alarm(alarm, responses, outcome, external)
             bucket.append(explanation)
-            alarm.explanation = explanation
+            self._by_alarm.setdefault(_alarm_key(alarm), explanation)
+
+    def explanation_for(self, alarm: Alarm) -> Optional[AlarmExplanation]:
+        """The explanation recorded for this alarm, or ``None``."""
+        return self._by_alarm.get(_alarm_key(alarm))
 
     @property
     def alarm_count(self) -> int:

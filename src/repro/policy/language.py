@@ -77,6 +77,10 @@ class Policy:
     entry_predicate: Optional[Callable[[PolicyWrite], bool]] = field(
         default=None, compare=False)
     name: str = ""
+    #: 1-based source position of the originating ``<Policy>`` clause when
+    #: this policy was parsed from XML; ``None`` for built-in policies.
+    source_line: Optional[int] = field(default=None, compare=False)
+    source_column: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self):
         if self.trigger not in (WILDCARD, TRIGGER_INTERNAL, TRIGGER_EXTERNAL):

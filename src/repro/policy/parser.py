@@ -1,4 +1,4 @@
-"""XML policy parser (Fig 3 format).
+"""XML policy parser (Fig 3 format), position-aware.
 
 Example::
 
@@ -11,55 +11,277 @@ Example::
 
 Multiple policies wrap in a ``<Policies>`` root. Unknown elements raise
 :class:`~repro.errors.PolicyError`; omitted directives default to ``*``.
+
+The parser is built directly on ``xml.parsers.expat`` so every clause keeps
+its 1-based source line and column: strict parses stamp them onto the
+resulting :class:`~repro.policy.language.Policy` (``source_line`` /
+``source_column``), parse failures raise :class:`PolicyError` with
+``line``/``column`` attributes, and the lenient
+:func:`parse_policy_document` entry point hands the policy linter raw
+clauses plus per-position issues instead of dying on the first problem.
 """
 
 from __future__ import annotations
 
-import xml.etree.ElementTree as ET
-from typing import List
+import xml.parsers.expat
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import PolicyError
 from repro.policy.language import WILDCARD, Policy
 
+#: Child elements of <Policy> and the attributes each understands.
+KNOWN_ELEMENTS: Dict[str, Tuple[str, ...]] = {
+    "Controller": ("id",),
+    "Action": ("type",),
+    "Cache": ("name", "entry", "operation"),
+    "Destination": ("value",),
+}
 
-def parse_policies(text: str) -> List[Policy]:
-    """Parse one ``<Policy>`` or a ``<Policies>`` list from XML text."""
+#: Attributes understood on the <Policy> element itself.
+POLICY_ATTRS = ("allow", "name")
+
+
+def _positioned_error(message: str, line: Optional[int] = None,
+                      column: Optional[int] = None) -> PolicyError:
+    where = f" (line {line}, column {column})" if line is not None else ""
+    error = PolicyError(f"{message}{where}")
+    error.line = line
+    error.column = column
+    return error
+
+
+@dataclass
+class ParseIssue:
+    """One problem found while parsing a policy document leniently."""
+
+    message: str
+    line: int
+    column: int
+    #: ``error`` stops a strict parse; ``schema`` is a P-rule-grade concern
+    #: (unknown element/attribute/value) the linter reports as a finding.
+    kind: str = "error"
+
+
+@dataclass
+class RawDirective:
+    """One ``<Controller/Action/Cache/Destination>`` child, as written."""
+
+    tag: str
+    attrs: Dict[str, str]
+    line: int
+    column: int
+
+
+@dataclass
+class PolicyClause:
+    """One ``<Policy>`` element before strict validation.
+
+    Field values keep exactly what the document said (modulo whitespace
+    trimming); positions are 1-based. ``directive_positions`` maps a
+    directive tag to where it appeared so findings can point at the
+    offending directive rather than the whole clause.
+    """
+
+    line: int
+    column: int
+    allow_raw: str = "No"
+    name: str = ""
+    directives: List[RawDirective] = field(default_factory=list)
+    index: int = 0  #: 0-based position in the document
+
+    # ------------------------------------------------------------------
+    def directive(self, tag: str) -> Optional[RawDirective]:
+        for raw in self.directives:
+            if raw.tag == tag:
+                return raw
+        return None
+
+    def field_value(self, tag: str, attr: str, default: str = WILDCARD) -> str:
+        raw = self.directive(tag)
+        if raw is None:
+            return default
+        return raw.attrs.get(attr, default)
+
+    def position_of(self, tag: str) -> Tuple[int, int]:
+        raw = self.directive(tag)
+        if raw is None:
+            return self.line, self.column
+        return raw.line, raw.column
+
+    @property
+    def label(self) -> str:
+        """Human handle: the policy name, or its ordinal in the document."""
+        return self.name or f"policy #{self.index + 1}"
+
+    # Normalized directive views ---------------------------------------
+    @property
+    def controller(self) -> str:
+        return self.field_value("Controller", "id").strip()
+
+    @property
+    def trigger(self) -> str:
+        return self.field_value("Action", "type").strip().lower()
+
+    @property
+    def cache(self) -> str:
+        return self.field_value("Cache", "name").strip()
+
+    @property
+    def operation(self) -> str:
+        return self.field_value("Cache", "operation").strip().lower()
+
+    @property
+    def entry(self) -> str:
+        entry = self.field_value("Cache", "entry").strip()
+        return WILDCARD if entry in ("*,*", "*, *") else entry
+
+    @property
+    def destination(self) -> str:
+        return self.field_value("Destination", "value").strip().lower()
+
+    @property
+    def allow(self) -> bool:
+        return self.allow_raw.strip().lower() in ("yes", "true")
+
+
+class _DocumentBuilder:
+    """Expat handlers accumulating clauses and issues."""
+
+    def __init__(self) -> None:
+        self.parser = xml.parsers.expat.ParserCreate()
+        self.parser.StartElementHandler = self._start
+        self.parser.EndElementHandler = self._end
+        self.root_tag: Optional[str] = None
+        self.clauses: List[PolicyClause] = []
+        self.issues: List[ParseIssue] = []
+        self._depth = 0
+        self._current: Optional[PolicyClause] = None
+
+    # ------------------------------------------------------------------
+    def _position(self) -> Tuple[int, int]:
+        return (self.parser.CurrentLineNumber,
+                self.parser.CurrentColumnNumber + 1)
+
+    def _issue(self, message: str, kind: str = "error",
+               position: Optional[Tuple[int, int]] = None) -> None:
+        line, column = position or self._position()
+        self.issues.append(ParseIssue(message, line, column, kind=kind))
+
+    def _start(self, tag: str, attrs: Dict[str, str]) -> None:
+        line, column = self._position()
+        if self._depth == 0:
+            self.root_tag = tag
+            if tag == "Policy":
+                self._open_policy(attrs, line, column)
+            elif tag != "Policies":
+                self._issue(f"unexpected root element <{tag}>")
+        elif tag == "Policy":
+            if self.root_tag == "Policies" and self._depth == 1:
+                self._open_policy(attrs, line, column)
+            else:
+                self._issue("<Policy> may not nest inside another clause")
+        elif self._current is not None:
+            if tag in KNOWN_ELEMENTS:
+                for attr in attrs:
+                    if attr not in KNOWN_ELEMENTS[tag]:
+                        self._issue(
+                            f"unknown attribute {attr!r} on <{tag}> "
+                            f"(expected one of: "
+                            f"{', '.join(KNOWN_ELEMENTS[tag])})",
+                            kind="schema", position=(line, column))
+                self._current.directives.append(
+                    RawDirective(tag, dict(attrs), line, column))
+            else:
+                self._issue(f"unknown policy element <{tag}>",
+                            position=(line, column))
+        elif self.root_tag == "Policies":
+            self._issue(f"unexpected element <{tag}> in a <Policies> list",
+                        position=(line, column))
+        self._depth += 1
+
+    def _open_policy(self, attrs: Dict[str, str], line: int,
+                     column: int) -> None:
+        clause = PolicyClause(line=line, column=column,
+                              allow_raw=attrs.get("allow", "No"),
+                              name=attrs.get("name", ""),
+                              index=len(self.clauses))
+        for attr in attrs:
+            if attr not in POLICY_ATTRS:
+                self._issue(f"unknown attribute {attr!r} on <Policy> "
+                            f"(expected one of: {', '.join(POLICY_ATTRS)})",
+                            kind="schema", position=(line, column))
+        self.clauses.append(clause)
+        self._current = clause
+
+    def _end(self, tag: str) -> None:
+        self._depth -= 1
+        if tag == "Policy":
+            self._current = None
+
+
+def parse_policy_document(text: str) -> Tuple[List[PolicyClause],
+                                              List[ParseIssue]]:
+    """Lenient parse: every clause with positions, plus every issue found.
+
+    Never raises on content problems — malformed XML, unknown elements, and
+    unknown attributes all come back as :class:`ParseIssue` records so the
+    policy linter can report them as positioned findings. Only the XML
+    well-formedness error is terminal (expat cannot continue past it); it
+    too is returned as an issue, alongside whatever parsed before it.
+    """
+    builder = _DocumentBuilder()
     try:
-        root = ET.fromstring(text)
-    except ET.ParseError as exc:
-        raise PolicyError(f"malformed policy XML: {exc}") from exc
-    if root.tag == "Policy":
-        return [_parse_policy(root)]
-    if root.tag == "Policies":
-        return [_parse_policy(node) for node in root if node.tag == "Policy"]
-    raise PolicyError(f"unexpected root element <{root.tag}>")
+        builder.parser.Parse(text, True)
+    except xml.parsers.expat.ExpatError as exc:
+        builder.issues.append(ParseIssue(
+            f"malformed policy XML: "
+            f"{xml.parsers.expat.errors.messages[exc.code]}",
+            exc.lineno, exc.offset + 1))
+    return builder.clauses, builder.issues
 
 
-def _parse_policy(node: ET.Element) -> Policy:
-    allow_text = node.get("allow", "No").strip().lower()
+def build_policy(clause: PolicyClause) -> Policy:
+    """Strictly validate one clause into a :class:`Policy`.
+
+    Raises :class:`PolicyError` (with ``line``/``column``) on invalid
+    values; the resulting policy carries the clause's source position.
+    """
+    allow_text = clause.allow_raw.strip().lower()
     if allow_text not in ("yes", "no", "true", "false"):
-        raise PolicyError(f"invalid allow attribute: {allow_text!r}")
+        raise _positioned_error(
+            f"invalid allow attribute: {allow_text!r}",
+            clause.line, clause.column)
+    trigger = clause.trigger
     fields = {
         "allow": allow_text in ("yes", "true"),
-        "name": node.get("name", ""),
+        "name": clause.name,
+        "controller": clause.controller or WILDCARD,
+        "trigger": WILDCARD if trigger == WILDCARD else trigger,
+        "cache": clause.cache or WILDCARD,
+        "operation": clause.operation or WILDCARD,
+        "entry": clause.entry or WILDCARD,
+        "destination": clause.destination or WILDCARD,
     }
-    for child in node:
-        if child.tag == "Controller":
-            fields["controller"] = child.get("id", WILDCARD)
-        elif child.tag == "Action":
-            trigger = child.get("type", WILDCARD).strip().lower()
-            fields["trigger"] = WILDCARD if trigger == WILDCARD else trigger
-        elif child.tag == "Cache":
-            fields["cache"] = child.get("name", WILDCARD)
-            fields["entry"] = child.get("entry", WILDCARD)
-            operation = child.get("operation", WILDCARD).strip().lower()
-            fields["operation"] = operation
-        elif child.tag == "Destination":
-            value = child.get("value", WILDCARD).strip().lower()
-            fields["destination"] = value
-        else:
-            raise PolicyError(f"unknown policy element <{child.tag}>")
-    # Normalize "entry" patterns like "*,*" to a wildcard over the whole key.
-    if fields.get("entry") in ("*,*", "*, *"):
-        fields["entry"] = WILDCARD
-    return Policy(**fields)
+    try:
+        policy = Policy(source_line=clause.line,
+                        source_column=clause.column, **fields)
+    except PolicyError as exc:
+        raise _positioned_error(str(exc), clause.line, clause.column) from exc
+    return policy
+
+
+def parse_policies(text: str) -> List[Policy]:
+    """Parse one ``<Policy>`` or a ``<Policies>`` list from XML text.
+
+    Strict: the first problem raises :class:`PolicyError` carrying the
+    1-based ``line``/``column`` of the offending construct.
+    """
+    clauses, issues = parse_policy_document(text)
+    for issue in issues:
+        # Schema-kind issues (unknown attributes) are lint concerns; the
+        # strict parser still fails on structural ones, as it always has.
+        if issue.kind == "error":
+            raise _positioned_error(issue.message, issue.line, issue.column)
+    # An empty <Policies/> list is a valid (if useless) document.
+    return [build_policy(clause) for clause in clauses]

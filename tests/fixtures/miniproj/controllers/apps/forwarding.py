@@ -1,0 +1,15 @@
+"""Fixture app: a controller that only ever mints internal triggers.
+
+Used by the P604 tests — a policy constraining External triggers is dead
+configuration against this project.
+"""
+
+
+class TimerApp:
+    def __init__(self, ctx):
+        self.ctx = ctx
+
+    def on_timer(self):
+        tau = self.ctx.internal_trigger("timer")
+        self.ctx.cache_write("FlowsDB", ("flow", 1), {"state": "added"},
+                             trigger=tau)

@@ -48,9 +48,21 @@ def test_baseline_contains_only_warnings(repo_cwd):
     assert all(f.severity < Severity.ERROR for f in report.baselined)
 
 
-def test_all_four_rule_families_ran(repo_cwd):
+def test_all_six_rule_families_are_wired(repo_cwd):
+    from repro.analysis.registry import rule_catalog
     families = {rule.rule_id[0] for rule in Analyzer().rules}
-    assert {"D", "T", "S", "H"} <= families
+    assert {"D", "T", "S", "H"} <= families  # per-module phase
+    catalog = {cls.rule_id[0] for cls in rule_catalog()}
+    assert {"D", "T", "S", "H", "X", "P"} <= catalog
+
+
+def test_src_repro_is_x_rule_clean(repo_cwd):
+    # The interprocedural rules hold for the engine's own tree: observers
+    # stay pure, hot paths stay on simulated time, pipeline output stays
+    # ordered. These are never baselined.
+    report = Analyzer().analyze_paths(["src/repro"])
+    cross = [f for f in report.findings if f.rule_id.startswith("X")]
+    assert cross == [], "\n".join(f.render() for f in cross)
 
 
 def test_tests_directory_parses_clean_of_errors(repo_cwd):

@@ -31,9 +31,10 @@ def _run(scenario, kind="onos"):
     result = run_scenario(experiment, scenario)
     assert result.detected, f"{scenario.name} must be detected"
     alarm = result.matching_alarms[0]
-    assert alarm.explanation is not None, \
-        "forensics must attach an explanation to every alarm"
-    return alarm, experiment
+    explanation = experiment.jury.forensics.explanation_for(alarm)
+    assert explanation is not None, \
+        "forensics must record an explanation for every alarm"
+    return alarm, explanation, experiment
 
 
 @pytest.mark.parametrize("make,kind", [
@@ -44,10 +45,10 @@ def _run(scenario, kind="onos"):
 ])
 def test_explanation_matches_injected_class(make, kind):
     scenario = make()
-    alarm, _ = _run(scenario, kind=kind)
-    assert alarm.explanation.fault_class == scenario.fault_class.value, \
+    alarm, explanation, _ = _run(scenario, kind=kind)
+    assert explanation.fault_class == scenario.fault_class.value, \
         (f"{scenario.name}: injected {scenario.fault_class.value}, "
-         f"diagnosed {alarm.explanation.fault_class} "
+         f"diagnosed {explanation.fault_class} "
          f"(via {alarm.reason.value})")
 
 
@@ -61,21 +62,21 @@ def test_explanation_matches_injected_class(make, kind):
 ])
 def test_mechanism_mismatch_faults_pin_detected_class(make, kind, detected_as):
     scenario = make()
-    alarm, _ = _run(scenario, kind=kind)
-    assert alarm.explanation.fault_class == detected_as, \
+    alarm, explanation, _ = _run(scenario, kind=kind)
+    assert explanation.fault_class == detected_as, \
         (f"{scenario.name}: detection mechanism {alarm.reason.value} "
-         f"implies {detected_as}, diagnosed {alarm.explanation.fault_class}")
+         f"implies {detected_as}, diagnosed {explanation.fault_class}")
 
 
 def test_explanation_names_the_faulty_replica():
-    alarm, _ = _run(UndesirableFlowModFault("c2"))
-    assert alarm.explanation.offending_controller == "c2"
-    assert "c2" in alarm.explanation.dissenting_replicas
+    _, explanation, _ = _run(UndesirableFlowModFault("c2"))
+    assert explanation.offending_controller == "c2"
+    assert "c2" in explanation.dissenting_replicas
 
 
 def test_diagnose_payload_covers_every_alarm():
     scenario = LinkFailureFault(1, 2)
-    alarm, experiment = _run(scenario)
+    alarm, _, experiment = _run(scenario)
     payload = experiment.jury.diagnose_payload()
     assert payload["alarm_count"] == len(experiment.jury.alarms)
     ids = [entry["id"] for entry in payload["alarms"]]

@@ -93,9 +93,10 @@ def fault_run():
 def test_every_alarm_gets_an_explanation(fault_run):
     experiment, _ = fault_run
     alarms = experiment.jury.alarms
+    forensics = experiment.jury.forensics
     assert alarms
     for alarm in alarms:
-        explanation = alarm.explanation
+        explanation = forensics.explanation_for(alarm)
         assert explanation is not None
         assert explanation.trigger_id == repr(alarm.trigger_id)
         assert explanation.reason == alarm.reason.value
@@ -106,7 +107,8 @@ def test_every_alarm_gets_an_explanation(fault_run):
 
 def test_consensus_explanations_carry_field_diffs(fault_run):
     experiment, _ = fault_run
-    consensus = [a.explanation for a in experiment.jury.alarms
+    forensics = experiment.jury.forensics
+    consensus = [forensics.explanation_for(a) for a in experiment.jury.alarms
                  if a.reason is AlarmReason.CONSENSUS_MISMATCH]
     assert consensus, "link failure must raise consensus alarms"
     assert any(e.cache_diffs or e.network_diffs for e in consensus), \
@@ -117,9 +119,20 @@ def test_consensus_explanations_carry_field_diffs(fault_run):
             in explanation.dissenting_replicas
 
 
-def test_explanation_attachment_keeps_canonical_stream(fault_run):
-    """alarm.explanation must not leak into the canonical encoding."""
+def test_forensics_never_mutates_alarm_objects(fault_run):
+    """Observer purity (X501): forensics must leave alarms untouched.
+
+    Pins the fix for the cross-module analyzer's true positive — forensics
+    used to stamp ``alarm.explanation`` on validator-owned alarm objects.
+    """
+    import dataclasses
+
     experiment, _ = fault_run
+    field_names = {f.name for f in dataclasses.fields(
+        type(experiment.jury.alarms[0]))}
+    assert "explanation" not in field_names
+    for alarm in experiment.jury.alarms:
+        assert not hasattr(alarm, "explanation")
     stream = canonical_alarm_stream(experiment.jury.alarms)
     assert b"explanation" not in stream
     assert b"AlarmExplanation" not in stream
