@@ -44,6 +44,10 @@ _EXPORTS = {
     "ReplicaHealthTracker": ("repro.obs.health", "ReplicaHealthTracker"),
     "SloMonitor": ("repro.obs.health", "SloMonitor"),
     "SnapshotSink": ("repro.obs.export", "SnapshotSink"),
+    "ScenarioGen": ("repro.fuzz.scenario", "ScenarioGen"),
+    "ScenarioSpec": ("repro.fuzz.scenario", "ScenarioSpec"),
+    "DifferentialOracle": ("repro.fuzz.oracle", "DifferentialOracle"),
+    "Shrinker": ("repro.fuzz.shrink", "Shrinker"),
 }
 
 __all__ = ["__version__", "__paper__", *sorted(_EXPORTS)]

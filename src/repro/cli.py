@@ -19,6 +19,9 @@ Gives operators the paper's experiments without writing code:
   alarm-log/trace files.
 * ``health`` — rolling-window replica health scores (with hysteresis on
   the suspected-faulty flag) and SLO rule status.
+* ``fuzz`` — seeded scenario fuzzing: generate scenarios, check the
+  differential-oracle invariants, shrink counterexamples, and replay the
+  regression corpus (see ``docs/fuzzing.md``).
 * ``list-faults`` — show the fault catalog.
 * ``analyze`` — static determinism/taint-safety analysis of controller and
   app code (the CI gate; see ``docs/static_analysis.md``).
@@ -721,6 +724,112 @@ def cmd_bench_obs(args) -> CommandResult:
                          human=human, data=payload, errors=errors)
 
 
+def _fuzz_corpus_result(args) -> CommandResult:
+    """``fuzz --replay``: re-run every saved corpus entry."""
+    from repro.errors import ValidationError
+    from repro.fuzz import (
+        DifferentialOracle,
+        default_corpus_dir,
+        load_corpus,
+        replay_entry,
+    )
+
+    directory = args.corpus if args.corpus else default_corpus_dir()
+    try:
+        entries = load_corpus(directory)
+    except ValidationError as exc:
+        return CommandResult.usage_error("fuzz", f"fuzz: {exc}")
+    if not entries:
+        return CommandResult.usage_error(
+            "fuzz", f"fuzz: no corpus entries under {directory}")
+    oracle = DifferentialOracle()
+    rows, outcomes, mismatches = [], [], 0
+    for entry in entries:
+        outcome = replay_entry(entry, oracle=oracle)
+        if not outcome.matched:
+            mismatches += 1
+        rows.append([entry.name,
+                     ",".join(entry.expect) or "-",
+                     ",".join(outcome.report.codes()) or "-",
+                     "ok" if outcome.matched else "MISMATCH"])
+        outcomes.append({"name": entry.name,
+                         "expect": list(entry.expect),
+                         "actual": list(outcome.report.codes()),
+                         "matched": outcome.matched,
+                         "detail": outcome.detail})
+    human = format_table(f"corpus replay — {directory}",
+                         ["entry", "expect", "actual", "status"], rows)
+    errors = [f"fuzz: {o['name']}: {o['detail']}"
+              for o in outcomes if not o["matched"]]
+    return CommandResult(
+        command="fuzz", exit_code=2 if mismatches else 0, human=human,
+        data={"command": "fuzz", "mode": "replay",
+              "corpus": str(directory), "entries": outcomes,
+              "mismatches": mismatches},
+        errors=errors)
+
+
+def cmd_fuzz(args) -> CommandResult:
+    import time
+
+    from repro.fuzz import CorpusEntry, run_campaign, save_entry
+
+    if args.replay:
+        return _fuzz_corpus_result(args)
+    if args.runs <= 0:
+        return CommandResult.usage_error("fuzz", "fuzz: --runs must be >= 1")
+
+    progress_lines: List[str] = []
+
+    def on_progress(report):
+        status = "ok" if report.ok else ",".join(report.codes())
+        progress_lines.append(
+            f"seed {report.spec.seed}: {status}  "
+            f"[{report.spec.describe()}]")
+
+    result = run_campaign(
+        base_seed=args.seed, runs=args.runs,
+        shrink=args.shrink, shrink_budget=args.shrink_budget,
+        time_budget_s=args.time_budget,
+        clock=time.monotonic if args.time_budget is not None else None,
+        on_progress=on_progress)
+
+    lines = progress_lines if args.verbose else []
+    summary = (f"{result.completed_runs}/{result.requested_runs} scenarios "
+               f"from seed {args.seed}: "
+               f"{len(result.counterexamples)} counterexample(s)")
+    if result.budget_exhausted:
+        summary += f"  (time budget {args.time_budget:.0f}s exhausted)"
+    lines.append(summary)
+    errors = []
+    for counterexample in result.counterexamples:
+        minimal = counterexample.minimal_spec
+        lines.append(f"counterexample seed {counterexample.seed}: "
+                     f"{','.join(counterexample.report.codes())}")
+        lines.append(f"  original : {counterexample.spec.describe()}")
+        lines.append(f"  minimized: {minimal.describe()}")
+        lines.append(f"  repro    : {minimal.canonical_json()}")
+        errors.append(
+            f"fuzz: surviving counterexample at seed {counterexample.seed} "
+            f"(shrunk: {minimal.describe()})")
+        if args.save_failing:
+            entry = CorpusEntry(
+                name=f"fuzz-seed-{counterexample.seed}",
+                spec=minimal,
+                expect=counterexample.report.codes(),
+                notes=f"found by fuzz --seed {args.seed} "
+                      f"--runs {args.runs}; shrunk from seed "
+                      f"{counterexample.seed}")
+            path = save_entry(entry, args.save_failing)
+            lines.append(f"  saved    : {path}")
+    return CommandResult(
+        command="fuzz",
+        exit_code=2 if result.counterexamples else 0,
+        human="\n".join(lines),
+        data={"command": "fuzz", "mode": "campaign", **result.to_dict()},
+        errors=errors)
+
+
 def cmd_list_faults(args) -> CommandResult:
     rows = [[name, FAULTS[name]().fault_class.value,
              "odl" if name in ODL_FAULTS else "onos"]
@@ -841,6 +950,42 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--output", default=None, metavar="HEALTH.jsonl",
                         help="also write health/SLO records as JSONL")
     health.set_defaults(fn=cmd_health)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="seeded scenario fuzzing with differential oracles "
+             "(exit 0 clean, 2 on a surviving counterexample)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="base seed; run i uses seed+i")
+    fuzz.add_argument("--runs", type=int, default=20,
+                      help="scenarios to generate and check")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop starting new scenarios after this much "
+                           "wall-clock time")
+    shrink_group = fuzz.add_mutually_exclusive_group()
+    shrink_group.add_argument("--shrink", dest="shrink",
+                              action="store_true", default=True,
+                              help="minimize counterexamples (default)")
+    shrink_group.add_argument("--no-shrink", dest="shrink",
+                              action="store_false",
+                              help="report counterexamples unshrunk")
+    fuzz.add_argument("--shrink-budget", type=int, default=40,
+                      metavar="EVALS",
+                      help="max oracle evaluations per shrink")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="corpus directory for --replay "
+                           "(default: tests/corpus)")
+    fuzz.add_argument("--replay", action="store_true",
+                      help="replay the regression corpus instead of "
+                           "generating new scenarios")
+    fuzz.add_argument("--save-failing", default=None, metavar="DIR",
+                      help="save shrunk counterexamples as corpus entries "
+                           "into DIR")
+    fuzz.add_argument("--verbose", action="store_true",
+                      help="print one line per scenario")
+    _add_format(fuzz)
+    fuzz.set_defaults(fn=cmd_fuzz)
 
     list_faults = commands.add_parser("list-faults", help="show the catalog")
     _add_format(list_faults)

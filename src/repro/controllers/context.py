@@ -30,6 +30,21 @@ def new_external_trigger_id() -> TriggerId:
     return ("ext", next(_external_ids))
 
 
+def reset_trigger_ids() -> None:
+    """Restart both process-global trigger-id counters from 1.
+
+    Trigger ids are process-global so that concurrent experiments never
+    collide — but that also makes a scenario's alarm stream depend on how
+    many triggers earlier runs in the same process consumed. The fuzzer
+    (and any other rig that needs position-independent, byte-comparable
+    runs) calls this between *isolated* experiments; never call it while
+    an experiment is still live.
+    """
+    global _external_ids, _internal_ids
+    _external_ids = itertools.count(1)
+    _internal_ids = itertools.count(1)
+
+
 @dataclass(frozen=True)
 class Taint:
     """The mark carried by a replicated trigger and its responses."""

@@ -1,0 +1,56 @@
+"""Seeded scenario fuzzing with differential oracles (docs/fuzzing.md).
+
+``ScenarioGen`` turns a seed into a complete scenario; ``DifferentialOracle``
+runs it live and replays the recorded validator stream through every engine,
+checking the invariant catalog; ``Shrinker`` minimizes counterexamples;
+``corpus`` persists them as regression repros under ``tests/corpus/``.
+"""
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    ReplayOutcome,
+    default_corpus_dir,
+    load_corpus,
+    load_entry,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.oracle import (
+    DifferentialOracle,
+    InvariantViolation,
+    OracleReport,
+)
+from repro.fuzz.runner import CampaignResult, Counterexample, run_campaign
+from repro.fuzz.scenario import (
+    FUZZ_FAULTS,
+    FaultSpec,
+    ScenarioGen,
+    ScenarioSpec,
+    TrafficSpec,
+    build_fault_scenario,
+)
+from repro.fuzz.shrink import Shrinker, ShrinkResult
+
+__all__ = [
+    "CampaignResult",
+    "CorpusEntry",
+    "Counterexample",
+    "DifferentialOracle",
+    "FUZZ_FAULTS",
+    "FaultSpec",
+    "InvariantViolation",
+    "OracleReport",
+    "ReplayOutcome",
+    "ScenarioGen",
+    "ScenarioSpec",
+    "Shrinker",
+    "ShrinkResult",
+    "TrafficSpec",
+    "build_fault_scenario",
+    "default_corpus_dir",
+    "load_corpus",
+    "load_entry",
+    "replay_entry",
+    "run_campaign",
+    "save_entry",
+]

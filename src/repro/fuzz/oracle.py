@@ -1,0 +1,354 @@
+"""Differential oracles: the invariants every fuzz scenario must satisfy.
+
+One :class:`DifferentialOracle` run executes a scenario **live** (fresh
+simulator, topology, controller cluster, JURY deployment), records the
+validator's exact input stream, then replays that identical stream through
+the sequential :class:`~repro.core.validator.Validator` and the sharded
+:class:`~repro.core.pipeline.ValidationPipeline` at N ∈ {1, 2, 4, 8},
+with observability on and off, checking the invariant catalog:
+
+``CLEAN_RUN_ALARMED``
+    A scenario with no fault schedule raised an alarm (a false positive —
+    the paper's headline "no false alarms" claim).
+``FAULT_UNDETECTED``
+    An injected fault produced no matching alarm inside its settle window.
+``DEADLINE_EXCEEDED``
+    The fault was detected, but later than its θτ-derived deadline.
+``PREMATURE_ALARM``
+    An alarm fired before the first fault was even injected.
+``REPLAY_DIVERGENCE``
+    Replaying the recorded response stream through a fresh sequential
+    validator did not reproduce the live alarm stream byte-for-byte.
+``ENGINE_DIVERGENCE``
+    The sharded pipeline's canonical alarm stream differs from the
+    sequential validator's at some shard count.
+``COUNTER_MISMATCH``
+    Engines agree on alarms but disagree on accounting (decided /
+    received / late counts).
+``TRACE_DIVERGENCE``
+    The canonical trace encoding differs between engines.
+``OBSERVER_IMPURITY``
+    Attaching tracer + metrics changed the alarm stream.
+
+Violations carry enough detail to triage without re-running; the
+:class:`~repro.fuzz.shrink.Shrinker` uses the violation-code signature as
+its interestingness predicate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fuzz.scenario import ScenarioSpec, build_fault_scenario
+
+#: Shard counts every scenario is replayed at.
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+#: Shard counts additionally replayed with tracing + metrics attached.
+DEFAULT_TRACED_SHARDS = (2, 4)
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, with human-readable detail."""
+
+    code: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.code}: {self.detail}"
+
+
+@dataclass
+class FaultOutcome:
+    """Detection verdict for one scheduled fault."""
+
+    name: str
+    injected_at: float
+    deadline_ms: float
+    detected: bool
+    detection_ms: Optional[float]
+
+
+@dataclass
+class LiveRun:
+    """Everything recorded from one live execution of a scenario."""
+
+    spec: ScenarioSpec
+    records: list
+    mastership: Dict[int, str]
+    #: Canonical stream of the alarms raised *inside the recorded window*
+    #: (post-warmup) — the only alarms a replay can reproduce.
+    alarm_stream: bytes
+    triggers_decided: int
+    fault_outcomes: List[FaultOutcome] = field(default_factory=list)
+    first_injection_at: Optional[float] = None
+    alarms_before_injection: int = 0
+    #: Alarms raised during warmup, before the recorder attached.
+    warmup_alarms: int = 0
+    #: Simulated time at which the live run stopped. Replays settle past
+    #: the last record, so a trigger still in flight at the live cutoff
+    #: decides in the replay but not live; live-vs-replay comparisons must
+    #: therefore cap the replay stream at this instant.
+    ended_at: float = 0.0
+
+
+@dataclass
+class OracleReport:
+    """The verdict for one scenario."""
+
+    spec: ScenarioSpec
+    violations: List[InvariantViolation] = field(default_factory=list)
+    triggers_decided: int = 0
+    records: int = 0
+    fault_outcomes: List[FaultOutcome] = field(default_factory=list)
+    #: Stable digests for seed-stability assertions: the spec's canonical
+    #: JSON, the live canonical alarm stream, and the canonical trace of
+    #: the traced sequential replay (PR 3's encoding).
+    spec_digest: str = ""
+    alarm_digest: str = ""
+    trace_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def codes(self) -> Tuple[str, ...]:
+        """Sorted, de-duplicated violation codes — the failure signature."""
+        return tuple(sorted({v.code for v in self.violations}))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "ok": self.ok,
+            "violations": [{"code": v.code, "detail": v.detail}
+                           for v in self.violations],
+            "triggers_decided": self.triggers_decided,
+            "records": self.records,
+            "faults": [{"name": f.name, "detected": f.detected,
+                        "detection_ms": f.detection_ms,
+                        "deadline_ms": f.deadline_ms}
+                       for f in self.fault_outcomes],
+            "spec_digest": self.spec_digest,
+            "alarm_digest": self.alarm_digest,
+            "trace_digest": self.trace_digest,
+        }
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class DifferentialOracle:
+    """Runs scenarios live and differentially; reports broken invariants."""
+
+    def __init__(self,
+                 shard_counts: Tuple[int, ...] = DEFAULT_SHARD_COUNTS,
+                 traced_shards: Tuple[int, ...] = DEFAULT_TRACED_SHARDS,
+                 settle_ms: float = 10_000.0):
+        self.shard_counts = shard_counts
+        self.traced_shards = traced_shards
+        self.settle_ms = settle_ms
+
+    # ------------------------------------------------------------------
+    # Live execution + recording
+    # ------------------------------------------------------------------
+    def record(self, spec: ScenarioSpec) -> LiveRun:
+        """Execute ``spec`` live and capture the validator input stream."""
+        from repro.api import Jury
+        from repro.config import JuryConfig
+        from repro.controllers.context import reset_trigger_ids
+        from repro.core.alarms import canonical_alarm_stream
+        from repro.faults.base import run_scenario
+        from repro.workloads.recorder import ValidatorStreamRecorder
+        from repro.workloads.traffic import TrafficDriver
+
+        reset_trigger_ids()
+        experiment = Jury.experiment(JuryConfig(
+            kind=spec.kind, n=spec.n, k=spec.k, switches=spec.switches,
+            seed=spec.seed, timeout_ms=spec.timeout_ms,
+            policies=("default",)))
+        experiment.warmup()
+        recorder = ValidatorStreamRecorder(experiment.jury)
+        warmup_alarms = len(experiment.validator.alarms)
+
+        if spec.traffic is not None:
+            driver = TrafficDriver(
+                experiment.sim, experiment.topology,
+                packet_in_rate_per_s=spec.traffic.rate_per_s,
+                duration_ms=spec.traffic.duration_ms,
+                arp_fraction=spec.traffic.arp_fraction,
+                host_join_rate_per_s=spec.traffic.host_join_rate_per_s,
+                seed_label=f"fuzz-traffic/{spec.seed}")
+            driver.start()
+            experiment.run(spec.traffic.duration_ms
+                           + spec.settle_timeouts * spec.timeout_ms)
+
+        validator = experiment.validator
+        outcomes: List[FaultOutcome] = []
+        first_injection: Optional[float] = None
+        alarms_before = 0
+        for fault_spec in spec.faults:
+            scenario = build_fault_scenario(fault_spec)
+            injected_at = experiment.sim.now
+            if first_injection is None:
+                first_injection = injected_at
+                alarms_before = len(validator.alarms) - warmup_alarms
+            deadline = (fault_spec.deadline_ms
+                        if fault_spec.deadline_ms is not None
+                        else scenario.settle_ms(experiment))
+            result = run_scenario(experiment, scenario)
+            outcomes.append(FaultOutcome(
+                name=fault_spec.name, injected_at=injected_at,
+                deadline_ms=deadline, detected=result.detected,
+                detection_ms=result.detection_ms))
+
+        experiment.run(spec.settle_timeouts * spec.timeout_ms)
+        mastership = {dpid: experiment.cluster.master_of(dpid)
+                      for dpid in experiment.cluster.proxies}
+        return LiveRun(
+            spec=spec,
+            records=recorder.records,
+            mastership=mastership,
+            alarm_stream=canonical_alarm_stream(
+                validator.alarms[warmup_alarms:]),
+            triggers_decided=validator.triggers_decided,
+            fault_outcomes=outcomes,
+            first_injection_at=first_injection,
+            alarms_before_injection=alarms_before,
+            warmup_alarms=warmup_alarms,
+            ended_at=experiment.sim.now,
+        )
+
+    # ------------------------------------------------------------------
+    # Replay engines
+    # ------------------------------------------------------------------
+    def _replay(self, live: LiveRun, shards: Optional[int] = None,
+                tracer=None, metrics=None):
+        from repro.core.pipeline import ValidationPipeline
+        from repro.core.timeouts import StaticTimeout
+        from repro.core.validator import Validator
+        from repro.faults.injector import default_policy_engine
+        from repro.workloads.recorder import replay_validation_stream
+
+        spec = live.spec
+        lookup = live.mastership.get
+
+        def make(sim):
+            kwargs = dict(timeout=StaticTimeout(spec.timeout_ms),
+                          policy_engine=default_policy_engine(),
+                          mastership_lookup=lookup,
+                          tracer=tracer, metrics=metrics)
+            if shards is None:
+                return Validator(sim, spec.k, **kwargs)
+            return ValidationPipeline(sim, spec.k, shards=shards, **kwargs)
+
+        return replay_validation_stream(live.records, make,
+                                        settle_ms=self.settle_ms)
+
+    # ------------------------------------------------------------------
+    # The oracle proper
+    # ------------------------------------------------------------------
+    def run(self, spec: ScenarioSpec) -> OracleReport:
+        """Execute ``spec`` and check the full invariant catalog."""
+        from repro.core.alarms import canonical_alarm_stream
+        from repro.obs.trace import Tracer
+
+        live = self.record(spec)
+        report = OracleReport(spec=spec,
+                              triggers_decided=live.triggers_decided,
+                              records=len(live.records),
+                              fault_outcomes=live.fault_outcomes,
+                              spec_digest=spec.digest(),
+                              alarm_digest=_sha256(live.alarm_stream))
+        violations = report.violations
+
+        # --- Live-run invariants -------------------------------------
+        if not spec.faults and (live.alarm_stream or live.warmup_alarms):
+            violations.append(InvariantViolation(
+                "CLEAN_RUN_ALARMED",
+                f"fault-free scenario raised alarms ({live.warmup_alarms} "
+                f"during warmup; windowed stream sha256 "
+                f"{report.alarm_digest[:12]})"))
+        if spec.faults and live.alarms_before_injection:
+            violations.append(InvariantViolation(
+                "PREMATURE_ALARM",
+                f"{live.alarms_before_injection} alarm(s) before the first "
+                f"injection at t={live.first_injection_at:.1f} ms"))
+        for outcome in live.fault_outcomes:
+            if not outcome.detected:
+                violations.append(InvariantViolation(
+                    "FAULT_UNDETECTED",
+                    f"{outcome.name} injected at "
+                    f"t={outcome.injected_at:.1f} ms raised no matching "
+                    f"alarm within {outcome.deadline_ms:.0f} ms"))
+            elif (outcome.detection_ms is not None
+                    and outcome.detection_ms > outcome.deadline_ms):
+                violations.append(InvariantViolation(
+                    "DEADLINE_EXCEEDED",
+                    f"{outcome.name} detected after "
+                    f"{outcome.detection_ms:.1f} ms "
+                    f"(deadline {outcome.deadline_ms:.0f} ms)"))
+
+        # --- Replay / engine-equivalence invariants ------------------
+        sequential = self._replay(live)
+        expected = canonical_alarm_stream(sequential.alarms)
+        # The replay settles past the last record, so triggers still in
+        # flight at the live cutoff decide (on their θτ timers) only in
+        # the replay. Those tail decisions are correct replay behaviour,
+        # not a divergence: compare live-vs-replay inside the live
+        # window only. Engine-vs-engine comparisons below stay on the
+        # full streams — every engine settles identically.
+        expected_window = canonical_alarm_stream(
+            [alarm for alarm in sequential.alarms
+             if alarm.raised_at <= live.ended_at])
+        if expected_window != live.alarm_stream:
+            violations.append(InvariantViolation(
+                "REPLAY_DIVERGENCE",
+                "sequential replay did not reproduce the live alarm "
+                f"stream ({_sha256(expected_window)[:12]} != "
+                f"{report.alarm_digest[:12]})"))
+        baseline_counters = self._counters(sequential)
+        for shards in self.shard_counts:
+            pipeline = self._replay(live, shards=shards)
+            stream = canonical_alarm_stream(pipeline.alarms)
+            if stream != expected:
+                violations.append(InvariantViolation(
+                    "ENGINE_DIVERGENCE",
+                    f"pipeline N={shards} alarm stream diverged "
+                    f"({_sha256(stream)[:12]} != {_sha256(expected)[:12]})"))
+            elif self._counters(pipeline) != baseline_counters:
+                violations.append(InvariantViolation(
+                    "COUNTER_MISMATCH",
+                    f"pipeline N={shards} counters "
+                    f"{self._counters(pipeline)} != {baseline_counters}"))
+
+        # --- Observability invariants --------------------------------
+        from repro.obs.metrics import MetricsRegistry
+        seq_tracer = Tracer()
+        traced = self._replay(live, tracer=seq_tracer,
+                              metrics=MetricsRegistry())
+        report.trace_digest = _sha256(seq_tracer.canonical())
+        if canonical_alarm_stream(traced.alarms) != expected:
+            violations.append(InvariantViolation(
+                "OBSERVER_IMPURITY",
+                "tracing + metrics changed the sequential alarm stream"))
+        for shards in self.traced_shards:
+            tracer = Tracer()
+            pipeline = self._replay(live, shards=shards, tracer=tracer,
+                                    metrics=MetricsRegistry())
+            if canonical_alarm_stream(pipeline.alarms) != expected:
+                violations.append(InvariantViolation(
+                    "OBSERVER_IMPURITY",
+                    f"tracing changed the pipeline N={shards} alarm stream"))
+            if _sha256(tracer.canonical()) != report.trace_digest:
+                violations.append(InvariantViolation(
+                    "TRACE_DIVERGENCE",
+                    f"canonical trace diverged at N={shards}"))
+        return report
+
+    @staticmethod
+    def _counters(engine) -> Tuple[int, int, int]:
+        return (engine.triggers_decided, engine.responses_received,
+                engine.late_responses)

@@ -1,0 +1,131 @@
+"""Fuzz campaign driver: generate → run oracle → shrink counterexamples.
+
+A campaign walks seeds ``base_seed, base_seed+1, …`` for ``runs`` scenarios
+or until an (optional) wall-clock budget runs out. The clock is *injected*
+(any zero-argument callable returning seconds) so the campaign itself stays
+free of wall-clock reads — the CLI passes ``time.monotonic``, tests pass a
+fake. Every failing seed is shrunk (unless disabled) and reported as a
+:class:`Counterexample` carrying both the original and minimized specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.fuzz.oracle import DifferentialOracle, OracleReport
+from repro.fuzz.scenario import ScenarioGen, ScenarioSpec
+from repro.fuzz.shrink import Shrinker, ShrinkResult
+
+
+@dataclass
+class Counterexample:
+    """One failing seed, plus its shrunk form when shrinking ran."""
+
+    seed: int
+    spec: ScenarioSpec
+    report: OracleReport
+    shrink: Optional[ShrinkResult] = None
+
+    @property
+    def minimal_spec(self) -> ScenarioSpec:
+        return self.shrink.minimized if self.shrink is not None else self.spec
+
+    def to_dict(self) -> dict:
+        payload = {
+            "seed": self.seed,
+            "violations": [{"code": v.code, "detail": v.detail}
+                           for v in self.report.violations],
+            "spec": self.spec.to_dict(),
+            "minimal_spec": self.minimal_spec.to_dict(),
+        }
+        if self.shrink is not None:
+            payload["shrink"] = {
+                "evaluations": self.shrink.evaluations,
+                "steps": [s.description for s in self.shrink.steps],
+            }
+        return payload
+
+
+@dataclass
+class CampaignResult:
+    """Everything one fuzz campaign produced."""
+
+    base_seed: int
+    requested_runs: int
+    completed_runs: int = 0
+    reports: List[OracleReport] = field(default_factory=list)
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    #: True when the time budget expired before ``requested_runs`` ran.
+    budget_exhausted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    def to_dict(self) -> dict:
+        return {
+            "base_seed": self.base_seed,
+            "requested_runs": self.requested_runs,
+            "completed_runs": self.completed_runs,
+            "budget_exhausted": self.budget_exhausted,
+            "ok": self.ok,
+            "counterexamples": [c.to_dict() for c in self.counterexamples],
+            "runs": [{"seed": r.spec.seed,
+                      "ok": r.ok,
+                      "codes": list(r.codes()),
+                      "triggers_decided": r.triggers_decided,
+                      "spec_digest": r.spec_digest,
+                      "alarm_digest": r.alarm_digest,
+                      "trace_digest": r.trace_digest}
+                     for r in self.reports],
+        }
+
+
+def run_campaign(
+    base_seed: int,
+    runs: int,
+    oracle: Optional[DifferentialOracle] = None,
+    gen: Optional[ScenarioGen] = None,
+    shrink: bool = True,
+    shrink_budget: int = 40,
+    time_budget_s: Optional[float] = None,
+    clock: Optional[Callable[[], float]] = None,
+    on_progress: Optional[Callable[[OracleReport], None]] = None,
+) -> CampaignResult:
+    """Run ``runs`` seeded scenarios starting at ``base_seed``.
+
+    ``time_budget_s`` requires ``clock``; the budget is checked *between*
+    scenarios, so one in-flight scenario may overshoot it. ``on_progress``
+    is invoked with each report as it lands (the CLI uses it to stream
+    per-seed lines).
+    """
+    if time_budget_s is not None and clock is None:
+        raise ValueError("time_budget_s requires an injected clock")
+    oracle = oracle if oracle is not None else DifferentialOracle()
+    gen = gen if gen is not None else ScenarioGen()
+    result = CampaignResult(base_seed=base_seed, requested_runs=runs)
+    started = clock() if clock is not None else 0.0
+
+    for index in range(runs):
+        if (time_budget_s is not None
+                and clock() - started >= time_budget_s
+                and result.completed_runs > 0):
+            result.budget_exhausted = True
+            break
+        spec = gen.spec(base_seed + index)
+        report = oracle.run(spec)
+        result.reports.append(report)
+        result.completed_runs += 1
+        if on_progress is not None:
+            on_progress(report)
+        if report.ok:
+            continue
+        counterexample = Counterexample(seed=spec.seed, spec=spec,
+                                        report=report)
+        if shrink:
+            shrinker = Shrinker(oracle=oracle, budget=shrink_budget)
+            counterexample.shrink = shrinker.shrink(
+                spec, signature=report.codes())
+        result.counterexamples.append(counterexample)
+    return result

@@ -68,12 +68,14 @@ def encode(message: OpenFlowMessage) -> bytes:
     klass = type(message)
     if klass not in _TYPE_OF:
         raise OpenFlowError(f"cannot encode {klass.__name__}")
+    if not 0 <= message.xid <= 0xFFFFFFFF:
+        raise OpenFlowError(f"xid out of u32 range: {message.xid}")
     body = _encode_body(message)
     length = _HEADER.size + len(body)
     if length > 0xFFFF:
         raise OpenFlowError(f"message too large for OF framing: {length}")
     return _HEADER.pack(OFP_VERSION, _TYPE_OF[klass], length,
-                        message.xid & 0xFFFFFFFF) + body
+                        message.xid) + body
 
 
 def decode(data: bytes) -> Tuple[OpenFlowMessage, bytes]:
@@ -85,6 +87,12 @@ def decode(data: bytes) -> Tuple[OpenFlowMessage, bytes]:
         raise OpenFlowError(f"unsupported OpenFlow version {version}")
     if of_type not in _OF_TYPE:
         raise OpenFlowError(f"unknown ofp_type {of_type}")
+    if length < _HEADER.size:
+        # A length shorter than the header would slice an empty body AND
+        # hand already-consumed header bytes back as "remainder", making
+        # decode_all fabricate phantom messages from the same 8 bytes.
+        raise OpenFlowError(f"ofp_header length {length} shorter than "
+                            f"the {_HEADER.size}-byte header")
     if len(data) < length:
         raise OpenFlowError("truncated OpenFlow message body")
     body = data[_HEADER.size:length]

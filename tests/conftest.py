@@ -41,6 +41,24 @@ def warm_jury_experiment():
     return exp
 
 
+@pytest.fixture(scope="session")
+def scenario_gen():
+    """The seeded scenario generator (pure per-seed; safe to share)."""
+    from repro.fuzz import ScenarioGen
+    return ScenarioGen()
+
+
+@pytest.fixture(scope="session")
+def small_fuzz_corpus(scenario_gen):
+    """A handful of generated specs: some fault-free, some faulted.
+
+    Seeds are fixed so suites that reuse the fixture stay deterministic;
+    the spread is chosen so both flavors are always present (seed 7 and 10
+    carry fault schedules, 8 and 9 are clean — pinned by a fuzz test).
+    """
+    return [scenario_gen.spec(seed) for seed in (7, 8, 9, 10)]
+
+
 def discover_and_learn(experiment, extra_ms: float = 500.0):
     """Drive an ARP from each host so the cluster learns every location."""
     hosts = experiment.topology.host_list()

@@ -1,0 +1,242 @@
+"""Property-based encode/decode roundtrips for the OpenFlow wire format.
+
+The fuzz PR's satellite contract: *any* message the repro can construct
+must survive ``wire.encode`` → ``wire.decode`` unchanged, and any Match
+must survive ``canonical()`` → ``from_canonical()``. Hypothesis drives the
+construction; explicit regression tests pin the framing bugs the sweep
+found (a header ``length`` shorter than the header itself used to slice
+already-consumed bytes back into the remainder, fabricating phantom
+messages in ``decode_all``; out-of-range xids used to be silently masked)
+and the deliberate canonical collapse of reserved-port outputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OpenFlowError
+from repro.net.packet import EtherType, IpProto, LldpPayload, Packet
+from repro.openflow import wire
+from repro.openflow.actions import (
+    ActionController,
+    ActionDrop,
+    ActionFlood,
+    ActionOutput,
+)
+from repro.openflow.constants import (
+    OFPP_CONTROLLER,
+    OFPP_FLOOD,
+    FlowModCommand,
+)
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    Hello,
+    PacketIn,
+    PacketOut,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+xids = st.integers(min_value=0, max_value=0xFFFFFFFF)
+dpids = st.integers(min_value=1, max_value=4096)
+ports = st.integers(min_value=1, max_value=0xFF00)
+macs = st.from_regex(r"[0-9a-f]{2}(:[0-9a-f]{2}){5}", fullmatch=True)
+ips = st.from_regex(r"10\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})", fullmatch=True)
+
+# Reserved ports decode back as their dedicated action classes by design,
+# so the generic output strategy avoids them (the collapse is pinned in
+# test_reserved_port_outputs_collapse_to_dedicated_actions).
+plain_output_ports = ports.filter(
+    lambda p: p not in (OFPP_FLOOD, OFPP_CONTROLLER))
+
+actions = st.lists(
+    st.one_of(
+        st.builds(ActionOutput, port=plain_output_ports),
+        st.just(ActionFlood()),
+        st.just(ActionController()),
+        st.just(ActionDrop()),
+    ),
+    max_size=4).map(tuple)
+
+
+@st.composite
+def matches(draw):
+    """Arbitrary (not necessarily hierarchy-valid) OpenFlow 1.0 matches."""
+    return Match(
+        in_port=draw(st.none() | ports),
+        dl_src=draw(st.none() | macs),
+        dl_dst=draw(st.none() | macs),
+        dl_type=draw(st.none() | st.sampled_from(
+            [int(EtherType.IPV4), int(EtherType.ARP), int(EtherType.LLDP)])),
+        nw_src=draw(st.none() | ips),
+        nw_dst=draw(st.none() | ips),
+        nw_proto=draw(st.none() | st.sampled_from(
+            [int(IpProto.ICMP), int(IpProto.TCP), int(IpProto.UDP)])),
+        tp_src=draw(st.none() | ports),
+        tp_dst=draw(st.none() | ports),
+    )
+
+
+lldp_payloads = st.builds(LldpPayload, src_dpid=dpids, src_port=ports,
+                          controller_id=st.none() | st.just("c1"))
+# The wire format serializes scalar payloads and LLDP TLVs; NaN is excluded
+# because it never compares equal to itself.
+payloads = st.one_of(
+    st.none(),
+    st.text(max_size=12),
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    lldp_payloads,
+)
+
+
+@st.composite
+def packets(draw):
+    has_ip = draw(st.booleans())
+    ip_proto = draw(st.none() | st.sampled_from(list(IpProto))) \
+        if has_ip else None
+    return Packet(
+        src_mac=draw(macs),
+        dst_mac=draw(macs),
+        eth_type=draw(st.sampled_from(list(EtherType))),
+        src_ip=draw(ips) if has_ip else None,
+        dst_ip=draw(ips) if has_ip else None,
+        ip_proto=ip_proto,
+        src_port=draw(st.none() | ports) if ip_proto is not None else None,
+        dst_port=draw(st.none() | ports) if ip_proto is not None else None,
+        payload=draw(payloads),
+        size=draw(st.integers(min_value=60, max_value=1514)),
+        flow_id=draw(st.none() | st.integers(min_value=0, max_value=2**31)),
+    )
+
+
+@st.composite
+def messages(draw):
+    klass = draw(st.sampled_from(
+        [Hello, EchoRequest, EchoReply, FeaturesRequest, FeaturesReply,
+         PacketIn, PacketOut, FlowMod, BarrierRequest, BarrierReply]))
+    xid = draw(xids)
+    if klass is FeaturesReply:
+        return FeaturesReply(dpid=draw(dpids),
+                             ports=tuple(draw(st.lists(ports, max_size=8))),
+                             xid=xid)
+    if klass is PacketIn:
+        return PacketIn(dpid=draw(dpids), in_port=draw(ports),
+                        packet=draw(st.none() | packets()),
+                        buffer_id=draw(st.none() | st.integers(0, 2**31)),
+                        xid=xid)
+    if klass is PacketOut:
+        return PacketOut(dpid=draw(dpids), in_port=draw(ports),
+                         packet=draw(st.none() | packets()),
+                         buffer_id=draw(st.none() | st.integers(0, 2**31)),
+                         actions=draw(actions), xid=xid)
+    if klass is FlowMod:
+        return FlowMod(dpid=draw(dpids),
+                       command=draw(st.sampled_from(list(FlowModCommand))),
+                       match=draw(matches()),
+                       actions=draw(actions),
+                       priority=draw(st.integers(0, 0xFFFF)),
+                       idle_timeout=draw(st.sampled_from(
+                           [0.0, 5.0, 10.0, 60.0])),
+                       cookie=draw(st.integers(0, 2**63 - 1)),
+                       xid=xid)
+    return klass(xid=xid)
+
+
+# ----------------------------------------------------------------------
+# Roundtrip properties
+# ----------------------------------------------------------------------
+
+@given(messages())
+@settings(max_examples=200, deadline=None)
+def test_encode_decode_roundtrip(message):
+    encoded = wire.encode(message)
+    decoded, remainder = wire.decode(encoded)
+    assert remainder == b""
+    assert decoded == message
+
+
+@given(st.lists(messages(), min_size=1, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_decode_all_roundtrips_concatenated_streams(stream):
+    blob = b"".join(wire.encode(m) for m in stream)
+    assert wire.decode_all(blob) == stream
+
+
+@given(matches())
+@settings(max_examples=200, deadline=None)
+def test_match_canonical_roundtrip(match):
+    assert Match.from_canonical(match.canonical()) == match
+
+
+@given(matches())
+@settings(max_examples=100, deadline=None)
+def test_match_canonical_is_deterministic_and_hashable(match):
+    assert match.canonical() == match.canonical()
+    assert hash(Match.from_canonical(match.canonical())) == hash(match)
+
+
+@given(messages())
+@settings(max_examples=100, deadline=None)
+def test_header_length_field_is_exact(message):
+    encoded = wire.encode(message)
+    _, _, length, _ = wire._HEADER.unpack_from(encoded)
+    assert length == len(encoded)
+
+
+# ----------------------------------------------------------------------
+# Framing edge cases (regressions found by the roundtrip sweep)
+# ----------------------------------------------------------------------
+
+def test_decode_rejects_length_shorter_than_header():
+    # A crafted header claiming length < 8 must not fabricate phantom
+    # messages by re-serving its own header bytes as the remainder.
+    bogus = wire._HEADER.pack(wire.OFP_VERSION, 0, 4, 1)
+    with pytest.raises(OpenFlowError):
+        wire.decode(bogus)
+    with pytest.raises(OpenFlowError):
+        wire.decode_all(bogus)
+
+
+def test_encode_rejects_out_of_range_xid():
+    with pytest.raises(OpenFlowError):
+        wire.encode(Hello(xid=2**32))
+    with pytest.raises(OpenFlowError):
+        wire.encode(Hello(xid=-1))
+
+
+def test_decode_rejects_truncated_body():
+    encoded = wire.encode(FeaturesReply(dpid=7, ports=(1, 2, 3)))
+    with pytest.raises(OpenFlowError):
+        wire.decode(encoded[:-1])
+
+
+def test_decode_rejects_unknown_type_and_version():
+    with pytest.raises(OpenFlowError):
+        wire.decode(wire._HEADER.pack(0x04, 0, 8, 1))  # OF 1.3 version
+    with pytest.raises(OpenFlowError):
+        wire.decode(wire._HEADER.pack(wire.OFP_VERSION, 99, 8, 1))
+
+
+def test_reserved_port_outputs_collapse_to_dedicated_actions():
+    """ActionOutput(OFPP_FLOOD/CONTROLLER) decodes as ActionFlood/
+    ActionController — canonically equal by design, so the collapse is
+    pinned rather than treated as a roundtrip failure."""
+    message = PacketOut(dpid=1, in_port=1,
+                        actions=(ActionOutput(OFPP_FLOOD),
+                                 ActionOutput(OFPP_CONTROLLER)))
+    decoded, _ = wire.decode(wire.encode(message))
+    assert decoded.actions == (ActionFlood(), ActionController())
+    assert [a.canonical() for a in decoded.actions] \
+        == [a.canonical() for a in message.actions]

@@ -330,3 +330,47 @@ def test_pipeline_stats_account_for_every_response(workloads):
     # Replay runs to quiescence: everything enqueued was processed.
     assert stats.total("processed") == stats.total("enqueued")
     assert stats.total("decided") == pipeline.triggers_decided
+
+
+# ----------------------------------------------------------------------
+# Generator-drawn workloads (the fuzzer's scenarios through this rig)
+# ----------------------------------------------------------------------
+
+def test_fuzz_generated_workloads_byte_identical(small_fuzz_corpus):
+    """The differential contract holds on fuzz-generated scenarios too:
+    record each generated spec live, then assert sequential == pipeline at
+    every shard count — and that the replay reproduces the live stream."""
+    from repro.fuzz import DifferentialOracle
+
+    oracle = DifferentialOracle()
+    faulted = next(s for s in small_fuzz_corpus if s.faults)
+    clean = next(s for s in small_fuzz_corpus if not s.faults)
+    for spec in (faulted, clean):
+        live = oracle.record(spec)
+        assert live.records, f"seed {spec.seed} recorded nothing"
+        lookup = live.mastership.get
+
+        def sequential_factory(sim):
+            return Validator(
+                sim, spec.k, timeout=StaticTimeout(spec.timeout_ms),
+                policy_engine=default_policy_engine(),
+                mastership_lookup=lookup)
+
+        sequential = replay_validation_stream(live.records,
+                                              sequential_factory)
+        expected = canonical_alarm_stream(sequential.alarms)
+        assert expected == live.alarm_stream, \
+            f"replay lost the live alarm stream on seed {spec.seed}"
+        for shards in SHARD_COUNTS:
+            def pipeline_factory(sim):
+                return ValidationPipeline(
+                    sim, spec.k, shards=shards,
+                    timeout=StaticTimeout(spec.timeout_ms),
+                    policy_engine=default_policy_engine(),
+                    mastership_lookup=lookup)
+
+            pipeline = replay_validation_stream(live.records,
+                                                pipeline_factory)
+            assert canonical_alarm_stream(pipeline.alarms) == expected, \
+                f"seed {spec.seed} diverged at N={shards}"
+            assert pipeline.triggers_decided == sequential.triggers_decided
