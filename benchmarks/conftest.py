@@ -17,7 +17,8 @@ from __future__ import annotations
 import pytest
 
 from repro.faults.injector import default_policy_engine
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.workloads.traffic import TrafficDriver
 
 
@@ -34,8 +35,8 @@ def onos_detection_run(k: int, rate: float, seed: int = 11,
     ``slow_controllers`` marks m replicas as faulty (timing-degraded), the
     paper's m>0 configurations.
     """
-    experiment = build_experiment(kind="onos", n=7, k=k, switches=24,
-                                  seed=seed, timeout_ms=timeout_ms)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=7, k=k, switches=24,
+                                  seed=seed, timeout_ms=timeout_ms))
     for cid in slow_controllers:
         controller = experiment.cluster.controller(cid)
         controller.profile.jitter_median_ms *= slowdown
@@ -52,8 +53,8 @@ def odl_detection_run(k: int, rate: float, seed: int = 11,
                       slow_controllers=(), slowdown: float = 3.0,
                       duration_ms: float = 2500.0, timeout_ms: float = 1500.0):
     """One ODL detection-time measurement (Fig 4c building block)."""
-    experiment = build_experiment(kind="odl", n=7, k=k, switches=24,
-                                  seed=seed, timeout_ms=timeout_ms)
+    experiment = Jury.experiment(JuryConfig(kind="odl", n=7, k=k, switches=24,
+                                  seed=seed, timeout_ms=timeout_ms))
     for cid in slow_controllers:
         controller = experiment.cluster.controller(cid)
         controller.profile.jitter_median_ms *= slowdown
@@ -69,8 +70,8 @@ def odl_detection_run(k: int, rate: float, seed: int = 11,
 def throughput_run(kind: str, n: int, rate: float, k=None, seed: int = 5,
                    duration_ms: float = 1000.0, keep_results: bool = False):
     """One throughput measurement point (Fig 4f/4g/4h building block)."""
-    experiment = build_experiment(kind=kind, n=n, k=k, switches=24, seed=seed,
-                                  keep_results=keep_results)
+    experiment = Jury.experiment(JuryConfig(kind=kind, n=n, k=k, switches=24, seed=seed,
+                                  keep_results=keep_results, timeout_ms=200.0))
     experiment.warmup()
     driver = TrafficDriver(experiment.sim, experiment.topology,
                            packet_in_rate_per_s=rate, duration_ms=duration_ms)

@@ -12,15 +12,16 @@
 from conftest import run_once
 
 from repro.core.timeouts import AdaptiveTimeout
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.harness.reporting import format_table
 from repro.workloads.traffic import TrafficDriver
 
 
 def churny_run(seed, state_aware=True, timeout=None, timeout_ms=250.0, k=6):
-    experiment = build_experiment(kind="onos", n=7, k=k, switches=24,
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=7, k=k, switches=24,
                                   seed=seed, timeout_ms=timeout_ms,
-                                  state_aware=state_aware)
+                                  state_aware=state_aware))
     if timeout is not None:
         experiment.validator.timeout = timeout
     experiment.warmup()

@@ -16,7 +16,8 @@ from repro.faults import (
 )
 from repro.faults.base import run_scenario
 from repro.faults.injector import default_policy_engine
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.harness.reporting import format_table
 
 SCENARIOS = [
@@ -32,10 +33,10 @@ def test_appendix_faults_detected(benchmark):
         rows = []
         outcomes = []
         for index, (kind, factory, reference) in enumerate(SCENARIOS):
-            experiment = build_experiment(
+            experiment = Jury.experiment(JuryConfig(
                 kind=kind, n=7, k=6, switches=12, seed=120 + index,
                 timeout_ms=250.0 if kind == "onos" else 1200.0,
-                policy_engine=default_policy_engine(), with_northbound=True)
+                policy_engine=default_policy_engine(), with_northbound=True))
             experiment.warmup()
             scenario = factory()
             result = run_scenario(experiment, scenario)

@@ -22,7 +22,8 @@ from repro.faults import (
     UndesirableFlowModFault,
 )
 from repro.faults.injector import FaultDriver, default_policy_engine
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.harness.reporting import format_table
 
 REPETITIONS = 3
@@ -32,10 +33,10 @@ def factory_for(kind):
     timeout = 250.0 if kind == "onos" else 1200.0
 
     def build(seed):
-        experiment = build_experiment(
+        experiment = Jury.experiment(JuryConfig(
             kind=kind, n=7, k=6, switches=12, seed=seed,
             timeout_ms=timeout, policy_engine=default_policy_engine(),
-            with_northbound=True)
+            with_northbound=True))
         # m=2: two degraded (timing-faulty) replicas alongside the injected
         # fault, per the paper's worst-case setup.
         for cid in ("c6", "c7"):

@@ -9,7 +9,8 @@ replicas present.
 
 from conftest import run_once
 
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.harness.reporting import format_table
 from repro.workloads.traces import ALL_TRACES, TraceReplayDriver
 
@@ -18,8 +19,8 @@ TIMEOUT_MS = 250.0  # ~the k=6,m=2 95th-percentile timeout (Fig 4a)
 
 
 def replay(profile, seed):
-    experiment = build_experiment(kind="onos", n=7, k=6, switches=24,
-                                  seed=seed, timeout_ms=TIMEOUT_MS)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=7, k=6, switches=24,
+                                  seed=seed, timeout_ms=TIMEOUT_MS))
     # m=2: two replicas run degraded (timing-faulty but not dead).
     for cid in ("c6", "c7"):
         experiment.cluster.controller(cid).profile.jitter_median_ms *= 3.0

@@ -11,16 +11,17 @@ throughput figures) use tcpreplay instead.
 
 from conftest import run_once
 
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.harness.reporting import format_table
 from repro.workloads.cbench import CbenchDriver
 
 
 def test_fig4e_cbench_overwhelms_onos(benchmark):
     def run():
-        experiment = build_experiment(
+        experiment = Jury.experiment(JuryConfig(
             kind="onos", n=1, switches=2, seed=32,
-            profile_overrides={"collapse_threshold": 800})
+            profile_overrides=(("collapse_threshold", 800),), k=None, timeout_ms=200.0))
         experiment.warmup()
         controller = experiment.cluster.controller("c1")
         driver = CbenchDriver(experiment.sim, controller,

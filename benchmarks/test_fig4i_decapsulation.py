@@ -12,7 +12,8 @@ collected from a live JURY-on-ODL run at several rates.
 
 from conftest import run_once
 
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.harness.metrics import percentile
 from repro.harness.reporting import format_table
 from repro.workloads.traffic import TrafficDriver
@@ -21,9 +22,9 @@ RATES = (100.0, 300.0, 500.0)
 
 
 def collect_samples(rate: float, seed: int):
-    experiment = build_experiment(kind="odl", n=7, k=6, switches=24,
+    experiment = Jury.experiment(JuryConfig(kind="odl", n=7, k=6, switches=24,
                                   seed=seed, timeout_ms=1500.0,
-                                  keep_results=False)
+                                  keep_results=False))
     experiment.warmup()
     driver = TrafficDriver(experiment.sim, experiment.topology,
                            packet_in_rate_per_s=rate, duration_ms=1500.0)

@@ -12,15 +12,16 @@ every k; JURY overhead grows roughly linearly with k.
 
 from conftest import run_once
 
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.harness.reporting import format_table
 from repro.workloads.traffic import TrafficDriver
 
 
 def measure(kind, k, rate, seed, duration_ms=1000.0, timeout_ms=400.0):
-    experiment = build_experiment(kind=kind, n=7, k=k, switches=24,
+    experiment = Jury.experiment(JuryConfig(kind=kind, n=7, k=k, switches=24,
                                   seed=seed, timeout_ms=timeout_ms,
-                                  keep_results=False)
+                                  keep_results=False))
     experiment.warmup()
     driver = TrafficDriver(experiment.sim, experiment.topology,
                            packet_in_rate_per_s=rate,

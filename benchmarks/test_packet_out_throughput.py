@@ -13,13 +13,14 @@ artifacts, the bottleneck asymmetry is the target.
 
 from conftest import run_once
 
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.harness.reporting import format_table
 from repro.workloads.traffic import TrafficDriver
 
 
 def measure(n, arp_fraction, rate, seed):
-    experiment = build_experiment(kind="onos", n=n, switches=24, seed=seed)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=n, switches=24, seed=seed, k=None, timeout_ms=200.0))
     experiment.warmup()
     driver = TrafficDriver(experiment.sim, experiment.topology,
                            packet_in_rate_per_s=rate, duration_ms=1000.0,

@@ -16,7 +16,8 @@ from repro.faults import (
 )
 from repro.faults.base import run_scenario
 from repro.faults.injector import default_policy_engine
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.harness.reporting import format_table
 
 CLASSES = [
@@ -30,10 +31,10 @@ CLASSES = [
 
 
 def build(seed, with_policies=True):
-    experiment = build_experiment(
+    experiment = Jury.experiment(JuryConfig(
         kind="onos", n=7, k=6, switches=12, seed=seed, timeout_ms=250.0,
         policy_engine=default_policy_engine() if with_policies else None,
-        with_northbound=True)
+        with_northbound=True))
     experiment.warmup()
     return experiment
 

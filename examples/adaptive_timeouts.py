@@ -16,13 +16,15 @@ Run:  python examples/adaptive_timeouts.py
 
 from repro.core.alarm_log import AlarmLog
 from repro.core.timeouts import AdaptiveTimeout
-from repro.harness import build_experiment, format_table
+from repro.api import Jury
+from repro.config import JuryConfig
+from repro.harness import format_table
 from repro.workloads import TrafficDriver
 
 
 def run(label, seed=150, timeout=None, timeout_ms=250.0):
-    experiment = build_experiment(kind="onos", n=7, k=6, switches=24,
-                                  seed=seed, timeout_ms=timeout_ms)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=7, k=6, switches=24,
+                                  seed=seed, timeout_ms=timeout_ms))
     if timeout is not None:
         experiment.validator.timeout = timeout
     log = AlarmLog(experiment.validator)

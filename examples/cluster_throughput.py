@@ -10,12 +10,14 @@ ODL's strongly consistent Infinispan store serializes writes cluster-wide.
 Run:  python examples/cluster_throughput.py   (takes a minute or two)
 """
 
-from repro.harness import build_experiment, format_table
+from repro.api import Jury
+from repro.config import JuryConfig
+from repro.harness import format_table
 from repro.workloads import TcpReplayDriver
 
 
 def measure(kind: str, n: int, rate: float, window_ms: float = 1500.0):
-    experiment = build_experiment(kind=kind, n=n, switches=24, seed=90)
+    experiment = Jury.experiment(JuryConfig(kind=kind, n=n, switches=24, seed=90, k=None, timeout_ms=200.0))
     experiment.warmup()
     driver = TcpReplayDriver(experiment.sim, experiment.topology,
                              packet_in_rate_per_s=rate,

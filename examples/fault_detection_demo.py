@@ -30,7 +30,9 @@ from repro.faults import (
 )
 from repro.faults.base import run_scenario
 from repro.faults.injector import default_policy_engine
-from repro.harness import build_experiment, format_table
+from repro.api import Jury
+from repro.config import JuryConfig
+from repro.harness import format_table
 
 SCENARIOS = [
     # (controller kind, scenario, paper reference)
@@ -53,11 +55,11 @@ SCENARIOS = [
 
 
 def build(kind: str, seed: int):
-    experiment = build_experiment(
+    experiment = Jury.experiment(JuryConfig(
         kind=kind, n=7, k=6, switches=12, seed=seed,
         timeout_ms=250.0 if kind == "onos" else 1200.0,
         policy_engine=default_policy_engine(),
-        with_northbound=True)
+        with_northbound=True))
     experiment.warmup()
     return experiment
 

@@ -11,7 +11,9 @@ Run:  python examples/policy_enforcement.py
 
 from repro.faults import FaultyProactiveFault, OdlIncorrectFlowModFault
 from repro.faults.base import run_scenario
-from repro.harness import build_experiment, format_table
+from repro.api import Jury
+from repro.config import JuryConfig
+from repro.harness import format_table
 from repro.policy import PolicyEngine, match_hierarchy_policy, parse_policies
 
 # Fig 3, verbatim modulo the paper's XML typo (`<Cache ="EdgesDB" ...>`).
@@ -33,9 +35,9 @@ def main() -> None:
     rows = []
 
     # --- T3 fault 1: proactive topology corruption (caught by Fig 3) ----
-    experiment = build_experiment(
+    experiment = Jury.experiment(JuryConfig(
         kind="onos", n=5, k=4, switches=8, seed=81, timeout_ms=250.0,
-        policy_engine=engine)
+        policy_engine=engine))
     experiment.warmup()
     result = run_scenario(experiment, FaultyProactiveFault("c3", 2, 3))
     rows.append(["faulty proactive EdgesDB write (T3)",
@@ -44,11 +46,11 @@ def main() -> None:
                  if result.matching_alarms else "-"])
 
     # --- T3 fault 2: malformed match hierarchy (caught by the flow policy)
-    experiment = build_experiment(
+    experiment = Jury.experiment(JuryConfig(
         kind="odl", n=5, k=4, switches=8, seed=82, timeout_ms=1200.0,
         policy_engine=PolicyEngine(parse_policies(FIG3_POLICY)
                                    + [match_hierarchy_policy()]),
-        with_northbound=True)
+        with_northbound=True))
     experiment.warmup()
     result = run_scenario(experiment, OdlIncorrectFlowModFault("c1"))
     rows.append(["incorrect FLOW_MOD match hierarchy (T3)",
@@ -57,9 +59,9 @@ def main() -> None:
                  if result.matching_alarms else "-"])
 
     # --- Benign traffic with the same policies: no alarms -----------------
-    experiment = build_experiment(
+    experiment = Jury.experiment(JuryConfig(
         kind="onos", n=5, k=4, switches=8, seed=83, timeout_ms=250.0,
-        policy_engine=engine)
+        policy_engine=engine))
     experiment.warmup()
     hosts = experiment.topology.host_list()
     for i in range(6):

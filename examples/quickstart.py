@@ -9,7 +9,9 @@ and detection-time statistics.
 Run:  python examples/quickstart.py
 """
 
-from repro.harness import build_experiment, format_table
+from repro.api import Jury
+from repro.config import JuryConfig
+from repro.harness import format_table
 from repro.workloads import TrafficDriver
 
 
@@ -17,14 +19,14 @@ def main() -> None:
     # One call wires everything: simulator, topology, controllers, store,
     # per-switch OVS proxies, and the JURY deployment (replicators on every
     # proxy, a module in every controller, the out-of-band validator).
-    experiment = build_experiment(
+    experiment = Jury.experiment(JuryConfig(
         kind="onos",        # eventually consistent, reactive forwarding
         n=5,                # controller replicas c1..c5
         k=4,                # replicate each trigger to 4 secondaries
         switches=8,         # linear Mininet-style chain, one host each
         seed=7,
         timeout_ms=250.0,   # validation timeout (per-trigger timer)
-    )
+    ))
 
     # Let LLDP discovery settle and teach every host to the cluster.
     experiment.warmup()

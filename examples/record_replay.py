@@ -10,7 +10,9 @@ the fault, not to workload variation.
 Run:  python examples/record_replay.py
 """
 
-from repro.harness import build_experiment, format_table
+from repro.api import Jury
+from repro.config import JuryConfig
+from repro.harness import format_table
 from repro.workloads import TrafficDriver
 from repro.workloads.recorder import ControlPlaneRecorder, TraceReplayer
 
@@ -31,8 +33,8 @@ def corrupt_flow_writes(controller) -> None:
 
 
 def build(seed=300):
-    experiment = build_experiment(kind="onos", n=5, k=4, switches=8,
-                                  seed=seed, timeout_ms=250.0)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=8,
+                                  seed=seed, timeout_ms=250.0))
     experiment.warmup()
     return experiment
 

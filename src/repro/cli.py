@@ -33,10 +33,16 @@ Gives operators the paper's experiments without writing code:
 Every subcommand builds its experiment through one
 :class:`~repro.config.JuryConfig` and returns a
 :class:`~repro.harness.reporting.CommandResult`; ``--format json`` prints
-the structured payload instead of the human tables. Simulation commands
-accept ``--pipeline N`` to validate through the sharded
-:class:`~repro.core.pipeline.ValidationPipeline` instead of the sequential
-validator.
+the structured payload instead of the human tables, and the exit-code
+contract is uniform: 0 ok, 1 findings-or-failure, 2 usage/config error.
+Simulation commands accept ``--pipeline N`` to validate through the
+sharded :class:`~repro.core.pipeline.ValidationPipeline` instead of the
+sequential validator, ``--backend serial|threads|processes`` to pick its
+execution backend (see ``docs/backends.md``), and ``--config file.json``
+to load the whole config from JSON through the validated
+:meth:`~repro.config.JuryConfig.from_dict` path. ``bench validator
+--backend X`` switches to the backend sweep, emitting
+``BENCH_backends.json``.
 """
 
 from __future__ import annotations
@@ -95,6 +101,25 @@ ODL_FAULTS = {"odl-flow-mod-drop", "odl-incorrect-flow-mod",
               "odl-flow-deletion-failure", "odl-flow-instantiation-failure"}
 
 
+def _load_config_file(path: str) -> JuryConfig:
+    """``--config file.json`` → a validated :class:`JuryConfig`.
+
+    Routed through :meth:`JuryConfig.from_dict`, the one construction path
+    for every serialized config source; unknown keys fail with a
+    did-you-mean hint and surface as usage errors (exit 2).
+    """
+    from repro.errors import ValidationError
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ValidationError(f"--config {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"--config {path}: invalid JSON ({exc})") from None
+    return JuryConfig.from_dict(payload)
+
+
 def _config_from_args(args, kind: Optional[str] = None,
                       k: Optional[int] = None,
                       trace: bool = False,
@@ -102,6 +127,17 @@ def _config_from_args(args, kind: Optional[str] = None,
                       diagnose: bool = False,
                       health: bool = False) -> JuryConfig:
     """One place where argparse namespaces become a :class:`JuryConfig`."""
+    if getattr(args, "config", None) is not None:
+        # The file defines the experiment; only the subcommand's own
+        # observability needs are OR-merged on top of it.
+        base = _load_config_file(args.config)
+        overlay = {name: True
+                   for name, wanted in (("trace", trace),
+                                        ("metrics", metrics),
+                                        ("diagnose", diagnose),
+                                        ("health", health))
+                   if wanted and not getattr(base, name)}
+        return base.replace(**overlay) if overlay else base
     kind = kind or args.controller
     return JuryConfig(
         kind=kind,
@@ -113,6 +149,7 @@ def _config_from_args(args, kind: Optional[str] = None,
         policies=("default",),
         with_northbound=True,
         pipeline=getattr(args, "pipeline", None),
+        backend=getattr(args, "backend", None) or "serial",
         trace=trace,
         metrics=metrics,
         diagnose=diagnose,
@@ -630,12 +667,58 @@ def cmd_bench_analyze(args) -> CommandResult:
                          human=human, data=payload, errors=errors)
 
 
+def _bench_backends(args, triggers: int) -> CommandResult:
+    """``bench validator --backend X``: the execution-backend sweep."""
+    from repro.harness.bench import compare_backends, write_payload
+
+    payload = compare_backends(triggers=triggers, k=args.k, seed=args.seed,
+                               fault_rate=args.fault_rate,
+                               shards=args.shards)
+    output = args.output
+    if output == "BENCH_validator_pipeline.json":
+        output = "BENCH_backends.json"
+    write_payload(payload, output)
+    errors = []
+    if not payload["alarm_streams_identical"]:
+        errors.append(
+            "bench backends: alarm streams diverged across backends")
+    speedup = payload["speedups"].get(args.backend, 0.0)
+    # The speedup gate only binds where parallelism is physically
+    # possible: worker processes can't beat serial on one CPU.
+    if (args.min_speedup is not None and payload["cpu_count"] > 1
+            and speedup < args.min_speedup):
+        errors.append(
+            f"bench backends: {args.backend} speedup {speedup:.2f}x "
+            f"below the {args.min_speedup:.1f}x gate on a "
+            f"{payload['cpu_count']}-CPU host")
+    rows = [[backend,
+             f"{run['ops_per_s']:,.0f}",
+             f"{run['p50_ms']:.4f}",
+             f"{payload['speedups'][backend]:.2f}x",
+             run["alarmed"]]
+            for backend, run in payload["backends"].items()]
+    human = "\n".join([
+        format_table(
+            f"backend sweep — {triggers} triggers, k={args.k}, "
+            f"{args.shards} shard(s), {payload['cpu_count']} CPU(s)",
+            ["backend", "triggers/s", "p50 chunk (ms)", "speedup",
+             "alarms"], rows),
+        f"alarm streams identical: {payload['alarm_streams_identical']}",
+        f"wrote {output}",
+    ])
+    return CommandResult(command="bench validator",
+                         exit_code=1 if errors else 0,
+                         human=human, data=payload, errors=errors)
+
+
 def cmd_bench_validator(args) -> CommandResult:
     # Imported lazily: the harness pulls in the perf-measurement code only
     # when benchmarking is requested.
     from repro.harness.bench import compare, write_payload
 
     triggers = 2000 if args.smoke else args.triggers
+    if args.backend is not None:
+        return _bench_backends(args, triggers)
     payload = compare(triggers=triggers, k=args.k, seed=args.seed,
                       fault_rate=args.fault_rate, shards=args.shards,
                       queue_capacity=args.queue_capacity,
@@ -742,7 +825,10 @@ def _fuzz_corpus_result(args) -> CommandResult:
     if not entries:
         return CommandResult.usage_error(
             "fuzz", f"fuzz: no corpus entries under {directory}")
-    oracle = DifferentialOracle()
+    backends = ("serial",)
+    if args.backend:
+        backends = tuple(dict.fromkeys(("serial",) + tuple(args.backend)))
+    oracle = DifferentialOracle(backends=backends)
     rows, outcomes, mismatches = [], [], 0
     for entry in entries:
         outcome = replay_entry(entry, oracle=oracle)
@@ -787,8 +873,16 @@ def cmd_fuzz(args) -> CommandResult:
             f"seed {report.spec.seed}: {status}  "
             f"[{report.spec.describe()}]")
 
+    oracle = None
+    if args.backend:
+        from repro.fuzz import DifferentialOracle
+        # Serial stays in the matrix as the reference; the requested
+        # backend joins the ENGINE_DIVERGENCE axis.
+        backends = tuple(dict.fromkeys(("serial",) + tuple(args.backend)))
+        oracle = DifferentialOracle(backends=backends)
+
     result = run_campaign(
-        base_seed=args.seed, runs=args.runs,
+        base_seed=args.seed, runs=args.runs, oracle=oracle,
         shrink=args.shrink, shrink_budget=args.shrink_budget,
         time_budget_s=args.time_budget,
         clock=time.monotonic if args.time_budget is not None else None,
@@ -863,6 +957,14 @@ def _add_common(parser: argparse.ArgumentParser, format_extra=()) -> None:
     parser.add_argument("--pipeline", type=int, default=None, metavar="N",
                         help="validate through the sharded pipeline with "
                              "N shards (default: sequential validator)")
+    parser.add_argument("--backend",
+                        choices=("serial", "threads", "processes"),
+                        default=None,
+                        help="execution backend for the sharded pipeline "
+                             "(requires --pipeline; default: serial)")
+    parser.add_argument("--config", default=None, metavar="CONFIG.json",
+                        help="build the JuryConfig from this JSON file "
+                             "instead of the flags above")
     _add_format(parser, extra=format_extra)
 
 
@@ -982,6 +1084,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--save-failing", default=None, metavar="DIR",
                       help="save shrunk counterexamples as corpus entries "
                            "into DIR")
+    fuzz.add_argument("--backend", action="append", default=None,
+                      choices=("serial", "threads", "processes"),
+                      metavar="BACKEND",
+                      help="add an execution backend to the differential "
+                           "matrix (repeatable; serial always included)")
     fuzz.add_argument("--verbose", action="store_true",
                       help="print one line per scenario")
     _add_format(fuzz)
@@ -1066,6 +1173,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench_validator.add_argument("--smoke", action="store_true",
                                  help="small CI-sized workload "
                                       "(2000 triggers)")
+    bench_validator.add_argument(
+        "--backend", choices=("serial", "threads", "processes"),
+        default=None,
+        help="sweep execution backends instead of sequential-vs-pipeline; "
+             "gates and the default output switch to BENCH_backends.json")
+    bench_validator.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="with --backend: fail unless that backend is at least X "
+             "times faster than serial (skipped on single-CPU hosts)")
     bench_validator.add_argument("--output", default="BENCH_validator_pipeline.json",
                                  help="path for the JSON payload")
     _add_format(bench_validator)
@@ -1118,8 +1234,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import ValidationError
+
     args = build_parser().parse_args(argv)
-    result = args.fn(args)
+    try:
+        result = args.fn(args)
+    except ValidationError as exc:
+        # Config mistakes (bad --config file, backend without --pipeline,
+        # removed-API calls) are usage errors: exit 2, like argparse's own.
+        result = CommandResult.usage_error(
+            getattr(args, "command", None) or "repro", str(exc))
     fmt = getattr(args, "format", "human")
     # "prom" output is pre-rendered exposition text in result.human.
     return render_result(result, "human" if fmt == "prom" else fmt)

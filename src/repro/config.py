@@ -75,6 +75,11 @@ class JuryConfig:
     timeout_ms: Optional[float] = None
     timeout: Optional[object] = None
     pipeline: Optional[int] = None
+    #: Execution backend for the sharded pipeline (repro.core.backends):
+    #: ``serial`` (inline, the default), ``threads``, or ``processes``
+    #: (real CPU parallelism via long-lived worker processes). Requires
+    #: ``pipeline`` — the sequential validator has no shards to schedule.
+    backend: str = "serial"
     seed: int = 0
     policies: Tuple[str, ...] = ()
     policy_engine: Optional[object] = None
@@ -119,6 +124,23 @@ class JuryConfig:
             raise ValidationError(
                 f"snapshot_interval_ms must be positive: "
                 f"{self.snapshot_interval_ms}")
+        from repro.core.backends import BACKEND_NAMES
+        if self.backend not in BACKEND_NAMES:
+            raise ValidationError(
+                f"unknown backend {self.backend!r} "
+                f"(expected one of: {', '.join(BACKEND_NAMES)})")
+        if self.backend != "serial":
+            if self.pipeline is None:
+                raise ValidationError(
+                    f"backend {self.backend!r} requires pipeline=N: the "
+                    f"sequential validator has no shards to schedule")
+            if self.timeout is not None:
+                from repro.core.timeouts import StaticTimeout
+                if not isinstance(self.timeout, StaticTimeout):
+                    raise ValidationError(
+                        f"backend {self.backend!r} requires a static "
+                        f"timeout (adaptive policies couple shards "
+                        f"through observe())")
         unknown = [name for name in self.policies if name not in POLICY_SETS]
         if unknown:
             raise ValidationError(
@@ -128,6 +150,73 @@ class JuryConfig:
     def replace(self, **changes) -> "JuryConfig":
         """A copy with the given fields changed (configs are frozen)."""
         return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Declarative round-trip (scenario specs, --config files, fuzz)
+    # ------------------------------------------------------------------
+    #: Fields that hold live objects rather than declarative values; they
+    #: cannot round-trip through JSON and are rejected by to_dict/from_dict.
+    _OBJECT_FIELDS = ("timeout", "policy_engine", "validator_latency")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "JuryConfig":
+        """Build a validated config from a plain dict (JSON-shaped).
+
+        The single construction path for every serialized config source —
+        scenario specs, CLI ``--config file.json``, the fuzz generator.
+        Unknown keys fail with a did-you-mean suggestion (same contract as
+        the policy linter's P603 vocabulary check); list values for tuple
+        fields are normalised, so ``json.load`` output works directly.
+        """
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                f"config payload must be a mapping, got "
+                f"{type(payload).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs: Dict[str, object] = {}
+        for key, value in payload.items():
+            if key not in known:
+                import difflib
+                guess = difflib.get_close_matches(str(key), sorted(known),
+                                                  n=1, cutoff=0.6)
+                hint = f" (did you mean {guess[0]!r}?)" if guess else ""
+                raise ValidationError(
+                    f"unknown config key {key!r}{hint}")
+            if key in cls._OBJECT_FIELDS and value is not None:
+                raise ValidationError(
+                    f"config key {key!r} holds a live object and cannot "
+                    f"be loaded from a dict; use its declarative "
+                    f"counterpart")
+            if key == "policies" and isinstance(value, list):
+                value = tuple(value)
+            if key == "profile_overrides" and isinstance(value, list):
+                value = tuple((k, v) for k, v in value)
+            kwargs[key] = value
+        return cls(**kwargs)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Declarative JSON-able dict; exact inverse of :meth:`from_dict`.
+
+        Raises :class:`~repro.errors.ValidationError` when the config
+        carries live objects (explicit timeout policy, policy engine,
+        latency model) — those have no serial form by design.
+        """
+        carried = [name for name in self._OBJECT_FIELDS
+                   if getattr(self, name) is not None]
+        if carried:
+            raise ValidationError(
+                f"config holds non-serializable object field(s): "
+                f"{', '.join(carried)}")
+        payload: Dict[str, object] = {}
+        for field_info in dataclasses.fields(self):
+            value = getattr(self, field_info.name)
+            if field_info.name in self._OBJECT_FIELDS:
+                continue
+            if isinstance(value, tuple):
+                value = [list(item) if isinstance(item, tuple) else item
+                         for item in value]
+            payload[field_info.name] = value
+        return payload
 
     # ------------------------------------------------------------------
     # Build-time resolution
@@ -194,6 +283,7 @@ class JuryConfig:
             "k": self.k,
             "timeout_ms": self.effective_timeout_ms,
             "pipeline": self.pipeline,
+            "backend": self.backend,
             "seed": self.seed,
             "policies": list(self.policies)
             + (["<explicit>"] if self.policy_engine is not None else []),

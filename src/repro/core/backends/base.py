@@ -1,0 +1,198 @@
+"""The :class:`ExecutionBackend` abstraction and its in-process backends.
+
+A backend owns *how* a pipeline shard's work units execute:
+
+* :class:`SerialBackend` — the inline path: ``flush_shard`` simply runs the
+  shard's own ``_process_available`` loop on the parent thread. This is the
+  pipeline's historical behaviour, byte for byte.
+* :class:`FrameBackend` — shared machinery for the real backends
+  (``threads``, ``processes``): the parent collects a
+  :class:`~repro.core.backends.frames.BatchFrame` from the shard's queue,
+  submits it to a worker hosting the shard's
+  :class:`~repro.core.backends.shardcore.ShardCore`, and merges the
+  resulting verdict deterministically.
+
+Determinism under the simulator: submitting a frame schedules a **merge
+barrier** at delay 0. The simulator runs same-instant events FIFO, so the
+barrier fires after every flush of the current instant and merges verdicts
+in submission order — which is exactly the serial path's flush order. All
+decisions, alarms, and spans therefore land at the same simulated time,
+in the same relative order, as the serial backend's.
+
+On the synchronous ``drain()`` path (the benchmark loop; no simulated time
+advances) frames are submitted one per shard per round and merged in shard
+order, with one round of lookahead so workers chew on round *i+1* while the
+parent merges round *i* — this is where the ``processes`` backend's real
+parallelism pays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Tuple
+
+from repro.core.backends.frames import BatchFrame, VerdictFrame
+from repro.core.timeouts import StaticTimeout
+from repro.obs import trace as obs_trace
+
+
+class ExecutionBackend:
+    """Scheduling strategy for pipeline shard work units."""
+
+    #: Registry name (``JuryConfig.backend`` / ``--backend``).
+    name: str = "?"
+    #: True when ``flush_shard`` runs the shard inline on the parent
+    #: (no frames, no merge); the pipeline keeps its historical fast path.
+    inline: bool = True
+
+    def attach(self, pipeline) -> None:
+        """Bind to a pipeline (called once from the pipeline constructor)."""
+        self.pipeline = pipeline
+
+    def flush_shard(self, shard, wakeup: bool = False) -> None:
+        raise NotImplementedError
+
+    def drain(self) -> None:
+        """Synchronously process every queued response (benchmark path)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers. Idempotent; parent-side results stay readable."""
+
+    # Context-manager sugar so benches/tests can scope worker lifetime.
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution on the parent thread (the default)."""
+
+    name = "serial"
+    inline = True
+
+    def flush_shard(self, shard, wakeup: bool = False) -> None:
+        shard._process_available()
+
+    def drain(self) -> None:
+        progressing = True
+        while progressing:
+            progressing = False
+            for shard in self.pipeline._shards:
+                if shard.queue or shard.overflow:
+                    shard._process_available()
+                    progressing = True
+
+
+class FrameBackend(ExecutionBackend):
+    """Collect → submit → barrier-merge machinery shared by real backends.
+
+    Subclasses implement ``_start`` (spawn workers), ``_submit`` (hand a
+    frame to shard's worker; must not block while the worker still owes a
+    verdict — wait for it first) and ``_collect`` (block for the verdict).
+    """
+
+    inline = False
+
+    def attach(self, pipeline) -> None:
+        if not isinstance(pipeline.timeout, StaticTimeout):
+            raise ValueError(
+                f"backend {self.name!r} requires a StaticTimeout: adaptive "
+                f"policies couple shards through observe() and would "
+                f"diverge from the serial backend")
+        self.pipeline = pipeline
+        self.timeout_ms = pipeline.timeout.current()
+        self._inflight: deque = deque()  # (shard, BatchFrame)
+        self._barrier_scheduled = False
+        self._closed = False
+        self._start()
+
+    def _bootstrap(self) -> dict:
+        """ShardCore constructor kwargs for worker bootstrap."""
+        pipeline = self.pipeline
+        return {"k": pipeline.k, "timeout_ms": self.timeout_ms,
+                "state_aware": pipeline.state_aware,
+                "taint_classification": pipeline.taint_classification}
+
+    # -- subclass surface ------------------------------------------------
+    def _start(self) -> None:
+        raise NotImplementedError
+
+    def _submit(self, shard, frame: BatchFrame) -> None:
+        raise NotImplementedError
+
+    def _collect(self, shard, frame: BatchFrame) -> VerdictFrame:
+        raise NotImplementedError
+
+    # -- simulator path --------------------------------------------------
+    def flush_shard(self, shard, wakeup: bool = False) -> None:
+        frame = shard._collect_frame(wakeup=wakeup)
+        if frame is None:
+            return
+        self._dispatch(shard, frame)
+
+    def _dispatch(self, shard, frame: BatchFrame) -> None:
+        pipeline = self.pipeline
+        if pipeline.tracer is not None:
+            pipeline.tracer.emit(
+                pipeline.sim.now, ("engine", shard.index),
+                obs_trace.ENGINE_SUBMIT, detail=f"seq={frame.seq}",
+                n=len(frame.items))
+        if pipeline.metrics is not None:
+            pipeline.metrics.counter("backend_frames_total",
+                                     backend=self.name).inc()
+            pipeline.metrics.counter("backend_frame_responses_total",
+                                     backend=self.name).inc(len(frame.items))
+        self._submit(shard, frame)
+        self._inflight.append((shard, frame))
+        if not self._barrier_scheduled:
+            self._barrier_scheduled = True
+            pipeline.sim.schedule(0.0, self._merge_barrier)
+
+    def _merge_barrier(self) -> None:
+        self._barrier_scheduled = False
+        self._merge_inflight()
+        sink = self.pipeline.snapshot_sink
+        if sink is not None:
+            sink.observe(self.pipeline.sim.now)
+
+    def _merge_inflight(self) -> None:
+        while self._inflight:
+            shard, frame = self._inflight.popleft()
+            self._merge_one(shard, frame)
+
+    def _merge_one(self, shard, frame: BatchFrame) -> None:
+        verdict = self._collect(shard, frame)
+        pipeline = self.pipeline
+        if pipeline.tracer is not None:
+            pipeline.tracer.emit(
+                pipeline.sim.now, ("engine", shard.index),
+                obs_trace.ENGINE_EXECUTE, detail=f"seq={frame.seq}",
+                events=len(verdict.events))
+        shard._merge_verdict(frame, verdict)
+        if pipeline.tracer is not None:
+            pipeline.tracer.emit(
+                pipeline.sim.now, ("engine", shard.index),
+                obs_trace.ENGINE_MERGE, detail=f"seq={frame.seq}",
+                open_records=verdict.open_records)
+
+    # -- synchronous path ------------------------------------------------
+    def drain(self) -> None:
+        self._merge_inflight()  # anything the simulator left in flight
+        pipeline = self.pipeline
+        pending: List[Tuple] = []  # previous round, being chewed by workers
+        while True:
+            submitted: List[Tuple] = []
+            for shard in pipeline._shards:
+                frame = shard._collect_frame()
+                if frame is not None:
+                    self._submit(shard, frame)
+                    submitted.append((shard, frame))
+            # Merge the previous round while workers run the new one.
+            for shard, frame in pending:
+                self._merge_one(shard, frame)
+            if not submitted:
+                break
+            pending = submitted

@@ -1,0 +1,73 @@
+"""Worker-thread backend: one long-lived thread per shard.
+
+Each thread owns its shard's :class:`~repro.core.backends.shardcore.ShardCore`
+and processes frames FIFO off a queue, so per-shard frame order — the
+determinism contract — is preserved by construction. Under CPython's GIL
+this buys concurrency (merges overlap worker compute) but little CPU
+parallelism; it exists as the cheap-to-debug sibling of ``processes`` —
+same frames, same merge, no pickling, no worker lifecycle.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import List
+
+from repro.core.backends.base import FrameBackend
+from repro.core.backends.frames import BatchFrame, VerdictFrame
+from repro.core.backends.shardcore import ShardCore
+
+
+class _ShardThread:
+    def __init__(self, index: int, bootstrap: dict):
+        self.inbox: "queue.SimpleQueue" = queue.SimpleQueue()
+        self.outbox: "queue.SimpleQueue" = queue.SimpleQueue()
+        # Backend workers are real OS threads by design; determinism comes
+        # from FIFO frame order plus the parent-side barrier merge.
+        self.thread = threading.Thread(  # jury: ignore[D105]
+            target=self._run, args=(bootstrap,),
+            name=f"jury-shard-{index}", daemon=True)
+        self.thread.start()
+
+    def _run(self, bootstrap: dict) -> None:
+        core = ShardCore(**bootstrap)
+        while True:
+            frame = self.inbox.get()
+            if frame is None:
+                return
+            try:
+                self.outbox.put(core.process(frame))
+            # Shipped to the parent and re-raised at _collect — the worker
+            # must never die holding the shard's FIFO.
+            except BaseException as exc:  # jury: ignore[H404]
+                self.outbox.put(exc)
+
+
+class ThreadsBackend(FrameBackend):
+    """One worker thread per shard; frames exchanged over queues."""
+
+    name = "threads"
+
+    def _start(self) -> None:
+        bootstrap = self._bootstrap()
+        self._workers: List[_ShardThread] = [
+            _ShardThread(i, bootstrap) for i in range(self.pipeline.shards)]
+
+    def _submit(self, shard, frame: BatchFrame) -> None:
+        self._workers[shard.index].inbox.put(frame)
+
+    def _collect(self, shard, frame: BatchFrame) -> VerdictFrame:
+        verdict = self._workers[shard.index].outbox.get()
+        if isinstance(verdict, BaseException):
+            raise verdict
+        return verdict
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.inbox.put(None)
+        for worker in self._workers:
+            worker.thread.join(timeout=5.0)

@@ -273,3 +273,91 @@ def _merge_network(network: List[Response]) -> Tuple:
     for response in network:
         merged.extend(response.entry)
     return tuple(sorted(set(merged), key=repr))
+
+
+def unanimity_fast_consensus(responses: Sequence[Response], external: bool,
+                             state_aware: bool,
+                             merged_network) -> Optional[ConsensusOutcome]:
+    """Unanimity fast path: the clean outcome or ``None`` (fall back).
+
+    Returns an outcome only when it provably equals what
+    :func:`evaluate_consensus` would produce — unanimous cache relays, a
+    known primary, every replica sharing the primary's digest and entry,
+    and the primary's combined response matching that entry. Anything
+    murkier (omissions, deviations, non-determinism, partial state
+    equivalence) must take the sequential slow path so the engines cannot
+    diverge. ``merged_network`` is a (possibly memoised) callable with the
+    contract of :func:`_merge_network`; pipeline shards and backend workers
+    pass their own caches, which is why this lives here as a pure function.
+    """
+    replicas: List[Response] = []
+    cache_relays: List[Response] = []
+    network: List[Response] = []
+    for r in responses:
+        if r.kind == ResponseKind.REPLICA_RESULT:
+            replicas.append(r)
+        elif r.kind == ResponseKind.CACHE_UPDATE:
+            cache_relays.append(r)
+        else:
+            network.append(r)
+
+    cache_entry: Tuple = cache_relays[0].entry if cache_relays else ()
+    primary_id: Optional[str] = None
+    for r in cache_relays:
+        if r.entry != cache_entry:
+            return None  # deviant relay — slow path assigns blame
+        if primary_id is None and r.origin:
+            primary_id = r.origin
+    if primary_id is None:
+        for r in replicas:
+            if r.primary_hint:
+                primary_id = r.primary_hint
+                break
+    if primary_id is None and network:
+        primary_id = network[0].controller_id
+
+    network_entry = merged_network(network)
+
+    if not external:
+        return ConsensusOutcome(
+            ok=True, primary_id=primary_id,
+            primary_cache_entry=cache_entry,
+            primary_network_entry=network_entry)
+
+    if not (cache_relays or network):
+        return None  # possible primary omission — slow path
+    if not replicas:
+        return ConsensusOutcome(
+            ok=True, primary_id=primary_id,
+            primary_cache_entry=cache_entry,
+            primary_network_entry=network_entry)
+
+    replica_entry = replicas[0].entry
+    for r in replicas:
+        if r.declared_non_deterministic or r.entry != replica_entry:
+            return None
+
+    primary_digest: Optional[Tuple] = None
+    for r in cache_relays:
+        if r.controller_id == primary_id and r.state_digest:
+            primary_digest = r.state_digest
+            break
+    if primary_digest is None:
+        for r in network:
+            if r.controller_id == primary_id and r.state_digest:
+                primary_digest = r.state_digest
+                break
+    if state_aware and primary_digest is not None:
+        for r in replicas:
+            if r.state_digest != primary_digest:
+                return None  # partial equivalence — slow path
+
+    own_network_entry = merged_network(
+        [r for r in network if r.controller_id == primary_id])
+    if (cache_entry, own_network_entry) != replica_entry:
+        return None
+    return ConsensusOutcome(
+        ok=True, primary_id=primary_id,
+        compared_replicas=len(replicas),
+        primary_cache_entry=cache_entry,
+        primary_network_entry=network_entry)

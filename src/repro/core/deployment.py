@@ -16,13 +16,13 @@ the store's inter-controller counter.
 Construction is config-driven: one :class:`~repro.config.JuryConfig`
 describes the validation core plus observability, and
 :meth:`repro.api.Jury.build` is the public entry point. Direct
-``JuryDeployment(cluster, k=..., ...)`` keyword construction still works as
-a deprecated shim that assembles the equivalent config.
+``JuryDeployment(cluster, k=..., ...)`` keyword construction was removed
+(PR 7) — passing kwargs without ``config=`` raises immediately with the
+replacement spelled out.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Optional
 
 from repro.config import JuryConfig
@@ -37,8 +37,6 @@ from repro.errors import ValidationError
 from repro.net.channel import ByteCounter, ControlChannel
 from repro.obs.trace import active_tracer
 from repro.sim.latency import LatencyModel, Uniform
-
-_LEGACY = object()  # sentinel: distinguishes "not passed" from explicit None
 
 
 class JuryDeployment:
@@ -59,23 +57,10 @@ class JuryDeployment:
         config: Optional[JuryConfig] = None,
     ):
         if config is None:
-            # Legacy keyword seam: fold the kwargs into the one config
-            # object so there is a single construction path below.
-            warnings.warn(
+            raise ValidationError(
                 "JuryDeployment(cluster, k=..., ...) keyword construction "
-                "is deprecated; build a JuryConfig and call "
-                "Jury.build(config, cluster=cluster)",
-                DeprecationWarning, stacklevel=2)
-            if k is None:
-                raise ValidationError("k is required (or pass config=)")
-            config = JuryConfig(
-                k=k, timeout_ms=timeout_ms, timeout=timeout,
-                policy_engine=policy_engine,
-                validator_latency=validator_latency,
-                replicate_handshakes=replicate_handshakes,
-                state_aware=state_aware,
-                taint_classification=taint_classification,
-                pipeline=pipeline)
+                "was removed; build a JuryConfig and call "
+                "Jury.build(config, cluster=cluster)")
         k = config.k
         if k is None:
             raise ValidationError(
@@ -132,7 +117,8 @@ class JuryDeployment:
                 flush_interval_ms=config.flush_interval_ms,
                 tracer=self.tracer, metrics=self.metrics,
                 forensics=self.forensics, health=self.health,
-                snapshot_sink=self.snapshot_sink)
+                snapshot_sink=self.snapshot_sink,
+                backend=config.backend)
         else:
             self.validator = Validator(
                 self.sim, k,
@@ -188,6 +174,16 @@ class JuryDeployment:
             original_deliver(controller_id, request)
 
         api.deliver = intercepting_deliver
+
+    def close(self) -> None:
+        """Release validator resources (backend worker processes/threads).
+
+        A no-op for the sequential validator and the serial backend;
+        results and alarms stay readable after closing.
+        """
+        close = getattr(self.validator, "close", None)
+        if close is not None:
+            close()
 
     # ------------------------------------------------------------------
     # Validation facade (uniform across sequential/sharded engines)

@@ -50,7 +50,20 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.alarms import Alarm, ValidationResult, alarm_merge_key
-from repro.core.consensus import ConsensusOutcome, _merge_network
+from repro.core.backends import resolve_backend
+from repro.core.backends.frames import (
+    EV_LATE,
+    EV_PSI_CACHE,
+    EV_PSI_PROGRESS,
+    BatchFrame,
+    DecisionRecord,
+    VerdictFrame,
+)
+from repro.core.consensus import (
+    ConsensusOutcome,
+    _merge_network,
+    unanimity_fast_consensus,
+)
 from repro.core.responses import Response, ResponseKind
 from repro.core.timeouts import StaticTimeout, TimeoutPolicy
 from repro.core.validator import ControllerState, DecisionCore, digest_progress
@@ -161,6 +174,10 @@ class _Shard(DecisionCore):
         self._wakeup_at = float("inf")
         self._flush_scheduled = False
         self.stats = ShardStats()
+        # Frame-backend bookkeeping (unused on the serial/inline path):
+        # monotone frame sequence and the worker's open-record mirror.
+        self._frame_seq = itertools.count()
+        self._remote_open = 0
         # Per-shard Ψid view: this shard's own contributions, reconciled
         # against the merged view at checkpoint (see ValidationPipeline).
         self.local_progress: Dict[str, int] = {}
@@ -189,6 +206,13 @@ class _Shard(DecisionCore):
 
     def _flush(self) -> None:
         self._flush_scheduled = False
+        backend = self.pipeline.backend
+        if not backend.inline:
+            # Frame backend: collect → submit; the merge barrier (scheduled
+            # at delay 0, so still within this simulated instant) replays
+            # the verdict and drives the snapshot sink.
+            backend.flush_shard(self)
+            return
         self._process_available()
         sink = self.pipeline.snapshot_sink
         if sink is not None:
@@ -340,6 +364,152 @@ class _Shard(DecisionCore):
         self._process_available()
 
     # ------------------------------------------------------------------
+    # Frame-backend path (repro.core.backends): the parent keeps queue and
+    # overflow accounting plus everything that touches shared state; the
+    # worker's ShardCore runs the per-response loop and ships back an
+    # ordered event log this side replays.
+    # ------------------------------------------------------------------
+    def _collect_frame(self, wakeup: bool = False) -> Optional[BatchFrame]:
+        """Drain up to ``batch_max`` queued responses into a frame.
+
+        Mirrors the queue/overflow discipline of ``_process_available``
+        exactly (refill from overflow only when the queue empties, count
+        each refill as a drain, reschedule a flush for any remainder).
+        Returns None when there is nothing to do — except for θτ wakeups,
+        which always produce a frame so the worker fires due deadlines.
+        """
+        stats = self.stats
+        queue = self.queue
+        overflow = self.overflow
+        capacity = self.pipeline.queue_capacity
+        budget = self.pipeline.batch_max
+        items = []
+        while budget > 0:
+            if not queue and overflow:
+                while overflow and len(queue) < capacity:
+                    queue.append(overflow.popleft())
+                    stats.overflow_drained += 1
+            if not queue:
+                break
+            items.append(queue.popleft())
+            budget -= 1
+        if not items and not wakeup:
+            return None
+        drained = not queue and not overflow
+        if not drained and not self._flush_scheduled:
+            # Budget exhausted: backpressure the remainder to the next
+            # flush (same simulated instant at flush interval 0).
+            self._flush_scheduled = True
+            self.sim.schedule(0.0, self._flush)
+        return BatchFrame(shard=self.index, seq=next(self._frame_seq),
+                          now=self.sim.now, items=tuple(items),
+                          drained=drained, wakeup=wakeup)
+
+    def _merge_verdict(self, frame: BatchFrame, verdict: VerdictFrame) -> None:
+        """Replay a worker's ordered event log against the shared state.
+
+        Event order is the worker's processing order, which is the serial
+        path's processing order for the same responses — so each decision's
+        staleness/policy checks observe exactly the Ψ prefix the inline
+        loop would have produced, and alarm/span emission order matches.
+        """
+        stats = self.stats
+        for key, value in verdict.stats_delta.items():
+            if key == "max_batch":
+                if value > stats.max_batch:
+                    stats.max_batch = value
+            else:
+                setattr(stats, key, getattr(stats, key) + value)
+        state = self.state
+        local_progress = self.local_progress
+        local_cache_updates = self.local_cache_updates
+        for event in verdict.events:
+            tag = event[0]
+            if tag == EV_PSI_CACHE:
+                _, cid, entry_value = event
+                entry = state.get(cid)
+                if entry is None:
+                    entry = state[cid] = ControllerState()
+                entry.cache_updates += 1
+                entry.last_entry = entry_value
+                local_cache_updates[cid] = local_cache_updates.get(cid, 0) + 1
+            elif tag == EV_PSI_PROGRESS:
+                _, cid, progress = event
+                entry = state.get(cid)
+                if entry is None:
+                    entry = state[cid] = ControllerState()
+                if progress > entry.digest_progress:
+                    entry.digest_progress = progress
+                if progress > local_progress.get(cid, -1):
+                    local_progress[cid] = progress
+            elif tag == EV_LATE:
+                _, tau, controller = event
+                if self.tracer is not None:
+                    self.tracer.emit(self.sim.now, tau, obs_trace.LATE_DROP,
+                                     controller=controller)
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "validator_late_responses_total").inc()
+            else:  # EV_DECISION
+                self._finalize_decision(event[1])
+        self._remote_open = verdict.open_records
+        self._remote_arm(verdict.next_deadline, frame.drained)
+
+    def _finalize_decision(self, decision: DecisionRecord) -> None:
+        """Run the observable half of a decision the worker classified.
+
+        The worker ships classification + consensus outcome; this side
+        reruns the unmodified check battery
+        (:meth:`DecisionCore._post_consensus_alarms` — the sanity check is
+        pure and cheap, staleness needs the merged Ψ, the policy engine
+        lives only here) and emits results exactly as ``_decide`` does.
+        """
+        tau = decision.trigger_id
+        responses = list(decision.responses)
+        if self.tracer is not None:
+            self._trace_decide(tau, decision.count, decision.external,
+                               decision.timed_out)
+        alarms = self._post_consensus_alarms(tau, responses,
+                                             decision.outcome,
+                                             decision.external)
+        self.timeout.observe(decision.detection_ms)
+        result = ValidationResult(
+            trigger_id=tau, ok=not alarms, external=decision.external,
+            decided_at=self.sim.now, n_responses=decision.count,
+            detection_ms=decision.detection_ms,
+            timed_out=decision.timed_out, alarms=alarms)
+        if (self.tracer is not None or self.metrics is not None
+                or self.forensics is not None or self.health is not None):
+            self._observe_decision(tau, result, responses,
+                                   decision.outcome, decision.external)
+        self.stats.decided += 1
+        if alarms:
+            self.stats.alarmed += 1
+        self.pipeline._emit(result, alarms)
+
+    def _remote_arm(self, head: Optional[float], drained: bool) -> None:
+        """Arm the shard wakeup from the worker's θτ heap head."""
+        if head is None:
+            if drained and self._wakeup is not None:
+                self._wakeup.cancel()
+                self._wakeup = None
+                self._wakeup_at = float("inf")
+            return
+        if self._wakeup is not None:
+            if self._wakeup_at <= head:
+                return  # current wakeup fires first and will re-arm
+            self._wakeup.cancel()
+        self._wakeup = self.sim.schedule_at(head, self._on_remote_wakeup)
+        self._wakeup_at = head
+
+    def _on_remote_wakeup(self) -> None:
+        self._wakeup = None
+        self._wakeup_at = float("inf")
+        # The wakeup frame may carry zero items; the worker still counts
+        # the wakeup and fires deadlines up to the frame's timestamp.
+        self.pipeline.backend.flush_shard(self, wakeup=True)
+
+    # ------------------------------------------------------------------
     # Decision
     # ------------------------------------------------------------------
     def _decide(self, tau: Tuple, record: _ShardRecord,
@@ -388,85 +558,14 @@ class _Shard(DecisionCore):
                         external: bool) -> Optional[ConsensusOutcome]:
         """Unanimity fast path: the clean outcome or ``None`` (fall back).
 
-        Returns an outcome only when it provably equals what
-        ``evaluate_consensus`` would produce — unanimous cache relays, a
-        known primary, every replica sharing the primary's digest and entry,
-        and the primary's combined response matching that entry. Anything
-        murkier (omissions, deviations, non-determinism, partial state
-        equivalence) takes the sequential slow path so the two validators
-        cannot diverge.
+        The logic lives in
+        :func:`repro.core.consensus.unanimity_fast_consensus` so backend
+        worker ShardCores run literally the same code with their own
+        network-entry memo; this wrapper binds the pipeline's.
         """
-        replicas: List[Response] = []
-        cache_relays: List[Response] = []
-        network: List[Response] = []
-        for r in responses:
-            if r.kind == ResponseKind.REPLICA_RESULT:
-                replicas.append(r)
-            elif r.kind == ResponseKind.CACHE_UPDATE:
-                cache_relays.append(r)
-            else:
-                network.append(r)
-
-        cache_entry: Tuple = cache_relays[0].entry if cache_relays else ()
-        primary_id: Optional[str] = None
-        for r in cache_relays:
-            if r.entry != cache_entry:
-                return None  # deviant relay — slow path assigns blame
-            if primary_id is None and r.origin:
-                primary_id = r.origin
-        if primary_id is None:
-            for r in replicas:
-                if r.primary_hint:
-                    primary_id = r.primary_hint
-                    break
-        if primary_id is None and network:
-            primary_id = network[0].controller_id
-
-        network_entry = self.pipeline._merged_network(network)
-
-        if not external:
-            return ConsensusOutcome(
-                ok=True, primary_id=primary_id,
-                primary_cache_entry=cache_entry,
-                primary_network_entry=network_entry)
-
-        if not (cache_relays or network):
-            return None  # possible primary omission — slow path
-        if not replicas:
-            return ConsensusOutcome(
-                ok=True, primary_id=primary_id,
-                primary_cache_entry=cache_entry,
-                primary_network_entry=network_entry)
-
-        replica_entry = replicas[0].entry
-        for r in replicas:
-            if r.declared_non_deterministic or r.entry != replica_entry:
-                return None
-
-        primary_digest: Optional[Tuple] = None
-        for r in cache_relays:
-            if r.controller_id == primary_id and r.state_digest:
-                primary_digest = r.state_digest
-                break
-        if primary_digest is None:
-            for r in network:
-                if r.controller_id == primary_id and r.state_digest:
-                    primary_digest = r.state_digest
-                    break
-        if self.state_aware and primary_digest is not None:
-            for r in replicas:
-                if r.state_digest != primary_digest:
-                    return None  # partial equivalence — slow path
-
-        own_network_entry = self.pipeline._merged_network(
-            [r for r in network if r.controller_id == primary_id])
-        if (cache_entry, own_network_entry) != replica_entry:
-            return None
-        return ConsensusOutcome(
-            ok=True, primary_id=primary_id,
-            compared_replicas=len(replicas),
-            primary_cache_entry=cache_entry,
-            primary_network_entry=network_entry)
+        return unanimity_fast_consensus(responses, external,
+                                        self.state_aware,
+                                        self.pipeline._merged_network)
 
 
 class ValidationPipeline:
@@ -490,7 +589,8 @@ class ValidationPipeline:
                  batch_max: int = 512,
                  flush_interval_ms: float = 0.0,
                  tracer=None, metrics=None,
-                 forensics=None, health=None, snapshot_sink=None):
+                 forensics=None, health=None, snapshot_sink=None,
+                 backend="serial"):
         if shards < 1:
             raise ValueError(f"shards must be >= 1: {shards}")
         if queue_capacity < 1:
@@ -535,6 +635,24 @@ class ValidationPipeline:
         # across triggers (state advances slowly relative to trigger rate).
         self._progress_memo: Dict[Tuple, Optional[int]] = {}
         self._network_memo: Dict[Tuple, Tuple] = {}
+        #: Execution backend (repro.core.backends): owns how shard work
+        #: units are scheduled. ``serial`` keeps the historical inline
+        #: path; ``threads``/``processes`` exchange batch/verdict frames
+        #: with long-lived workers. Attached last — a frame backend
+        #: validates the timeout policy and spawns its workers here.
+        self.backend = resolve_backend(backend)
+        self.backend_name = self.backend.name
+        self.backend.attach(self)
+
+    def close(self) -> None:
+        """Shut down backend workers. Results/alarms stay readable."""
+        self.backend.close()
+
+    def __enter__(self) -> "ValidationPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Ingest / routing
@@ -573,13 +691,7 @@ class ValidationPipeline:
 
     def drain(self) -> None:
         """Synchronously process every queued response (benchmark path)."""
-        progressing = True
-        while progressing:
-            progressing = False
-            for shard in self._shards:
-                if shard.queue or shard.overflow:
-                    shard._process_available()
-                    progressing = True
+        self.backend.drain()
 
     # ------------------------------------------------------------------
     # Emission (single ordered alarm stream)
@@ -623,9 +735,19 @@ class ValidationPipeline:
 
     @property
     def pending_count(self) -> int:
-        """Undecided triggers plus responses still queued on any shard."""
-        return (sum(len(s.records) for s in self._shards)
-                + sum(len(s.queue) + len(s.overflow) for s in self._shards))
+        """Undecided triggers plus responses still queued on any shard.
+
+        On a frame backend the per-shard records live in the workers; the
+        parent mirrors each worker's open-record count from its latest
+        verdict (exact at instant boundaries, where the merge barrier has
+        already drained every in-flight frame).
+        """
+        if self.backend.inline:
+            open_records = sum(len(s.records) for s in self._shards)
+        else:
+            open_records = sum(s._remote_open for s in self._shards)
+        return open_records + sum(
+            len(s.queue) + len(s.overflow) for s in self._shards)
 
     def detection_times(self, external_only: bool = True) -> List[float]:
         return [r.detection_ms for r in self.results

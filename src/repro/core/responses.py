@@ -75,3 +75,13 @@ class Response:
         taint = " tainted" if self.tainted else ""
         return (f"Response({self.controller_id}, {self.trigger_id}, "
                 f"{self.kind.value}{taint})")
+
+    def __reduce__(self):
+        # Positional-tuple pickling: responses dominate the batch/verdict
+        # frames the process backend ships, and the generic dataclass
+        # reduce (per-instance __dict__) roughly doubles the frame size.
+        return (Response, (self.controller_id, self.trigger_id, self.kind,
+                           self.entry, self.tainted, self.state_digest,
+                           self.sent_at, self.trigger_received_at,
+                           self.origin, self.primary_hint,
+                           self.declared_non_deterministic))

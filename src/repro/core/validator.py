@@ -61,6 +61,37 @@ def digest_progress(digest: Tuple) -> Optional[int]:
 _digest_progress = digest_progress
 
 
+def classify_external(count: int, responses: Sequence[Response], k: int,
+                      taint_classification: bool) -> bool:
+    """Algorithm 1's external test: count overflow or a tainted response.
+
+    Pure so backend worker processes (:mod:`repro.core.backends`) classify
+    triggers with literally the same code as the in-process validators.
+    """
+    external = count > k + 2
+    if taint_classification:
+        external = external or any(r.tainted for r in responses)
+    return external
+
+
+def snapshot_controller_states(
+        state: Dict[str, "ControllerState"]) -> Dict[str, Tuple]:
+    """Picklable snapshot of a Ψid mapping (worker bootstrap / restore)."""
+    return {cid: (entry.cache_updates, entry.last_entry,
+                  entry.digest_progress, entry.last_stale_alarm_at)
+            for cid, entry in state.items()}
+
+
+def restore_controller_states(
+        payload: Dict[str, Tuple]) -> Dict[str, "ControllerState"]:
+    """Inverse of :func:`snapshot_controller_states`."""
+    return {cid: ControllerState(cache_updates=fields[0],
+                                 last_entry=fields[1],
+                                 digest_progress=fields[2],
+                                 last_stale_alarm_at=fields[3])
+            for cid, fields in payload.items()}
+
+
 @dataclass
 class _TriggerRecord:
     """Vτ / Nτ / θτ for one in-flight trigger."""
@@ -133,10 +164,8 @@ class DecisionCore:
     def _classify_external(self, count: int,
                            responses: Sequence[Response]) -> bool:
         """Algorithm 1's external test: count overflow or a tainted response."""
-        external = count > self.k + 2
-        if self.taint_classification:
-            external = external or any(r.tainted for r in responses)
-        return external
+        return classify_external(count, responses, self.k,
+                                 self.taint_classification)
 
     def _run_checks(self, tau: Tuple, responses: List[Response],
                     external: bool) -> Tuple[ConsensusOutcome, List[Alarm]]:

@@ -4,7 +4,9 @@ One :class:`DifferentialOracle` run executes a scenario **live** (fresh
 simulator, topology, controller cluster, JURY deployment), records the
 validator's exact input stream, then replays that identical stream through
 the sequential :class:`~repro.core.validator.Validator` and the sharded
-:class:`~repro.core.pipeline.ValidationPipeline` at N ∈ {1, 2, 4, 8},
+:class:`~repro.core.pipeline.ValidationPipeline` at N ∈ {1, 2, 4, 8} —
+optionally across execution backends (``backends=("serial", "threads",
+"processes")``) so the scheduler itself is on the differential axis —
 with observability on and off, checking the invariant catalog:
 
 ``CLEAN_RUN_ALARMED``
@@ -21,7 +23,7 @@ with observability on and off, checking the invariant catalog:
     validator did not reproduce the live alarm stream byte-for-byte.
 ``ENGINE_DIVERGENCE``
     The sharded pipeline's canonical alarm stream differs from the
-    sequential validator's at some shard count.
+    sequential validator's at some shard count / execution backend.
 ``COUNTER_MISMATCH``
     Engines agree on alarms but disagree on accounting (decided /
     received / late counts).
@@ -47,6 +49,10 @@ from repro.fuzz.scenario import ScenarioSpec, build_fault_scenario
 DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
 #: Shard counts additionally replayed with tracing + metrics attached.
 DEFAULT_TRACED_SHARDS = (2, 4)
+#: Execution backends in the differential matrix. ``("serial",)`` keeps
+#: the default campaign cheap; the fuzz CLI's ``--backend`` widens it so
+#: ``ENGINE_DIVERGENCE`` covers the threads/processes schedulers too.
+DEFAULT_BACKENDS = ("serial",)
 
 
 @dataclass(frozen=True)
@@ -146,10 +152,12 @@ class DifferentialOracle:
     def __init__(self,
                  shard_counts: Tuple[int, ...] = DEFAULT_SHARD_COUNTS,
                  traced_shards: Tuple[int, ...] = DEFAULT_TRACED_SHARDS,
-                 settle_ms: float = 10_000.0):
+                 settle_ms: float = 10_000.0,
+                 backends: Tuple[str, ...] = DEFAULT_BACKENDS):
         self.shard_counts = shard_counts
         self.traced_shards = traced_shards
         self.settle_ms = settle_ms
+        self.backends = backends
 
     # ------------------------------------------------------------------
     # Live execution + recording
@@ -225,7 +233,7 @@ class DifferentialOracle:
     # Replay engines
     # ------------------------------------------------------------------
     def _replay(self, live: LiveRun, shards: Optional[int] = None,
-                tracer=None, metrics=None):
+                tracer=None, metrics=None, backend: str = "serial"):
         from repro.core.pipeline import ValidationPipeline
         from repro.core.timeouts import StaticTimeout
         from repro.core.validator import Validator
@@ -242,10 +250,17 @@ class DifferentialOracle:
                           tracer=tracer, metrics=metrics)
             if shards is None:
                 return Validator(sim, spec.k, **kwargs)
-            return ValidationPipeline(sim, spec.k, shards=shards, **kwargs)
+            return ValidationPipeline(sim, spec.k, shards=shards,
+                                      backend=backend, **kwargs)
 
-        return replay_validation_stream(live.records, make,
-                                        settle_ms=self.settle_ms)
+        engine = replay_validation_stream(live.records, make,
+                                          settle_ms=self.settle_ms)
+        # Worker-hosting backends hold OS resources; alarms and counters
+        # stay readable after close, so release them eagerly.
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+        return engine
 
     # ------------------------------------------------------------------
     # The oracle proper
@@ -310,19 +325,22 @@ class DifferentialOracle:
                 f"stream ({_sha256(expected_window)[:12]} != "
                 f"{report.alarm_digest[:12]})"))
         baseline_counters = self._counters(sequential)
-        for shards in self.shard_counts:
-            pipeline = self._replay(live, shards=shards)
-            stream = canonical_alarm_stream(pipeline.alarms)
-            if stream != expected:
-                violations.append(InvariantViolation(
-                    "ENGINE_DIVERGENCE",
-                    f"pipeline N={shards} alarm stream diverged "
-                    f"({_sha256(stream)[:12]} != {_sha256(expected)[:12]})"))
-            elif self._counters(pipeline) != baseline_counters:
-                violations.append(InvariantViolation(
-                    "COUNTER_MISMATCH",
-                    f"pipeline N={shards} counters "
-                    f"{self._counters(pipeline)} != {baseline_counters}"))
+        for backend in self.backends:
+            for shards in self.shard_counts:
+                pipeline = self._replay(live, shards=shards, backend=backend)
+                stream = canonical_alarm_stream(pipeline.alarms)
+                label = f"pipeline N={shards} backend={backend}"
+                if stream != expected:
+                    violations.append(InvariantViolation(
+                        "ENGINE_DIVERGENCE",
+                        f"{label} alarm stream diverged "
+                        f"({_sha256(stream)[:12]} != "
+                        f"{_sha256(expected)[:12]})"))
+                elif self._counters(pipeline) != baseline_counters:
+                    violations.append(InvariantViolation(
+                        "COUNTER_MISMATCH",
+                        f"{label} counters "
+                        f"{self._counters(pipeline)} != {baseline_counters}"))
 
         # --- Observability invariants --------------------------------
         from repro.obs.metrics import MetricsRegistry

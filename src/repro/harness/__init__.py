@@ -2,6 +2,7 @@
 
 from repro.harness.bench import (
     compare as bench_validator_compare,
+    compare_backends as bench_backends_compare,
     compare_observability as bench_observability_compare,
     synthetic_validation_workload,
     write_payload,
@@ -26,6 +27,7 @@ __all__ = [
     "DetectionStats",
     "ascii_cdf",
     "ascii_series",
+    "bench_backends_compare",
     "bench_observability_compare",
     "bench_validator_compare",
     "Experiment",

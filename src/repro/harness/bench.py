@@ -7,6 +7,9 @@ consensus faults), drives it through the sequential
 :class:`~repro.core.pipeline.ValidationPipeline`, and emits the comparison
 as the ``BENCH_validator_pipeline.json`` payload — the first point of the
 repo's perf trajectory (see ``docs/pipeline.md`` for how to read it).
+:func:`compare_backends` sweeps the pipeline's execution backends
+(serial/threads/processes; see ``docs/backends.md``) over one workload and
+emits ``BENCH_backends.json``.
 
 Wall-clock reads are confined to this module and the CLI/benchmark entry
 points that call it; simulation code stays deterministic (analyzer rule
@@ -310,6 +313,82 @@ def compare_observability(triggers: int = 20_000, k: int = 6, seed: int = 0,
             "holds": stage_counts.get(INGEST, 0) == responses_fed,
         },
         "stage_counts": stage_counts,
+    }
+
+
+def compare_backends(triggers: int = 20_000, k: int = 6, seed: int = 0,
+                     fault_rate: float = 0.02, shards: int = 4,
+                     backends: Tuple[str, ...] = ("serial", "threads",
+                                                  "processes"),
+                     chunk: int = 2048) -> Dict[str, object]:
+    """Sweep execution backends over one workload; returns the payload.
+
+    Every backend consumes the *same* workload objects through the same
+    sharded pipeline shape, so throughput numbers are directly comparable
+    and the canonical alarm streams must match byte-for-byte
+    (``alarm_streams_identical`` — a backend that trades determinism for
+    speed must fail loud). Speedups are relative to the ``serial``
+    backend; ``cpu_count`` is recorded because the ``processes`` backend
+    can only win with >1 CPU, and gates reading this payload must
+    condition on it (same contract as :func:`compare_analysis`).
+
+    The chunk is deliberately large: frame backends amortize their
+    serialization cost over per-shard batches, so tiny flush groups
+    measure pickling overhead instead of pipeline throughput.
+    """
+    import os
+
+    from repro.core.alarms import canonical_alarm_stream as canonical
+
+    workload = synthetic_validation_workload(triggers, k=k, seed=seed,
+                                             fault_rate=fault_rate)
+    timeout_ms = 10_000.0
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        cpus = os.cpu_count() or 1
+
+    runs: Dict[str, Dict[str, object]] = {}
+    streams: Dict[str, bytes] = {}
+    for backend in backends:
+        gc.collect()
+        engine, wall, samples = _timed_run(
+            lambda sim, backend=backend: ValidationPipeline(
+                sim, k, shards=shards, timeout=StaticTimeout(timeout_ms),
+                keep_results=False, backend=backend),
+            workload, chunk=chunk, drain=True)
+        streams[backend] = canonical(engine.alarms)
+        runs[backend] = {
+            **_summary(wall, samples, triggers),
+            "decided": engine.triggers_decided,
+            "alarmed": engine.triggers_alarmed,
+        }
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+
+    serial_ops = runs.get("serial", {}).get("ops_per_s", 0.0)
+    speedups = {backend: (runs[backend]["ops_per_s"] / serial_ops
+                          if serial_ops else 0.0)
+                for backend in backends}
+    reference = streams[backends[0]]
+    return {
+        "benchmark": "validator_backends",
+        "workload": {
+            "triggers": triggers,
+            "k": k,
+            "seed": seed,
+            "fault_rate": fault_rate,
+            "responses_per_trigger": 2 * k + 2,
+            "shards": shards,
+            "chunk": chunk,
+        },
+        "cpu_count": cpus,
+        "backends": runs,
+        "speedups": speedups,
+        "alarm_streams_identical": all(
+            stream == reference for stream in streams.values()),
     }
 
 

@@ -1,16 +1,17 @@
-"""One-stop experiment builder and measurement helpers.
+"""Experiment container and measurement helpers.
 
-``build_experiment`` assembles a simulator, topology, controller cluster
-(ONOS- or ODL-like), optional JURY deployment, and northbound API the way
-the paper's testbed does; :class:`Experiment` then drives warmup/measurement
-windows and extracts the quantities the figures plot — detection-time
-distributions, cluster FLOW_MOD/PACKET_IN/PACKET_OUT rates, and byte-counter
-based network overheads.
+:meth:`repro.api.Jury.experiment` assembles a simulator, topology,
+controller cluster (ONOS- or ODL-like), optional JURY deployment, and
+northbound API the way the paper's testbed does; :class:`Experiment` then
+drives warmup/measurement windows and extracts the quantities the figures
+plot — detection-time distributions, cluster FLOW_MOD/PACKET_IN/PACKET_OUT
+rates, and byte-counter based network overheads. The old keyword seam
+``build_experiment(...)`` was removed (PR 7) and now raises with the
+replacement spelled out.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -183,41 +184,9 @@ class Experiment:
         return self.jury.validator
 
 
-def build_experiment(
-    kind: str = "onos",
-    n: int = 7,
-    k: Optional[int] = None,
-    topology: str = "linear",
-    switches: int = 24,
-    seed: int = 0,
-    timeout_ms: float = 200.0,
-    policy_engine=None,
-    profile_overrides: Optional[dict] = None,
-    with_northbound: bool = False,
-    keep_results: bool = True,
-    state_aware: bool = True,
-    taint_classification: bool = True,
-    pipeline: Optional[int] = None,
-    trace: bool = False,
-    metrics: bool = False,
-) -> Experiment:
-    """Deprecated keyword seam for :meth:`repro.api.Jury.experiment`.
-
-    Folds its arguments into a :class:`~repro.config.JuryConfig` and
-    delegates; prefer building the config yourself. ``k=None`` still builds
-    a vanilla (non-JURY) cluster.
-    """
-    warnings.warn(
-        "build_experiment(...) is deprecated; build a JuryConfig and call "
-        "Jury.experiment(config) (or Jury.build(config) for the deployment)",
-        DeprecationWarning, stacklevel=2)
-    from repro.api import Jury
-    from repro.config import JuryConfig
-    config = JuryConfig(
-        kind=kind, n=n, k=k, topology=topology, switches=switches,
-        seed=seed, timeout_ms=timeout_ms, policy_engine=policy_engine,
-        profile_overrides=tuple(sorted((profile_overrides or {}).items())),
-        with_northbound=with_northbound, keep_results=keep_results,
-        state_aware=state_aware, taint_classification=taint_classification,
-        pipeline=pipeline, trace=trace, metrics=metrics)
-    return Jury.experiment(config)
+def build_experiment(*args, **kwargs) -> Experiment:
+    """Removed keyword seam; the config path replaced it (PR 7)."""
+    from repro.errors import ValidationError
+    raise ValidationError(
+        "build_experiment(...) was removed; build a JuryConfig and call "
+        "Jury.experiment(config) (or Jury.build(config) for the deployment)")

@@ -55,6 +55,15 @@ CHECK_POLICY = "check:policy"
 ALARM = "alarm"                  #: one alarm raised for this trigger
 ACCEPT = "accept"                #: decided clean — no alarms
 
+# Execution-backend plumbing stages (repro.core.backends). These describe
+# *how* a batch moved between the pipeline and a worker, not what happened
+# to a trigger — they are excluded from the canonical encoding so traces
+# stay byte-identical across serial/threads/processes backends.
+ENGINE_SUBMIT = "engine:submit"    #: batch frame handed to a backend worker
+ENGINE_EXECUTE = "engine:execute"  #: worker finished processing the frame
+ENGINE_MERGE = "engine:merge"      #: verdict frame merged into shared state
+ENGINE_DEGRADE = "engine:degrade"  #: worker lost twice; shard now runs inline
+
 STAGE_RANK: Dict[str, int] = {
     INTERCEPT: 0,
     REPLICATE: 1,
@@ -67,6 +76,10 @@ STAGE_RANK: Dict[str, int] = {
     CHECK_POLICY: 8,
     ALARM: 9,
     ACCEPT: 10,
+    ENGINE_SUBMIT: 11,
+    ENGINE_EXECUTE: 12,
+    ENGINE_MERGE: 13,
+    ENGINE_DEGRADE: 14,
 }
 
 #: Verdict value for a passing check.
@@ -191,8 +204,13 @@ class Tracer:
 
         Two runs are trace-equivalent iff their canonical encodings compare
         equal; see the module docstring for why this is engine-independent.
+        ``engine:*`` spans (backend submit/execute/merge plumbing) are
+        engine-*specific* by construction and are filtered out here, the
+        same way shard indices are kept out of spans entirely.
         """
-        ordered = sorted(self.spans, key=span_sort_key)
+        ordered = sorted((s for s in self.spans
+                          if not s.stage.startswith("engine:")),
+                         key=span_sort_key)
         return "\n".join(s.canonical_line() for s in ordered).encode("utf-8")
 
     def to_payload(self) -> Dict[str, object]:

@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.controllers.onos import build_onos_cluster
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.net.topology import linear_topology
 from repro.sim.simulator import Simulator
 
@@ -35,8 +36,8 @@ def onos3(sim, small_topo):
 @pytest.fixture
 def warm_jury_experiment():
     """A warmed-up 5-node ONOS experiment with JURY (k=4)."""
-    exp = build_experiment(kind="onos", n=5, k=4, switches=8, seed=77,
-                           timeout_ms=250.0)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=8, seed=77,
+                           timeout_ms=250.0))
     exp.warmup()
     return exp
 

@@ -1,8 +1,8 @@
 """Tests for the ablation switches on the deployment/validator."""
 
-import pytest
 
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 
 
 def drive(experiment, count=4):
@@ -16,8 +16,8 @@ def drive(experiment, count=4):
 def test_taint_classification_flag_controls_external_detection():
     """Without taint-based classification, a trigger is external only once
     its response count exceeds k+2 — tainted singletons decide as internal."""
-    exp = build_experiment(kind="onos", n=5, k=4, switches=8, seed=180,
-                           timeout_ms=250.0, taint_classification=False)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=8, seed=180,
+                           timeout_ms=250.0, taint_classification=False))
     exp.warmup()
     drive(exp)
     validator = exp.validator
@@ -33,8 +33,8 @@ def test_taint_classification_flag_controls_external_detection():
 
 
 def test_taint_classification_default_uses_taint():
-    exp = build_experiment(kind="onos", n=5, k=4, switches=8, seed=180,
-                           timeout_ms=250.0, taint_classification=True)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=8, seed=180,
+                           timeout_ms=250.0, taint_classification=True))
     exp.warmup()
     drive(exp)
     validator = exp.validator
@@ -46,15 +46,15 @@ def test_taint_classification_default_uses_taint():
 
 
 def test_state_aware_flag_passthrough():
-    exp = build_experiment(kind="onos", n=3, k=2, switches=4, seed=181,
-                           state_aware=False)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=3, k=2, switches=4, seed=181,
+                           state_aware=False, timeout_ms=200.0))
     assert exp.validator.state_aware is False
-    exp = build_experiment(kind="onos", n=3, k=2, switches=4, seed=181)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=3, k=2, switches=4, seed=181, timeout_ms=200.0))
     assert exp.validator.state_aware is True
 
 
 def test_warmup_without_arp_learns_no_hosts():
-    exp = build_experiment(kind="onos", n=3, k=None, switches=4, seed=182)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=3, k=None, switches=4, seed=182, timeout_ms=200.0))
     exp.warmup(arp=False)
     c1 = exp.cluster.controller("c1")
     assert len(c1.store.entries("HostsDB")) == 0

@@ -8,7 +8,8 @@ import pytest
 from repro.core.alarm_log import AlarmLog
 from repro.faults import UndesirableFlowModFault
 from repro.faults.base import run_scenario
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.harness.inspect import (
     controller_summary,
     jury_summary,
@@ -19,8 +20,8 @@ from repro.harness.inspect import (
 
 @pytest.fixture
 def alarmed_experiment():
-    experiment = build_experiment(kind="onos", n=5, k=4, switches=8,
-                                  seed=160, timeout_ms=250.0)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=8,
+                                  seed=160, timeout_ms=250.0))
     stream = io.StringIO()
     log = AlarmLog(experiment.validator, stream=stream)
     experiment.warmup()
@@ -62,7 +63,7 @@ def test_alarm_log_tail_and_jsonl(alarmed_experiment):
 
 
 def test_alarm_log_capacity_bounds():
-    experiment = build_experiment(kind="onos", n=3, k=2, switches=2, seed=161)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=3, k=2, switches=2, seed=161, timeout_ms=200.0))
     log = AlarmLog(experiment.validator, capacity=2)
     from repro.core.alarms import Alarm, AlarmReason
 
@@ -73,7 +74,7 @@ def test_alarm_log_capacity_bounds():
 
 
 def test_alarm_log_chains_previous_hook():
-    experiment = build_experiment(kind="onos", n=3, k=2, switches=2, seed=162)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=3, k=2, switches=2, seed=162, timeout_ms=200.0))
     seen = []
     experiment.validator.on_alarm = seen.append
     log = AlarmLog(experiment.validator)
@@ -115,7 +116,7 @@ def test_jury_summary(alarmed_experiment):
 
 
 def test_jury_summary_vanilla():
-    experiment = build_experiment(kind="onos", n=2, switches=2, seed=163)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=2, switches=2, seed=163, k=None, timeout_ms=200.0))
     assert jury_summary(experiment) == {"deployed": False}
 
 

@@ -1,0 +1,239 @@
+"""Execution backends (repro.core.backends): resolution, frame transport,
+worker-death recovery, and the backend-matrix differential contract.
+
+The headline property — byte-identical alarm streams across ``serial``,
+``threads`` and ``processes`` — is asserted twice: on curated recorded
+workloads in ``test_pipeline_differential.py`` and here on fuzz-generated
+scenarios from the shared corpus fixture. This file also pins the process
+backend's failure discipline: one worker death is absorbed by
+respawn+replay (``backend_worker_restarts_total``); a second death during
+recovery degrades the shard to in-parent inline execution
+(``backend_degraded_total`` + an ``engine:degrade`` span) — and in both
+cases the alarm stream does not move a byte.
+
+Deliberately NOT asserted: ``timer_wakeups`` equality across backends —
+frame batching can coalesce a stale θτ wakeup the serial path would have
+taken, without observable effect on decisions or alarms.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.alarms import canonical_alarm_stream
+from repro.core.backends import (
+    BACKEND_NAMES,
+    BatchFrame,
+    ExecutionBackend,
+    ProcessesBackend,
+    SerialBackend,
+    ThreadsBackend,
+    VerdictFrame,
+    resolve_backend,
+)
+from repro.core.backends.frames import EV_LATE
+from repro.core.pipeline import ValidationPipeline
+from repro.core.responses import Response, ResponseKind
+from repro.core.timeouts import StaticTimeout
+from repro.core.validator import Validator
+from repro.faults.injector import default_policy_engine
+from repro.fuzz import DifferentialOracle
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import ENGINE_DEGRADE, Tracer
+from repro.workloads.recorder import replay_validation_stream
+
+
+# ----------------------------------------------------------------------
+# Resolution: one construction point for every consumer
+# ----------------------------------------------------------------------
+
+def test_resolve_backend_names_and_instances():
+    assert set(BACKEND_NAMES) == {"serial", "threads", "processes"}
+    assert isinstance(resolve_backend(None), SerialBackend)
+    assert isinstance(resolve_backend("serial"), SerialBackend)
+    assert isinstance(resolve_backend("threads"), ThreadsBackend)
+    assert isinstance(resolve_backend("processes"), ProcessesBackend)
+    preconfigured = ProcessesBackend(worker_timeout_s=1.0)
+    assert resolve_backend(preconfigured) is preconfigured
+    with pytest.raises(ValueError, match="unknown execution backend"):
+        resolve_backend("gpu")
+    with pytest.raises(ValueError, match="unknown execution backend"):
+        resolve_backend(42)
+
+
+def test_serial_is_inline_frame_backends_are_not():
+    assert SerialBackend.inline
+    assert not ThreadsBackend.inline
+    assert not ProcessesBackend.inline
+    assert issubclass(ThreadsBackend, ExecutionBackend)
+    assert issubclass(ProcessesBackend, ExecutionBackend)
+
+
+def test_frame_backends_reject_adaptive_timeouts():
+    from repro.core.timeouts import AdaptiveTimeout
+    from repro.sim.simulator import Simulator
+
+    with pytest.raises(ValueError, match="StaticTimeout"):
+        ValidationPipeline(Simulator(seed=1), 2, shards=2,
+                           timeout=AdaptiveTimeout(initial_ms=100.0),
+                           backend="threads")
+
+
+# ----------------------------------------------------------------------
+# Frame pickling: what the process backend actually ships
+# ----------------------------------------------------------------------
+
+def _sample_response():
+    return Response(
+        controller_id="c1", trigger_id=("pkt", 7), kind=ResponseKind.NETWORK_WRITE,
+        entry=("flow_mod", 3, ("out", 2)), tainted=True,
+        state_digest=(11, 22, 33), sent_at=120.5, trigger_received_at=119.0,
+        origin="c2", primary_hint="c1", declared_non_deterministic=True)
+
+
+def test_batch_frame_pickle_round_trip():
+    response = _sample_response()
+    frame = BatchFrame(shard=1, seq=9, now=123.25,
+                       items=((120.5, response),), drained=True,
+                       wakeup=False, want_snapshot=True)
+    clone = pickle.loads(pickle.dumps(frame))
+    assert clone == frame
+    # Response's compact positional __reduce__ preserves every field.
+    restored = clone.items[0][1]
+    assert restored == response
+    assert restored.state_digest == (11, 22, 33)
+    assert restored.declared_non_deterministic
+
+
+def test_verdict_frame_pickle_round_trip():
+    verdict = VerdictFrame(
+        shard=1, seq=9,
+        events=((EV_LATE, ("pkt", 7), "c3"),),
+        stats_delta={"processed": 4, "decided": 2},
+        next_deadline=370.5, open_records=3, snapshot=b"core-state")
+    clone = pickle.loads(pickle.dumps(verdict))
+    assert clone == verdict
+
+
+# ----------------------------------------------------------------------
+# Backend matrix over the fuzz corpus
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def recorded_runs(small_fuzz_corpus):
+    """One faulted + one clean generated scenario, recorded live once."""
+    oracle = DifferentialOracle()
+    faulted = next(s for s in small_fuzz_corpus if s.faults)
+    clean = next(s for s in small_fuzz_corpus if not s.faults)
+    return [oracle.record(spec) for spec in (faulted, clean)]
+
+
+def _sequential(live):
+    lookup = live.mastership.get
+
+    def factory(sim):
+        return Validator(
+            sim, live.spec.k, timeout=StaticTimeout(live.spec.timeout_ms),
+            policy_engine=default_policy_engine(), mastership_lookup=lookup)
+
+    return replay_validation_stream(live.records, factory)
+
+
+def _pipeline(live, shards, backend="serial", metrics=None, tracer=None,
+              arm=None):
+    """Replay ``live`` through a pipeline; ``arm(backend)`` runs post-spawn."""
+    lookup = live.mastership.get
+
+    def factory(sim):
+        engine = ValidationPipeline(
+            sim, live.spec.k, shards=shards,
+            timeout=StaticTimeout(live.spec.timeout_ms),
+            policy_engine=default_policy_engine(), mastership_lookup=lookup,
+            metrics=metrics, tracer=tracer, backend=backend)
+        if arm is not None:
+            arm(engine.backend)
+        return engine
+
+    engine = replay_validation_stream(live.records, factory)
+    engine.close()
+    return engine
+
+
+def test_backend_matrix_on_fuzz_corpus(recorded_runs):
+    for live in recorded_runs:
+        sequential = _sequential(live)
+        expected = canonical_alarm_stream(sequential.alarms)
+        assert expected == live.alarm_stream, \
+            f"replay lost the live stream on seed {live.spec.seed}"
+        for backend in BACKEND_NAMES:
+            for shards in (1, 2, 4, 8):
+                engine = _pipeline(live, shards, backend=backend)
+                label = f"seed {live.spec.seed} {backend} N={shards}"
+                assert canonical_alarm_stream(engine.alarms) == expected, \
+                    f"{label}: alarm stream diverged"
+                assert engine.triggers_decided == \
+                    sequential.triggers_decided, label
+                assert engine.responses_received == \
+                    sequential.responses_received, label
+                assert engine.late_responses == \
+                    sequential.late_responses, label
+
+
+# ----------------------------------------------------------------------
+# Worker death: retry once, then degrade — stream never moves
+# ----------------------------------------------------------------------
+
+def test_worker_crash_respawns_and_stream_is_identical(recorded_runs):
+    live = recorded_runs[0]
+    expected = canonical_alarm_stream(_sequential(live).alarms)
+    metrics = MetricsRegistry()
+    backend = ProcessesBackend(worker_timeout_s=30.0)
+    engine = _pipeline(live, 2, backend=backend, metrics=metrics,
+                       arm=lambda b: b.inject_crashes(0, 1))
+    assert canonical_alarm_stream(engine.alarms) == expected, \
+        "alarm stream moved across a worker restart"
+    assert metrics.value("backend_worker_deaths_total",
+                         backend="processes") == 1
+    assert metrics.value("backend_worker_restarts_total",
+                         backend="processes") == 1
+    assert metrics.value("backend_degraded_total", backend="processes") == 0
+    assert backend.degraded_shards == []
+
+
+def test_double_crash_degrades_shard_and_stream_is_identical(recorded_runs):
+    live = recorded_runs[0]
+    sequential = _sequential(live)
+    expected = canonical_alarm_stream(sequential.alarms)
+    seq_tracer = Tracer()
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    backend = ProcessesBackend(worker_timeout_s=30.0)
+    engine = _pipeline(live, 2, backend=backend, metrics=metrics,
+                       tracer=tracer, arm=lambda b: b.inject_crashes(0, 2))
+    assert canonical_alarm_stream(engine.alarms) == expected, \
+        "alarm stream moved across a shard degrade"
+    assert engine.triggers_decided == sequential.triggers_decided
+    assert backend.degraded_shards == [0]
+    assert metrics.value("backend_degraded_total", backend="processes") == 1
+    assert metrics.value("backend_worker_restarts_total",
+                         backend="processes") == 0
+    degrade_spans = [s for s in tracer.spans if s.stage == ENGINE_DEGRADE]
+    assert len(degrade_spans) == 1
+    assert degrade_spans[0].trigger_id == ("engine", 0)
+    # Canonical traces exclude engine plumbing: still byte-identical.
+    lookup = live.mastership.get
+    replay_validation_stream(live.records, lambda sim: Validator(
+        sim, live.spec.k, timeout=StaticTimeout(live.spec.timeout_ms),
+        policy_engine=default_policy_engine(), mastership_lookup=lookup,
+        tracer=seq_tracer))
+    assert tracer.canonical() == seq_tracer.canonical()
+
+
+def test_close_is_idempotent_and_results_stay_readable(recorded_runs):
+    live = recorded_runs[1]
+    engine = _pipeline(live, 2, backend="processes")  # closed by helper
+    engine.close()  # second close is a no-op
+    assert engine.triggers_decided > 0
+    assert isinstance(canonical_alarm_stream(engine.alarms), bytes)

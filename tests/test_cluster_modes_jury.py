@@ -4,7 +4,8 @@ import pytest
 
 from repro.controllers.cluster import ControllerCluster, HaMode
 from repro.controllers.onos import OnosController
-from repro.core.deployment import JuryDeployment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.datastore.hazelcast import HazelcastCluster
 from repro.net.topology import linear_topology
 from repro.sim.simulator import Simulator
@@ -19,7 +20,7 @@ def build_mode(ha_mode, seed=210, n=3, switches=4, k=2):
         cid = f"c{i}"
         cluster.add_controller(OnosController(sim, cid, store.create_node(cid)))
     cluster.connect_topology(topo)
-    jury = JuryDeployment(cluster, k=k, timeout_ms=250.0)
+    jury = Jury.build(JuryConfig(k=k, timeout_ms=250.0), cluster=cluster)
     cluster.start()
     sim.run(until=2500.0)
     hosts = topo.host_list()

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.responses import ResponseKind
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.openflow.actions import ActionOutput
 from repro.openflow.match import Match
 
@@ -11,8 +11,8 @@ from repro.openflow.match import Match
 @pytest.fixture(scope="module")
 def traffic_run():
     """One warmed-up JURY experiment with a little traffic, shared read-only."""
-    exp = build_experiment(kind="onos", n=5, k=4, switches=8, seed=21,
-                           timeout_ms=250.0, with_northbound=True)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=8, seed=21,
+                           timeout_ms=250.0, with_northbound=True))
     exp.warmup()
     hosts = exp.topology.host_list()
     for i in range(6):
@@ -40,7 +40,7 @@ def test_full_consensus_reached_for_flow_triggers(traffic_run):
 
 
 def test_replication_respects_k():
-    exp = build_experiment(kind="onos", n=5, k=2, switches=4, seed=22)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=5, k=2, switches=4, seed=22, timeout_ms=200.0))
     exp.warmup()
     hosts = exp.topology.host_list()
     hosts[0].open_connection(hosts[2])
@@ -54,7 +54,7 @@ def test_replication_respects_k():
 
 
 def test_shadow_execution_causes_no_side_effects():
-    exp = build_experiment(kind="onos", n=3, k=2, switches=4, seed=23)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=3, k=2, switches=4, seed=23, timeout_ms=200.0))
     exp.warmup()
     hosts = exp.topology.host_list()
     hosts[0].open_connection(hosts[3])
@@ -68,8 +68,8 @@ def test_shadow_execution_causes_no_side_effects():
 
 
 def test_rest_triggers_are_replicated_and_validated():
-    exp = build_experiment(kind="onos", n=5, k=4, switches=4, seed=24,
-                           timeout_ms=250.0, with_northbound=True)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=4, seed=24,
+                           timeout_ms=250.0, with_northbound=True))
     exp.warmup()
     decided_before = exp.validator.triggers_decided
     match = Match.for_destination("aa:bb:cc:dd:ee:01")
@@ -81,8 +81,8 @@ def test_rest_triggers_are_replicated_and_validated():
 
 
 def test_rest_to_non_master_installs_via_remote_master():
-    exp = build_experiment(kind="onos", n=3, k=2, switches=4, seed=25,
-                           timeout_ms=250.0, with_northbound=True)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=3, k=2, switches=4, seed=25,
+                           timeout_ms=250.0, with_northbound=True))
     exp.warmup()
     # dpid 2 is mastered by c2; send the REST call to c1.
     match = Match.for_destination("aa:bb:cc:dd:ee:02")
@@ -107,8 +107,8 @@ def test_network_overhead_counters_populated(traffic_run):
 
 
 def test_odl_jury_round_trip():
-    exp = build_experiment(kind="odl", n=3, k=2, switches=4, seed=26,
-                           timeout_ms=1200.0)
+    exp = Jury.experiment(JuryConfig(kind="odl", n=3, k=2, switches=4, seed=26,
+                           timeout_ms=1200.0))
     exp.warmup()
     hosts = exp.topology.host_list()
     flow_id = hosts[0].open_connection(hosts[3])
@@ -128,16 +128,15 @@ def test_deployment_rejects_bad_k():
     from repro.errors import ValidationError
 
     with pytest.raises(ValidationError):
-        build_experiment(kind="onos", n=3, k=5, switches=2, seed=1)
+        Jury.experiment(JuryConfig(kind="onos", n=3, k=5, switches=2, seed=1, timeout_ms=200.0))
 
 
 def test_deployment_requires_wired_topology():
     from repro.controllers.onos import build_onos_cluster
-    from repro.core.deployment import JuryDeployment
     from repro.errors import ValidationError
     from repro.sim.simulator import Simulator
 
     sim = Simulator(seed=1)
     cluster, _ = build_onos_cluster(sim, n=3)
     with pytest.raises(ValidationError):
-        JuryDeployment(cluster, k=2)
+        Jury.build(JuryConfig(k=2, timeout_ms=200.0), cluster=cluster)

@@ -2,15 +2,14 @@
 
 import pytest
 
-from repro.core.responses import ResponseKind
-from repro.harness.experiment import build_experiment
-from repro.openflow.messages import PacketIn
+from repro.api import Jury
+from repro.config import JuryConfig
 
 
 @pytest.fixture
 def exp():
-    experiment = build_experiment(kind="onos", n=5, k=3, switches=4, seed=66,
-                                  timeout_ms=250.0, with_northbound=True)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=5, k=3, switches=4, seed=66,
+                                  timeout_ms=250.0, with_northbound=True))
     experiment.warmup()
     return experiment
 

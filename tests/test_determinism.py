@@ -5,13 +5,14 @@ cluster, JURY, workload). This is what makes one-shot benchmark runs
 reproducible measurements and shadow execution a meaningful reference.
 """
 
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.workloads.traffic import TrafficDriver
 
 
 def run_fingerprint(seed):
-    experiment = build_experiment(kind="onos", n=5, k=4, switches=8,
-                                  seed=seed, timeout_ms=250.0)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=8,
+                                  seed=seed, timeout_ms=250.0))
     experiment.warmup()
     driver = TrafficDriver(experiment.sim, experiment.topology,
                            packet_in_rate_per_s=1200.0, duration_ms=600.0)
@@ -40,8 +41,8 @@ def test_different_seed_different_run():
 
 
 def test_replica_stores_converge_identically():
-    experiment = build_experiment(kind="onos", n=5, k=4, switches=8,
-                                  seed=779)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=8,
+                                  seed=779, timeout_ms=200.0))
     experiment.warmup()
     hosts = experiment.topology.host_list()
     for i in range(5):

@@ -2,14 +2,14 @@
 declared non-determinism, adaptive timeouts in deployment, Active-Passive HA.
 """
 
-import pytest
 
 from repro.controllers.base import ControllerApp
 from repro.controllers.cluster import ControllerCluster, HaMode
 from repro.controllers.onos import build_onos_cluster
 from repro.core.timeouts import AdaptiveTimeout
 from repro.datastore.caches import ARPDB
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.net.topology import linear_topology
 from repro.sim.simulator import Simulator
 
@@ -32,8 +32,8 @@ class CoinFlipApp(ControllerApp):
 
 
 def test_declared_non_determinism_suppresses_alarms():
-    exp = build_experiment(kind="onos", n=5, k=4, switches=4, seed=140,
-                           timeout_ms=250.0)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=4, seed=140,
+                           timeout_ms=250.0))
     for controller in exp.cluster.controllers.values():
         controller.apps.insert(0, CoinFlipApp(controller))
     exp.warmup(arp=False)
@@ -68,7 +68,7 @@ def test_undeclared_non_determinism_with_collisions_can_alarm():
 
 
 def test_adaptive_timeout_deployment_integration():
-    exp = build_experiment(kind="onos", n=5, k=4, switches=4, seed=141)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=4, seed=141, timeout_ms=200.0))
     exp.jury.validator.timeout = AdaptiveTimeout(initial_ms=200.0, window=100)
     exp.warmup()
     hosts = exp.topology.host_list()

@@ -5,15 +5,15 @@ controller crash + failover, channel loss, store-node removal — and assert
 the system degrades cleanly (no exceptions, no stuck state, bounded FPs).
 """
 
-import pytest
 
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.workloads.traffic import TrafficDriver
 
 
 def warm(k=None, n=5, switches=8, seed=101, timeout_ms=250.0):
-    experiment = build_experiment(kind="onos", n=n, k=k, switches=switches,
-                                  seed=seed, timeout_ms=timeout_ms)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=n, k=k, switches=switches,
+                                  seed=seed, timeout_ms=timeout_ms))
     experiment.warmup()
     return experiment
 

@@ -28,14 +28,15 @@ from repro.faults import (
 )
 from repro.faults.base import run_scenario
 from repro.faults.injector import FaultDriver, default_policy_engine
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 
 
 def build(kind="onos", seed=50):
-    exp = build_experiment(
+    exp = Jury.experiment(JuryConfig(
         kind=kind, n=7, k=6, switches=12, seed=seed,
         timeout_ms=250.0 if kind == "onos" else 1200.0,
-        policy_engine=default_policy_engine(), with_northbound=True)
+        policy_engine=default_policy_engine(), with_northbound=True))
     exp.warmup()
     return exp
 
@@ -74,9 +75,9 @@ def test_odl_incorrect_flow_mod_detected_by_policy():
 
 def test_odl_incorrect_flow_mod_undetected_without_policy():
     """T3 is invisible to consensus and sanity — policies are required."""
-    exp = build_experiment(kind="odl", n=7, k=6, switches=12, seed=51,
+    exp = Jury.experiment(JuryConfig(kind="odl", n=7, k=6, switches=12, seed=51,
                            timeout_ms=1200.0, policy_engine=None,
-                           with_northbound=True)
+                           with_northbound=True))
     exp.warmup()
     result = run_scenario(exp, OdlIncorrectFlowModFault("c1"))
     assert not result.detected
@@ -99,8 +100,8 @@ def test_synthetic_faulty_proactive_detected():
 
 
 def test_synthetic_faulty_proactive_needs_policy():
-    exp = build_experiment(kind="onos", n=7, k=6, switches=12, seed=52,
-                           timeout_ms=250.0, policy_engine=None)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=7, k=6, switches=12, seed=52,
+                           timeout_ms=250.0, policy_engine=None))
     exp.warmup()
     result = run_scenario(exp, FaultyProactiveFault("c3"))
     assert not result.detected  # T3: consensus/sanity cannot see it
@@ -165,9 +166,9 @@ def test_odl_detection_within_timeout_bound():
 # --- The driver (repetitions) -------------------------------------------
 
 def test_fault_driver_repeats_and_aggregates():
-    driver = FaultDriver(lambda seed: build_experiment(
+    driver = FaultDriver(lambda seed: Jury.experiment(JuryConfig(
         kind="onos", n=5, k=4, switches=8, seed=seed, timeout_ms=250.0,
-        policy_engine=default_policy_engine(), with_northbound=True))
+        policy_engine=default_policy_engine(), with_northbound=True)))
     report = driver.run(lambda: UndesirableFlowModFault("c2"), repetitions=3)
     assert report.runs == 3
     assert report.detected == 3
@@ -196,8 +197,8 @@ def test_store_desync_invisible_to_per_trigger_consensus():
     state-aware consensus cannot distinguish it from transient asynchrony."""
     from repro.faults import StoreDesyncFault
 
-    exp = build_experiment(kind="onos", n=7, k=6, switches=12, seed=53,
-                           timeout_ms=250.0, with_northbound=True)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=7, k=6, switches=12, seed=53,
+                           timeout_ms=250.0, with_northbound=True))
     exp.warmup()
     exp.validator.staleness_threshold = None
     scenario = StoreDesyncFault("c2")

@@ -5,14 +5,15 @@ from repro.faults import (
     UndesirableFlowModFault,
 )
 from repro.faults.injector import DriverReport, FaultDriver, default_policy_engine
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 
 
 def factory(seed):
-    return build_experiment(kind="onos", n=5, k=4, switches=8, seed=seed,
+    return Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=8, seed=seed,
                             timeout_ms=250.0,
                             policy_engine=default_policy_engine(),
-                            with_northbound=True)
+                            with_northbound=True))
 
 
 def test_run_suite_reports_per_scenario():

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.harness.experiment import DetectionStats, build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
+from repro.harness.experiment import DetectionStats
 from repro.harness.metrics import cdf_points, mbps, percentile
 from repro.harness.reporting import format_series, format_table
 
@@ -104,8 +106,8 @@ def test_detection_stats_properties():
     assert empty.median == 0.0
 
 
-def test_build_experiment_vanilla_has_no_jury():
-    exp = build_experiment(kind="onos", n=2, switches=2, seed=1)
+def test_experiment_vanilla_has_no_jury():
+    exp = Jury.experiment(JuryConfig(kind="onos", n=2, switches=2, seed=1, k=None, timeout_ms=200.0))
     assert exp.jury is None
     with pytest.raises(WorkloadError):
         _ = exp.validator
@@ -113,20 +115,20 @@ def test_build_experiment_vanilla_has_no_jury():
         exp.detection_stats()
 
 
-def test_build_experiment_rejects_unknowns():
+def test_experiment_rejects_unknowns():
     with pytest.raises(WorkloadError):
-        build_experiment(kind="floodlight")
+        Jury.experiment(JuryConfig(kind="floodlight", k=None, timeout_ms=200.0))
     with pytest.raises(WorkloadError):
-        build_experiment(topology="torus")
+        Jury.experiment(JuryConfig(topology="torus", k=None, timeout_ms=200.0))
 
 
 def test_three_tier_experiment_builds():
-    exp = build_experiment(kind="onos", n=3, topology="three_tier", seed=2)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=3, topology="three_tier", seed=2, k=None, timeout_ms=200.0))
     assert len(exp.topology.switches) == 14
 
 
 def test_throughput_requires_window():
-    exp = build_experiment(kind="onos", n=2, switches=2, seed=3)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=2, switches=2, seed=3, k=None, timeout_ms=200.0))
     with pytest.raises(WorkloadError):
         exp.throughput()
     exp.warmup()
@@ -137,7 +139,7 @@ def test_throughput_requires_window():
 
 
 def test_overhead_mbps_reports_jury_counters():
-    exp = build_experiment(kind="onos", n=3, k=2, switches=4, seed=4)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=3, k=2, switches=4, seed=4, timeout_ms=200.0))
     exp.warmup()
     exp.begin_window()
     hosts = exp.topology.host_list()
@@ -149,7 +151,7 @@ def test_overhead_mbps_reports_jury_counters():
 
 
 def test_profile_overrides_applied():
-    exp = build_experiment(kind="onos", n=2, switches=2, seed=5,
-                           profile_overrides={"lldp_period_ms": 123.0})
+    exp = Jury.experiment(JuryConfig(kind="onos", n=2, switches=2, seed=5,
+                           profile_overrides=(("lldp_period_ms", 123.0),), k=None, timeout_ms=200.0))
     controller = exp.cluster.controller("c1")
     assert controller.profile.lldp_period_ms == 123.0

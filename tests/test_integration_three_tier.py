@@ -7,14 +7,15 @@ on that topology.
 
 import pytest
 
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.workloads.traffic import TrafficDriver
 
 
 @pytest.fixture(scope="module")
 def tiered():
-    experiment = build_experiment(kind="onos", n=7, k=4, seed=91,
-                                  topology="three_tier", timeout_ms=300.0)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=7, k=4, seed=91,
+                                  topology="three_tier", timeout_ms=300.0))
     experiment.warmup(discovery_ms=3500.0)
     return experiment
 
@@ -55,8 +56,8 @@ def test_forwarding_survives_aggregate_failure(tiered):
 
 
 def test_validation_remains_clean_under_three_tier_traffic():
-    experiment = build_experiment(kind="onos", n=7, k=4, seed=92,
-                                  topology="three_tier", timeout_ms=300.0)
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=7, k=4, seed=92,
+                                  topology="three_tier", timeout_ms=300.0))
     experiment.warmup(discovery_ms=3500.0)
     driver = TrafficDriver(experiment.sim, experiment.topology,
                            packet_in_rate_per_s=1000.0, duration_ms=800.0)

@@ -1,14 +1,10 @@
-"""The redesigned construction API: JuryConfig, Jury.build, and the shims.
+"""The redesigned construction API: JuryConfig, Jury.build, Jury.experiment.
 
-Covers config immutability/validation, the single build entry point (with
-and without a caller-supplied cluster), the deployment facade methods, and
-behavioural equivalence of the deprecated ``build_experiment`` /
-``JuryDeployment(cluster, k=...)`` keyword seams with the config path.
-
-Equivalence runs use ``k = n - 1``: designated-secondary selection then
-degenerates to the full pool, so live runs are comparable even though
-trigger ids come from process-global counters (same trick as
-test_determinism.py).
+Covers config immutability/validation, the declarative from_dict/to_dict
+round-trip, the single build entry point (with and without a
+caller-supplied cluster), the deployment facade methods, and the removed
+legacy seams — ``build_experiment`` / ``JuryDeployment(cluster, k=...)``
+keywords must fail immediately with the replacement spelled out.
 """
 
 from __future__ import annotations
@@ -23,7 +19,6 @@ from repro.core.pipeline import ValidationPipeline
 from repro.core.validator import Validator
 from repro.errors import ValidationError
 from repro.harness.experiment import Experiment, build_experiment
-from repro.workloads.traffic import TrafficDriver
 
 N = 5
 K = N - 1  # full-pool secondary selection: live runs become comparable
@@ -128,54 +123,66 @@ def test_build_wires_observability_through_the_stack():
 
 
 # ----------------------------------------------------------------------
-# Deprecated shims: same behaviour, plus the warning
+# Declarative round-trip: from_dict / to_dict
 # ----------------------------------------------------------------------
 
-def _fingerprint(experiment):
-    validator = experiment.validator
-    return (
-        validator.triggers_decided,
-        validator.triggers_alarmed,
-        validator.responses_received,
-        round(sum(r.detection_ms for r in validator.results), 6),
-        tuple(sorted(a.reason.value for a in validator.alarms)),
-    )
+def test_config_dict_round_trip():
+    config = JuryConfig(k=4, n=5, switches=6, seed=9, timeout_ms=250.0,
+                        pipeline=2, backend="threads",
+                        policies=("default",), trace=True,
+                        profile_overrides=(("collapse_threshold", 500),))
+    payload = config.to_dict()
+    assert payload["policies"] == ["default"]  # JSON-able lists
+    assert payload["profile_overrides"] == [["collapse_threshold", 500]]
+    import json
+    rebuilt = JuryConfig.from_dict(json.loads(json.dumps(payload)))
+    assert rebuilt == config
 
 
-def _drive(experiment):
-    experiment.warmup()
-    driver = TrafficDriver(experiment.sim, experiment.topology,
-                           packet_in_rate_per_s=800.0, duration_ms=400.0)
-    driver.start()
-    experiment.run(1000.0)
-    return _fingerprint(experiment)
+def test_from_dict_rejects_unknown_keys_with_did_you_mean():
+    with pytest.raises(ValidationError, match="did you mean 'pipeline'"):
+        JuryConfig.from_dict({"k": 2, "pipline": 4})
+    with pytest.raises(ValidationError, match="unknown config key"):
+        JuryConfig.from_dict({"k": 2, "zzzzqq": 1})
+    with pytest.raises(ValidationError, match="mapping"):
+        JuryConfig.from_dict([("k", 2)])
 
 
-def test_build_experiment_shim_matches_config_path():
-    with pytest.warns(DeprecationWarning):
-        legacy = build_experiment(kind="onos", n=N, k=K, switches=6,
-                                  seed=31, timeout_ms=250.0)
-    modern = Jury.experiment(JuryConfig(kind="onos", n=N, k=K, switches=6,
-                                        seed=31, timeout_ms=250.0))
-    assert _drive(legacy) == _drive(modern)
+def test_dict_paths_reject_live_object_fields():
+    from repro.core.timeouts import StaticTimeout
+    with pytest.raises(ValidationError, match="timeout"):
+        JuryConfig(timeout=StaticTimeout(100.0)).to_dict()
+    with pytest.raises(ValidationError, match="live object"):
+        JuryConfig.from_dict({"k": 2, "policy_engine": object()})
+    # None-valued object fields round-trip fine.
+    assert JuryConfig.from_dict({"timeout": None}).timeout is None
 
 
-def test_deployment_kwarg_shim_matches_config_path():
-    legacy_exp = Jury.experiment(JuryConfig(k=None, n=N, switches=6, seed=32))
-    with pytest.warns(DeprecationWarning):
-        legacy = JuryDeployment(legacy_exp.cluster, k=K, timeout_ms=250.0)
-    assert legacy.config.k == K
-    assert legacy.config.effective_timeout_ms == 250.0
-    modern_exp = Jury.experiment(JuryConfig(k=None, n=N, switches=6, seed=32))
-    modern = Jury.build(JuryConfig(k=K, timeout_ms=250.0),
-                        cluster=modern_exp.cluster)
-    assert type(legacy.validator) is type(modern.validator)
-    assert legacy.validator.timeout.current() == modern.validator.timeout.current()
-    assert legacy.k == modern.k == K
+def test_backend_field_is_validated():
+    assert JuryConfig(pipeline=2, backend="processes").backend == "processes"
+    with pytest.raises(ValidationError, match="unknown backend"):
+        JuryConfig(pipeline=2, backend="gpu")
+    with pytest.raises(ValidationError, match="requires pipeline"):
+        JuryConfig(backend="threads")
+    from repro.core.timeouts import AdaptiveTimeout
+    with pytest.raises(ValidationError, match="static"):
+        JuryConfig(pipeline=2, backend="threads",
+                   timeout=AdaptiveTimeout(initial_ms=100.0))
 
 
-def test_deployment_requires_k_or_config():
-    exp = Jury.experiment(JuryConfig(k=None, n=N, switches=6, seed=33))
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValidationError):
-            JuryDeployment(exp.cluster)
+# ----------------------------------------------------------------------
+# Removed legacy seams: one-line errors naming the replacement
+# ----------------------------------------------------------------------
+
+def test_build_experiment_raises_naming_replacement():
+    with pytest.raises(ValidationError, match="Jury.experiment"):
+        build_experiment(kind="onos", n=N, k=K, switches=6,
+                         seed=31, timeout_ms=250.0)
+
+
+def test_deployment_kwargs_raise_naming_replacement():
+    exp = Jury.experiment(JuryConfig(k=None, n=N, switches=6, seed=32))
+    with pytest.raises(ValidationError, match="Jury.build"):
+        JuryDeployment(exp.cluster, k=K, timeout_ms=250.0)
+    with pytest.raises(ValidationError, match="Jury.build"):
+        JuryDeployment(exp.cluster)

@@ -11,7 +11,8 @@ import pytest
 
 from repro.controllers.odl import build_odl_cluster
 from repro.controllers.profile import odl_profile
-from repro.core.deployment import JuryDeployment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.net.topology import linear_topology
 from repro.sim.simulator import Simulator
 
@@ -23,7 +24,7 @@ def proactive_jury():
     cluster, store = build_odl_cluster(sim, n=3,
                                        profile=odl_profile(proactive=True))
     cluster.connect_topology(topo)
-    jury = JuryDeployment(cluster, k=2, timeout_ms=1500.0)
+    jury = Jury.build(JuryConfig(k=2, timeout_ms=1500.0), cluster=cluster)
     cluster.start()
     sim.run(until=3000.0)
     return sim, topo, cluster, jury

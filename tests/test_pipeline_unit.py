@@ -13,7 +13,8 @@ from repro.core.alarms import (
 from repro.core.pipeline import ValidationPipeline, shard_of
 from repro.core.timeouts import StaticTimeout
 from repro.harness.bench import compare, synthetic_validation_workload
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.sim.simulator import Simulator
 from repro.workloads.traffic import TrafficDriver
 
@@ -164,9 +165,9 @@ def test_checkpoint_merge_matches_shared_view():
 # Validator API parity behind the deployment
 # ----------------------------------------------------------------------
 
-def test_build_experiment_with_pipeline_is_drop_in():
-    experiment = build_experiment(kind="onos", n=5, k=4, switches=6,
-                                  seed=13, timeout_ms=250.0, pipeline=2)
+def test_config_pipeline_experiment_is_drop_in():
+    experiment = Jury.experiment(JuryConfig(kind="onos", n=5, k=4, switches=6,
+                                  seed=13, timeout_ms=250.0, pipeline=2))
     experiment.warmup()
     assert isinstance(experiment.validator, ValidationPipeline)
     driver = TrafficDriver(experiment.sim, experiment.topology,

@@ -4,19 +4,19 @@ LOCAL/REMOTE resolve through the validator's mastership lookup: a flow
 write is LOCAL when the acting controller masters the affected switch.
 """
 
-import pytest
 
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.openflow.actions import ActionOutput
 from repro.openflow.match import Match
 from repro.policy import Policy, PolicyEngine
 
 
 def build_with_policy(policy, seed=190):
-    exp = build_experiment(kind="onos", n=3, k=2, switches=6, seed=seed,
+    exp = Jury.experiment(JuryConfig(kind="onos", n=3, k=2, switches=6, seed=seed,
                            timeout_ms=250.0,
                            policy_engine=PolicyEngine([policy]),
-                           with_northbound=True)
+                           with_northbound=True))
     exp.warmup()
     return exp
 

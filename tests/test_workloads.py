@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.harness.experiment import build_experiment
+from repro.api import Jury
+from repro.config import JuryConfig
 from repro.workloads.cbench import CbenchDriver
 from repro.workloads.tcpreplay import TcpReplayDriver
 from repro.workloads.traces import ALL_TRACES, LBNL, SMIA, UNIV, TraceReplayDriver
@@ -11,7 +12,7 @@ from repro.workloads.traffic import TrafficDriver, mean_fabric_path_length
 
 
 def warm(kind="onos", n=3, switches=8, seed=31, k=None):
-    exp = build_experiment(kind=kind, n=n, k=k, switches=switches, seed=seed)
+    exp = Jury.experiment(JuryConfig(kind=kind, n=n, k=k, switches=switches, seed=seed, timeout_ms=200.0))
     exp.warmup()
     return exp
 
@@ -98,8 +99,8 @@ def test_tcpreplay_defaults_to_ten_seconds():
 
 
 def test_cbench_overwhelms_and_collapses():
-    exp = build_experiment(kind="onos", n=1, switches=2, seed=32,
-                           profile_overrides={"collapse_threshold": 500})
+    exp = Jury.experiment(JuryConfig(kind="onos", n=1, switches=2, seed=32,
+                           profile_overrides=(("collapse_threshold", 500),), k=None, timeout_ms=200.0))
     exp.warmup()
     controller = exp.cluster.controller("c1")
     driver = CbenchDriver(exp.sim, controller, burst_size=400,
@@ -114,7 +115,7 @@ def test_cbench_overwhelms_and_collapses():
 
 
 def test_cbench_seeds_hosts_so_flow_mods_flow():
-    exp = build_experiment(kind="onos", n=1, switches=2, seed=33)
+    exp = Jury.experiment(JuryConfig(kind="onos", n=1, switches=2, seed=33, k=None, timeout_ms=200.0))
     exp.warmup()
     controller = exp.cluster.controller("c1")
     driver = CbenchDriver(exp.sim, controller, burst_size=10,
