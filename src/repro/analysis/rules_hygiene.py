@@ -173,7 +173,7 @@ class UnusedImportRule(Rule):
 #: (``self.tracer = ...``) and calling its hook API (``tracer.emit(...)``)
 #: are the contract; reaching *into* one is not.
 _OBSERVER_NAMES = {"tracer", "metrics", "forensics", "health",
-                   "snapshot_sink"}
+                   "snapshot_sink", "recorder", "sampler"}
 
 #: Method names that mutate built-in containers (and the observers built
 #: from them).

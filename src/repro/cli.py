@@ -11,6 +11,8 @@ Gives operators the paper's experiments without writing code:
 * ``trace`` — reconstruct one trigger's lifecycle (intercept → replicate →
   ingest → Algorithm-1 checks → alarm/accept) from a live run or a trace
   JSON file (see ``docs/observability.md``).
+* ``trace-diff`` — align two canonical trace files by (time, trigger,
+  stage) and pinpoint the first divergence (exit 0 identical, 1 diverged).
 * ``metrics`` — run under traffic and dump the metrics registry
   (``--format prom`` for the Prometheus text exposition).
 * ``diagnose`` — per-alarm forensics: the failed Algorithm-1 check,
@@ -125,7 +127,8 @@ def _config_from_args(args, kind: Optional[str] = None,
                       trace: bool = False,
                       metrics: bool = False,
                       diagnose: bool = False,
-                      health: bool = False) -> JuryConfig:
+                      health: bool = False,
+                      flight: bool = False) -> JuryConfig:
     """One place where argparse namespaces become a :class:`JuryConfig`."""
     if getattr(args, "config", None) is not None:
         # The file defines the experiment; only the subcommand's own
@@ -135,7 +138,8 @@ def _config_from_args(args, kind: Optional[str] = None,
                    for name, wanted in (("trace", trace),
                                         ("metrics", metrics),
                                         ("diagnose", diagnose),
-                                        ("health", health))
+                                        ("health", health),
+                                        ("flight", flight))
                    if wanted and not getattr(base, name)}
         return base.replace(**overlay) if overlay else base
     kind = kind or args.controller
@@ -154,15 +158,17 @@ def _config_from_args(args, kind: Optional[str] = None,
         metrics=metrics,
         diagnose=diagnose,
         health=health,
+        flight=flight,
     )
 
 
 def _build(args, kind: Optional[str] = None, k: Optional[int] = None,
            trace: bool = False, metrics: bool = False,
-           diagnose: bool = False, health: bool = False):
+           diagnose: bool = False, health: bool = False,
+           flight: bool = False):
     experiment = Jury.experiment(
         _config_from_args(args, kind=kind, k=k, trace=trace, metrics=metrics,
-                          diagnose=diagnose, health=health))
+                          diagnose=diagnose, health=health, flight=flight))
     experiment.warmup()
     return experiment
 
@@ -362,6 +368,32 @@ def cmd_trace(args) -> CommandResult:
     return CommandResult.ok("trace", human=human, data=data)
 
 
+def cmd_trace_diff(args) -> CommandResult:
+    from repro.obs.diff import diff_trace_files, first_divergence_detail
+
+    try:
+        diff = diff_trace_files(args.left, args.right)
+    except (OSError, ValueError) as exc:
+        return CommandResult.usage_error("trace-diff", f"trace-diff: {exc}")
+
+    data = {"command": "trace-diff", "left": args.left, "right": args.right,
+            **diff.to_dict(limit=args.limit)}
+    if diff.identical:
+        human = (f"traces are identical: {diff.common} aligned span(s), "
+                 f"no divergence")
+        return CommandResult.ok("trace-diff", human=human, data=data)
+    human = "\n".join([
+        f"traces diverge: {len(diff.entries)} differing slot(s) over "
+        f"{diff.common} aligned span(s) "
+        f"({diff.left_spans} left / {diff.right_spans} right)",
+        first_divergence_detail(diff),
+        diff.render(limit=args.limit),
+    ])
+    return CommandResult(command="trace-diff", exit_code=1, human=human,
+                         data=data,
+                         errors=[f"trace-diff: {first_divergence_detail(diff)}"])
+
+
 def cmd_metrics(args) -> CommandResult:
     experiment = _build(args, metrics=True)
     _drive_traffic(experiment, args)
@@ -407,6 +439,19 @@ def cmd_diagnose(args) -> CommandResult:
         return CommandResult.usage_error(
             "diagnose", "diagnose: --trace needs --alarm-log (the trace "
                         "alone does not carry alarm records)")
+    if args.flight_output is not None and args.alarm_log is not None:
+        return CommandResult.usage_error(
+            "diagnose", "diagnose: --flight-output records a live run and "
+                        "cannot be combined with --alarm-log")
+
+    flight_attachment = None
+    if args.flight is not None:
+        from repro.obs.recorder import load_flight
+        try:
+            flight_attachment = load_flight(args.flight)
+        except (OSError, ValueError) as exc:
+            return CommandResult.usage_error("diagnose",
+                                             f"diagnose: {exc}")
 
     if args.alarm_log is not None:
         explanations = _diagnosis_payload_from_files(args)
@@ -421,7 +466,8 @@ def cmd_diagnose(args) -> CommandResult:
                                 f"(see list-faults)")
             fault = FAULTS[args.fault]()
         kind = "odl" if args.fault in ODL_FAULTS else None
-        experiment = _build(args, kind=kind, diagnose=True)
+        experiment = _build(args, kind=kind, diagnose=True,
+                            flight=args.flight_output is not None)
         alarm_log = None
         if args.record_alarm_log:
             from repro.core.alarm_log import AlarmLog
@@ -433,9 +479,16 @@ def cmd_diagnose(args) -> CommandResult:
         if alarm_log is not None:
             from repro.core.alarm_log import dump_alarm_log
             dump_alarm_log(alarm_log, args.record_alarm_log)
+        if args.flight_output is not None:
+            from repro.obs.recorder import dump_flight
+            jury = experiment.jury
+            dump_flight(jury.recorder, args.flight_output,
+                        now=experiment.sim.now, metrics=jury.metrics)
         explanations = experiment.jury.forensics.explanations()
 
     payload = export_explanations(explanations)
+    if flight_attachment is not None:
+        payload["flight"] = flight_attachment
     if args.output:
         dump_diagnosis(payload, args.output)
 
@@ -454,6 +507,9 @@ def cmd_diagnose(args) -> CommandResult:
         return CommandResult.ok("diagnose", human=human, data=data)
 
     human = render_explanations(explanations)
+    if flight_attachment is not None:
+        from repro.obs.recorder import render_flight
+        human = "\n".join([human, render_flight(flight_attachment)])
     data = {"command": "diagnose", **payload}
     return CommandResult.ok("diagnose", human=human, data=data)
 
@@ -752,20 +808,45 @@ def cmd_bench_validator(args) -> CommandResult:
                          human=human, data=payload, errors=errors)
 
 
+def _bench_obs_baseline_errors(args, payload) -> List[str]:
+    """``bench obs --baseline``: gate always-on overhead regressions."""
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"bench obs: --baseline {args.baseline}: {exc}"]
+    committed = baseline.get("full_overhead_pct")
+    if not isinstance(committed, (int, float)):
+        return [f"bench obs: --baseline {args.baseline} has no "
+                f"full_overhead_pct to compare against"]
+    current = payload["full_overhead_pct"]
+    payload["baseline_full_overhead_pct"] = committed
+    allowed = committed * (1.0 + args.max_full_regression_pct / 100.0)
+    if current > allowed:
+        return [
+            f"bench obs: always-on full-stack overhead {current:.2f}% "
+            f"regressed more than {args.max_full_regression_pct:.0f}% over "
+            f"the committed {committed:.2f}% (allowed {allowed:.2f}%)"]
+    return []
+
+
 def cmd_bench_obs(args) -> CommandResult:
     from repro.harness.bench import compare_observability, write_payload
 
     triggers = 2000 if args.smoke else args.triggers
     payload = compare_observability(
         triggers=triggers, k=args.k, seed=args.seed,
-        fault_rate=args.fault_rate, shards=args.shards, reps=args.reps)
-    write_payload(payload, args.output)
+        fault_rate=args.fault_rate, shards=args.shards, reps=args.reps,
+        obs_sample=args.obs_sample)
     errors = []
     if not payload["alarm_streams_identical"]:
         errors.append("bench obs: alarm streams diverged with tracing on")
     if not payload["alarm_streams_identical_full"]:
         errors.append("bench obs: alarm streams diverged with the full "
                       "stack (forensics + health) on")
+    if not payload["alarm_streams_identical_sampled"]:
+        errors.append("bench obs: alarm streams diverged with the sampled "
+                      "full stack (sampling must gate telemetry only)")
     if not payload["span_conservation"]["holds"]:
         errors.append("bench obs: span conservation violated "
                       f"({payload['span_conservation']})")
@@ -780,6 +861,17 @@ def cmd_bench_obs(args) -> CommandResult:
             f"bench obs: tracing-on overhead "
             f"{payload['trace_overhead_pct']:.2f}% exceeds the "
             f"{args.max_trace_overhead_pct:.2f}% gate")
+    if (args.max_sampled_overhead_pct is not None
+            and payload["sampled_overhead_pct"]
+            > args.max_sampled_overhead_pct):
+        errors.append(
+            f"bench obs: sampled full-stack overhead "
+            f"{payload['sampled_overhead_pct']:.2f}% exceeds the "
+            f"{args.max_sampled_overhead_pct:.2f}% gate "
+            f"(obs_sample=1/{args.obs_sample})")
+    if args.baseline is not None:
+        errors.extend(_bench_obs_baseline_errors(args, payload))
+    write_payload(payload, args.output)
     human = "\n".join([
         format_table(
             f"observability overhead — {triggers} triggers, k={args.k}, "
@@ -792,15 +884,24 @@ def cmd_bench_obs(args) -> CommandResult:
                  f"{payload['off2']['ops_per_s']:,.0f}"],
                 ["tracing + metrics on", f"{payload['on']['wall_s']:.4f}",
                  f"{payload['on']['ops_per_s']:,.0f}"],
-                ["full stack (1 run)", f"{payload['full']['wall_s']:.4f}",
+                [f"full stack sampled 1/{args.obs_sample}",
+                 f"{payload['sampled']['wall_s']:.4f}",
+                 f"{payload['sampled']['ops_per_s']:,.0f}"],
+                ["full stack (best of 2)",
+                 f"{payload['full']['wall_s']:.4f}",
                  f"{payload['full']['ops_per_s']:,.0f}"],
             ]),
         f"tracing-off delta (noise floor): {payload['off_delta_pct']:.2f}%   "
-        f"tracing-on overhead: {payload['trace_overhead_pct']:.2f}%   "
-        f"full-stack overhead: {payload['full_overhead_pct']:.2f}%",
+        f"tracing-on overhead: {payload['trace_overhead_pct']:.2f}%",
+        f"sampled full-stack overhead: "
+        f"{payload['sampled_overhead_pct']:.2f}%   "
+        f"always-on full-stack overhead: "
+        f"{payload['full_overhead_pct']:.2f}%",
         f"alarm streams identical: {payload['alarm_streams_identical']} "
-        f"(full stack: {payload['alarm_streams_identical_full']})   "
-        f"spans: {payload['on']['spans']}",
+        f"(full stack: {payload['alarm_streams_identical_full']}, "
+        f"sampled: {payload['alarm_streams_identical_sampled']})   "
+        f"spans: {payload['on']['spans']} "
+        f"(sampled: {payload['sampled']['spans']})",
         f"wrote {args.output}",
     ])
     return CommandResult(command="bench obs", exit_code=1 if errors else 0,
@@ -842,7 +943,8 @@ def _fuzz_corpus_result(args) -> CommandResult:
                          "expect": list(entry.expect),
                          "actual": list(outcome.report.codes()),
                          "matched": outcome.matched,
-                         "detail": outcome.detail})
+                         "detail": outcome.detail,
+                         "artifacts": sorted(outcome.report.artifacts)})
     human = format_table(f"corpus replay — {directory}",
                          ["entry", "expect", "actual", "status"], rows)
     errors = [f"fuzz: {o['name']}: {o['detail']}"
@@ -916,6 +1018,15 @@ def cmd_fuzz(args) -> CommandResult:
                       f"{counterexample.seed}")
             path = save_entry(entry, args.save_failing)
             lines.append(f"  saved    : {path}")
+            for name, suffix in (("trace_diff", "diff"), ("flight", "flight")):
+                artifact = counterexample.report.artifacts.get(name)
+                if artifact is None:
+                    continue
+                artifact_path = path.with_suffix(f".{suffix}.json")
+                artifact_path.write_text(
+                    json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+                lines.append(f"  artifact : {artifact_path}")
     return CommandResult(
         command="fuzz",
         exit_code=2 if result.counterexamples else 0,
@@ -1011,6 +1122,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="triggers shown when listing (no query)")
     trace.set_defaults(fn=cmd_trace)
 
+    trace_diff = commands.add_parser(
+        "trace-diff",
+        help="align two canonical traces by (time, trigger, stage) and "
+             "pinpoint the first divergence (exit 0 identical, 1 diverged)")
+    trace_diff.add_argument("left", metavar="A.json",
+                            help="left trace file (the reference)")
+    trace_diff.add_argument("right", metavar="B.json",
+                            help="right trace file (the candidate)")
+    trace_diff.add_argument("--limit", type=int, default=10,
+                            help="differing slots shown/embedded")
+    _add_format(trace_diff)
+    trace_diff.set_defaults(fn=cmd_trace_diff)
+
     metrics = commands.add_parser(
         "metrics", help="run under traffic and dump the metrics registry")
     _add_common(metrics, format_extra=("prom",))
@@ -1042,6 +1166,13 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="ALARMS.jsonl",
                           help="record the run's alarm log for later "
                                "offline diagnosis (live runs only)")
+    diagnose.add_argument("--flight", default=None, metavar="FLIGHT.json",
+                          help="attach a recorded flight-recorder dump to "
+                               "the diagnosis (offline, any mode)")
+    diagnose.add_argument("--flight-output", default=None,
+                          metavar="FLIGHT.json",
+                          help="run with the flight recorder on and write "
+                               "its ring + dumps (live runs only)")
     diagnose.set_defaults(fn=cmd_diagnose)
 
     health = commands.add_parser(
@@ -1208,6 +1339,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench_obs.add_argument("--max-trace-overhead-pct", type=float,
                            default=None,
                            help="fail if tracing-on overhead exceeds this")
+    bench_obs.add_argument("--obs-sample", type=int, default=64, metavar="N",
+                           help="head-sampling rate (1-in-N) for the "
+                                "sampled full-stack variant")
+    bench_obs.add_argument("--max-sampled-overhead-pct", type=float,
+                           default=25.0,
+                           help="fail if the sampled full-stack overhead "
+                                "exceeds this (the production-shaped gate)")
+    bench_obs.add_argument("--baseline", default=None,
+                           metavar="BENCH_observability.json",
+                           help="committed payload to regression-gate the "
+                                "always-on full-stack overhead against")
+    bench_obs.add_argument("--max-full-regression-pct", type=float,
+                           default=10.0,
+                           help="with --baseline: allowed relative growth "
+                                "of full_overhead_pct over the committed "
+                                "number")
     bench_obs.add_argument("--output", default="BENCH_observability.json",
                            help="path for the JSON payload")
     _add_format(bench_obs)

@@ -62,7 +62,10 @@ class JuryConfig:
     :class:`~repro.obs.MetricsRegistry`; ``diagnose`` attaches alarm
     forensics; ``health`` replica health scoring + SLO monitoring;
     ``snapshot_interval_ms`` a periodic export sink on the pipeline flush
-    path. All default off (the zero-cost path).
+    path; ``obs_sample`` head-samples the observer stack 1-in-N;
+    ``flight``/``flight_capacity`` the always-on flight recorder;
+    ``wall_profile`` per-stage wall-clock worker profiling. All default
+    off (the zero-cost path).
 
     Hosting shape (used when :meth:`repro.api.Jury.build` must assemble
     the testbed too): ``kind``, ``n``, ``switches``, ``topology``,
@@ -103,6 +106,21 @@ class JuryConfig:
     #: Periodic metrics/health snapshots on the pipeline flush path, every
     #: this-many simulated ms (repro.obs.export.SnapshotSink). ``None`` off.
     snapshot_interval_ms: Optional[float] = None
+    #: Head-sample the observer stack 1-in-N per trigger (repro.obs.sampling).
+    #: ``1`` observes everything; alarmed decisions are always recorded in
+    #: full regardless of the head decision. Pure function of the trigger
+    #: id, so sampled traces stay deterministic across engines and replays.
+    obs_sample: int = 1
+    #: Always-on flight recorder: fixed-size ring of recent decision/alarm/
+    #: worker events, dumped on anomaly triggers (repro.obs.recorder).
+    flight: bool = False
+    #: Ring capacity (events retained) when ``flight`` is on.
+    flight_capacity: int = 256
+    #: Wall-clock per-stage worker profiling inside thread/process backend
+    #: workers (repro.obs.profile). Distinct from the simulated-time
+    #: tracer; requires ``metrics`` to land anywhere. No-op under
+    #: ``serial`` (there is no worker to measure).
+    wall_profile: bool = False
 
     # Hosting shape.
     kind: str = "onos"
@@ -124,6 +142,15 @@ class JuryConfig:
             raise ValidationError(
                 f"snapshot_interval_ms must be positive: "
                 f"{self.snapshot_interval_ms}")
+        if isinstance(self.obs_sample, bool) or not isinstance(
+                self.obs_sample, int) or self.obs_sample < 1:
+            raise ValidationError(
+                f"obs_sample must be an integer >= 1: {self.obs_sample!r}")
+        if isinstance(self.flight_capacity, bool) or not isinstance(
+                self.flight_capacity, int) or self.flight_capacity < 1:
+            raise ValidationError(
+                f"flight_capacity must be an integer >= 1: "
+                f"{self.flight_capacity!r}")
         from repro.core.backends import BACKEND_NAMES
         if self.backend not in BACKEND_NAMES:
             raise ValidationError(
@@ -274,6 +301,18 @@ class JuryConfig:
         from repro.obs.health import ReplicaHealthTracker
         return ReplicaHealthTracker()
 
+    def build_sampler(self):
+        if self.obs_sample <= 1:
+            return None
+        from repro.obs.sampling import HeadSampler
+        return HeadSampler(self.obs_sample)
+
+    def build_flight_recorder(self):
+        if not self.flight:
+            return None
+        from repro.obs.recorder import FlightRecorder
+        return FlightRecorder(capacity=self.flight_capacity)
+
     def profile_overrides_dict(self) -> dict:
         return dict(self.profile_overrides or ())
 
@@ -294,6 +333,9 @@ class JuryConfig:
             "diagnose": self.diagnose,
             "health": self.health,
             "snapshot_interval_ms": self.snapshot_interval_ms,
+            "obs_sample": self.obs_sample,
+            "flight": self.flight,
+            "wall_profile": self.wall_profile,
             "kind": self.kind,
             "n": self.n,
             "switches": self.switches,

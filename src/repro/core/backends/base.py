@@ -34,6 +34,7 @@ from typing import List, Tuple
 from repro.core.backends.frames import BatchFrame, VerdictFrame
 from repro.core.timeouts import StaticTimeout
 from repro.obs import trace as obs_trace
+from repro.obs.profile import merge_profile
 
 
 class ExecutionBackend:
@@ -166,6 +167,9 @@ class FrameBackend(ExecutionBackend):
     def _merge_one(self, shard, frame: BatchFrame) -> None:
         verdict = self._collect(shard, frame)
         pipeline = self.pipeline
+        if verdict.profile is not None and pipeline.metrics is not None:
+            merge_profile(pipeline.metrics, self.name, shard.index,
+                          verdict.profile)
         if pipeline.tracer is not None:
             pipeline.tracer.emit(
                 pipeline.sim.now, ("engine", shard.index),

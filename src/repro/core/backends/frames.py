@@ -81,3 +81,8 @@ class VerdictFrame:
     open_records: int = 0
     #: Pickled ShardCore state, present iff the frame asked for one.
     snapshot: Optional[bytes] = None
+    #: Wall-clock profile delta (repro.obs.profile) accumulated by the
+    #: worker since its last shipment: ``{stage: (count, total_s, min_s,
+    #: max_s)}``. Rides the verdict exactly like the snapshot does; None
+    #: when profiling is off or nothing was measured.
+    profile: Optional[dict] = None

@@ -35,21 +35,38 @@ from repro.core.backends.base import FrameBackend
 from repro.core.backends.frames import BatchFrame, VerdictFrame
 from repro.core.backends.shardcore import ShardCore
 from repro.obs import trace as obs_trace
+from repro.obs.profile import StageProfiler
 
 
-def _worker_main(conn, bootstrap: dict) -> None:
+def _worker_main(conn, bootstrap: dict, profile: bool = False) -> None:
     """Worker process loop: recv control tuples, send verdicts."""
     core = ShardCore(**bootstrap)
+    # Wall-clock profiling lives here, inside the worker; durations ride
+    # home on the verdict frame like snapshots do. A "restore" duration is
+    # held in the profiler and ships with the next frame verdict.
+    profiler = StageProfiler() if profile else None
     try:
         while True:
             msg = conn.recv()
             tag = msg[0]
             if tag == "frame":
-                conn.send(core.process(msg[1]))
+                if profiler is None:
+                    conn.send(core.process(msg[1]))
+                else:
+                    frame = msg[1]
+                    started = profiler.now()
+                    verdict = core.process(frame)
+                    profiler.observe("wakeup" if frame.wakeup else "batch",
+                                     profiler.now() - started)
+                    verdict.profile = profiler.take()
+                    conn.send(verdict)
             elif tag == "restore":
+                started = None if profiler is None else profiler.now()
                 core = ShardCore(**bootstrap)
                 if msg[1] is not None:
                     core.restore(msg[1])
+                if profiler is not None:
+                    profiler.observe("restore", profiler.now() - started)
                 conn.send(("ok",))
             elif tag == "crash":  # test hook: die without cleanup
                 os._exit(17)
@@ -109,7 +126,8 @@ class ProcessesBackend(FrameBackend):
     def _spawn(self, worker: _Worker) -> None:
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(
-            target=_worker_main, args=(child_conn, self._boot),
+            target=_worker_main,
+            args=(child_conn, self._boot, self.pipeline.profile),
             name=f"jury-shard-{worker.index}", daemon=True)
         proc.start()
         child_conn.close()
@@ -170,6 +188,13 @@ class ProcessesBackend(FrameBackend):
     # ------------------------------------------------------------------
     def _recover(self, worker: _Worker) -> None:
         self._count("backend_worker_deaths_total")
+        recorder = self.pipeline.recorder
+        if recorder is not None:
+            now = self.pipeline.sim.now
+            recorder.record(now, "worker", ("engine", worker.index),
+                            verdict="death", detail=f"shard {worker.index}",
+                            backend=self.name)
+            recorder.trigger("worker-death", now)
         self._reap(worker)
         pending_seqs = {f.seq for f in worker.pending}
         try:
@@ -202,6 +227,14 @@ class ProcessesBackend(FrameBackend):
     def _degrade(self, worker: _Worker, pending_seqs) -> None:
         self._count("backend_degraded_total")
         pipeline = self.pipeline
+        recorder = pipeline.recorder
+        if recorder is not None:
+            now = pipeline.sim.now
+            recorder.record(now, "worker", ("engine", worker.index),
+                            verdict="degrade",
+                            detail=f"shard {worker.index} runs inline",
+                            backend=self.name)
+            recorder.trigger("worker-degrade", now)
         if pipeline.tracer is not None:
             pipeline.tracer.emit(
                 pipeline.sim.now, ("engine", worker.index),

@@ -17,27 +17,39 @@ from typing import List
 from repro.core.backends.base import FrameBackend
 from repro.core.backends.frames import BatchFrame, VerdictFrame
 from repro.core.backends.shardcore import ShardCore
+from repro.obs.profile import StageProfiler
 
 
 class _ShardThread:
-    def __init__(self, index: int, bootstrap: dict):
+    def __init__(self, index: int, bootstrap: dict, profile: bool = False):
         self.inbox: "queue.SimpleQueue" = queue.SimpleQueue()
         self.outbox: "queue.SimpleQueue" = queue.SimpleQueue()
         # Backend workers are real OS threads by design; determinism comes
         # from FIFO frame order plus the parent-side barrier merge.
         self.thread = threading.Thread(  # jury: ignore[D105]
-            target=self._run, args=(bootstrap,),
+            target=self._run, args=(bootstrap, profile),
             name=f"jury-shard-{index}", daemon=True)
         self.thread.start()
 
-    def _run(self, bootstrap: dict) -> None:
+    def _run(self, bootstrap: dict, profile: bool) -> None:
         core = ShardCore(**bootstrap)
+        # Wall-clock profiling lives here, inside the worker, never in the
+        # validator hot path; durations ride home on the verdict frame.
+        profiler = StageProfiler() if profile else None
         while True:
             frame = self.inbox.get()
             if frame is None:
                 return
             try:
-                self.outbox.put(core.process(frame))
+                if profiler is None:
+                    self.outbox.put(core.process(frame))
+                else:
+                    started = profiler.now()
+                    verdict = core.process(frame)
+                    profiler.observe("wakeup" if frame.wakeup else "batch",
+                                     profiler.now() - started)
+                    verdict.profile = profiler.take()
+                    self.outbox.put(verdict)
             # Shipped to the parent and re-raised at _collect — the worker
             # must never die holding the shard's FIFO.
             except BaseException as exc:  # jury: ignore[H404]
@@ -51,8 +63,10 @@ class ThreadsBackend(FrameBackend):
 
     def _start(self) -> None:
         bootstrap = self._bootstrap()
+        profile = self.pipeline.profile
         self._workers: List[_ShardThread] = [
-            _ShardThread(i, bootstrap) for i in range(self.pipeline.shards)]
+            _ShardThread(i, bootstrap, profile)
+            for i in range(self.pipeline.shards)]
 
     def _submit(self, shard, frame: BatchFrame) -> None:
         self._workers[shard.index].inbox.put(frame)

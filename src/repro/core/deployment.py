@@ -88,6 +88,8 @@ class JuryDeployment:
         self.metrics = config.build_metrics()
         self.forensics = config.build_forensics()
         self.health = config.build_health()
+        self.sampler = config.build_sampler()
+        self.recorder = config.build_flight_recorder()
         self.slo = None
         if self.health is not None:
             from repro.obs.health import SloMonitor
@@ -118,6 +120,8 @@ class JuryDeployment:
                 tracer=self.tracer, metrics=self.metrics,
                 forensics=self.forensics, health=self.health,
                 snapshot_sink=self.snapshot_sink,
+                sampler=self.sampler, recorder=self.recorder,
+                profile=config.wall_profile,
                 backend=config.backend)
         else:
             self.validator = Validator(
@@ -129,7 +133,8 @@ class JuryDeployment:
                 taint_classification=config.taint_classification,
                 keep_results=config.keep_results,
                 tracer=self.tracer, metrics=self.metrics,
-                forensics=self.forensics, health=self.health)
+                forensics=self.forensics, health=self.health,
+                sampler=self.sampler, recorder=self.recorder)
 
         latency = (config.validator_latency
                    if config.validator_latency is not None
@@ -236,10 +241,34 @@ class JuryDeployment:
         if self.slo is not None and self.metrics is not None:
             from repro.obs.metrics import collect_deployment
             collect_deployment(self.metrics, self)
-            payload["slo"] = [
-                status.to_dict()
-                for status in self.slo.evaluate(self.metrics, self.sim.now)]
+            statuses = self.slo.evaluate(self.metrics, self.sim.now)
+            self._record_slo(statuses)
+            payload["slo"] = [status.to_dict() for status in statuses]
         return payload
+
+    def _record_slo(self, statuses) -> None:
+        """Feed SLO evaluations to the flight recorder; dump on breach."""
+        recorder = self.recorder
+        if recorder is None:
+            return
+        now = self.sim.now
+        breached = False
+        for status in statuses:
+            if not status.ok:
+                breached = True
+                recorder.record(now, "slo", ("slo", status.name),
+                                verdict="breached",
+                                detail=f"value={status.value:.6g} "
+                                       f"threshold={status.threshold:.6g}")
+        if breached:
+            recorder.trigger("slo-breach", now)
+
+    def flight_payload(self) -> Dict[str, object]:
+        """Flight-recorder ring + dumps as a JSON-able payload."""
+        if self.recorder is None:
+            raise ValidationError(
+                "flight recording is off — build with JuryConfig(flight=True)")
+        return self.recorder.payload(now=self.sim.now, metrics=self.metrics)
 
     def prometheus_text(self) -> str:
         """Metrics/health/SLO state in the Prometheus text format."""
@@ -257,6 +286,7 @@ class JuryDeployment:
             reports = self.health.evaluate(self.sim.now)
             if self.slo is not None and self.metrics is not None:
                 statuses = self.slo.evaluate(self.metrics, self.sim.now)
+                self._record_slo(statuses)
         return prometheus_text(registry=self.metrics,
                                health_reports=reports,
                                slo_statuses=statuses)

@@ -68,6 +68,7 @@ from repro.core.responses import Response, ResponseKind
 from repro.core.timeouts import StaticTimeout, TimeoutPolicy
 from repro.core.validator import ControllerState, DecisionCore, digest_progress
 from repro.obs import trace as obs_trace
+from repro.obs.sampling import active_sampler
 from repro.obs.trace import active_tracer
 from repro.sim.simulator import Simulator
 
@@ -157,7 +158,8 @@ class _Shard(DecisionCore):
                         taint_classification=pipeline.taint_classification,
                         state=pipeline.state,
                         tracer=pipeline.tracer, metrics=pipeline.metrics,
-                        forensics=pipeline.forensics, health=pipeline.health)
+                        forensics=pipeline.forensics, health=pipeline.health,
+                        sampler=pipeline.sampler, recorder=pipeline.recorder)
         self.pipeline = pipeline
         self.index = index
         self.timeout: TimeoutPolicy = pipeline.timeout
@@ -269,10 +271,10 @@ class _Shard(DecisionCore):
             tau = response.trigger_id
             if tau in recently_decided:
                 stats.late_responses += 1
-                if self.tracer is not None:
+                if self.tracer is not None and self._sampled(tau):
                     self.tracer.emit(self.sim.now, tau, obs_trace.LATE_DROP,
                                      controller=response.controller_id)
-                if self.metrics is not None:
+                if self.metrics is not None and self._sampled(tau):
                     self.metrics.counter(
                         "validator_late_responses_total").inc()
                 continue
@@ -444,10 +446,10 @@ class _Shard(DecisionCore):
                     local_progress[cid] = progress
             elif tag == EV_LATE:
                 _, tau, controller = event
-                if self.tracer is not None:
+                if self.tracer is not None and self._sampled(tau):
                     self.tracer.emit(self.sim.now, tau, obs_trace.LATE_DROP,
                                      controller=controller)
-                if self.metrics is not None:
+                if self.metrics is not None and self._sampled(tau):
                     self.metrics.counter(
                         "validator_late_responses_total").inc()
             else:  # EV_DECISION
@@ -466,7 +468,7 @@ class _Shard(DecisionCore):
         """
         tau = decision.trigger_id
         responses = list(decision.responses)
-        if self.tracer is not None:
+        if self.tracer is not None and self._sampled(tau):
             self._trace_decide(tau, decision.count, decision.external,
                                decision.timed_out)
         alarms = self._post_consensus_alarms(tau, responses,
@@ -479,7 +481,8 @@ class _Shard(DecisionCore):
             detection_ms=decision.detection_ms,
             timed_out=decision.timed_out, alarms=alarms)
         if (self.tracer is not None or self.metrics is not None
-                or self.forensics is not None or self.health is not None):
+                or self.forensics is not None or self.health is not None
+                or self.recorder is not None):
             self._observe_decision(tau, result, responses,
                                    decision.outcome, decision.external)
         self.stats.decided += 1
@@ -517,7 +520,7 @@ class _Shard(DecisionCore):
         record.decided = True
         responses = record.responses
         external = self._classify_external(record.count, responses)
-        if self.tracer is not None:
+        if self.tracer is not None and self._sampled(tau):
             self._trace_decide(tau, record.count, external, timed_out)
         outcome = self._fast_consensus(responses, external)
         if outcome is None:
@@ -539,7 +542,8 @@ class _Shard(DecisionCore):
             decided_at=self.sim.now, n_responses=record.count,
             detection_ms=detection_ms, timed_out=timed_out, alarms=alarms)
         if (self.tracer is not None or self.metrics is not None
-                or self.forensics is not None or self.health is not None):
+                or self.forensics is not None or self.health is not None
+                or self.recorder is not None):
             self._observe_decision(tau, result, responses, outcome, external)
         self.stats.decided += 1
         if alarms:
@@ -590,6 +594,7 @@ class ValidationPipeline:
                  flush_interval_ms: float = 0.0,
                  tracer=None, metrics=None,
                  forensics=None, health=None, snapshot_sink=None,
+                 sampler=None, recorder=None, profile=False,
                  backend="serial"):
         if shards < 1:
             raise ValueError(f"shards must be >= 1: {shards}")
@@ -620,10 +625,22 @@ class ValidationPipeline:
         #: Periodic exporter (repro.obs.export.SnapshotSink) driven by the
         #: shard flush path; like the other observers it is pull-only.
         self.snapshot_sink = snapshot_sink
+        #: Head sampler and flight recorder (repro.obs.sampling /
+        #: .recorder): the sampler gates observer cost per trigger, the
+        #: recorder is the always-on bounded ring — both shared by every
+        #: shard, like the tracer.
+        self.sampler = active_sampler(sampler)
+        self.recorder = recorder
+        #: Wall-clock worker profiling (repro.obs.profile): read by frame
+        #: backends at worker start; the serial backend has no workers and
+        #: ignores it.
+        self.profile = bool(profile)
         #: Merged Ψid view shared by all shards (see module docstring).
         self.state: Dict[str, ControllerState] = {}
         self._shards = [_Shard(self, i) for i in range(shards)]
-        self._route: Dict[Tuple, _Shard] = {}
+        # tau -> (shard, head-sampling decision): both are pure functions
+        # of the trigger id, resolved once per trigger.
+        self._route: Dict[Tuple, Tuple["_Shard", bool]] = {}
         self.results: List[ValidationResult] = []
         self._alarms: List[Alarm] = []
         self._alarms_sorted = True
@@ -664,29 +681,34 @@ class ValidationPipeline:
     def ingest(self, response: Response) -> None:
         self.responses_received += 1
         tau = response.trigger_id
-        if self.tracer is not None:
-            self.tracer.emit(self.sim.now, tau, obs_trace.INGEST,
-                             kind=response.kind.value,
-                             controller=response.controller_id)
-        if self.metrics is not None:
-            self.metrics.counter("validator_responses_total",
-                                 kind=response.kind.value).inc()
-        if self.health is not None:
-            # Engine-level hook (pre-queue) so response events match the
-            # sequential validator's regardless of shard count.
-            received = response.trigger_received_at
-            self.health.record_response(
-                self.sim.now, response.controller_id,
-                lag_ms=None if received is None
-                else max(0.0, self.sim.now - received))
         # Route cache: ~2k+2 responses share each trigger id, so the
-        # repr+CRC of shard_of amortises to one dict hit per response.
-        shard = self._route.get(tau)
-        if shard is None:
-            shard = self._shards[shard_of(tau, self.shards)]
+        # repr+CRC of shard_of — and the head-sampling decision, which
+        # hashes the same key — amortise to one dict hit per response.
+        entry = self._route.get(tau)
+        if entry is None:
+            sampler = self.sampler
+            entry = (self._shards[shard_of(tau, self.shards)],
+                     sampler is None or sampler.sampled(tau))
             if len(self._route) > 100_000:
                 self._route.clear()
-            self._route[tau] = shard
+            self._route[tau] = entry
+        shard, sampled = entry
+        if sampled:
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, tau, obs_trace.INGEST,
+                                 kind=response.kind.value,
+                                 controller=response.controller_id)
+            if self.metrics is not None:
+                self.metrics.counter("validator_responses_total",
+                                     kind=response.kind.value).inc()
+            if self.health is not None:
+                # Engine-level hook (pre-queue) so response events match
+                # the sequential validator's regardless of shard count.
+                received = response.trigger_received_at
+                self.health.record_response(
+                    self.sim.now, response.controller_id,
+                    lag_ms=None if received is None
+                    else max(0.0, self.sim.now - received))
         shard.enqueue(self.sim.now, response)
 
     def drain(self) -> None:

@@ -59,6 +59,14 @@ class Replicator:
         # Observers are shared deployment-wide; None means off (fast path).
         self.tracer = deployment.tracer
         self.metrics = deployment.metrics
+        # Head sampler (repro.obs.sampling) shared with the validator: the
+        # same pure per-τ decision gates intercept/replicate telemetry so a
+        # sampled trigger appears in the trace end to end or not at all.
+        self.sampler = getattr(deployment, "sampler", None)
+
+    def _sampled(self, tau) -> bool:
+        sampler = self.sampler
+        return sampler is None or sampler.sampled(tau)
 
     # ------------------------------------------------------------------
     def _on_switch_trigger(self, message: Any) -> None:
@@ -75,11 +83,11 @@ class Replicator:
         tau = new_external_trigger_id()
         # Stamp τ so the primary's own context uses the same trigger id.
         message.jury_tau = tau
-        if self.tracer is not None:
+        if self.tracer is not None and self._sampled(tau):
             self.tracer.emit(self.sim.now, tau, obs_trace.INTERCEPT,
                              source="switch", primary=primary,
                              kind=type(message).__name__)
-        if self.metrics is not None:
+        if self.metrics is not None and self._sampled(tau):
             self.metrics.counter("replicator_triggers_total",
                                  source="switch").inc()
         self._replicate(tau, primary, message,
@@ -89,11 +97,11 @@ class Replicator:
         """Northbound interception: stamp τ and replicate the request."""
         tau = new_external_trigger_id()
         request.jury_tau = tau
-        if self.tracer is not None:
+        if self.tracer is not None and self._sampled(tau):
             self.tracer.emit(self.sim.now, tau, obs_trace.INTERCEPT,
                              source="rest", primary=controller_id,
                              kind=type(request).__name__)
-        if self.metrics is not None:
+        if self.metrics is not None and self._sampled(tau):
             self.metrics.counter("replicator_triggers_total",
                                  source="rest").inc()
         self._replicate(tau, controller_id, request,
@@ -106,7 +114,7 @@ class Replicator:
         secondaries = designated_secondaries(
             tau, deployment.controller_ids, deployment.k, exclude=(primary,))
         taint = Taint(trigger_id=tau, primary_id=primary)
-        if self.tracer is not None:
+        if self.tracer is not None and self._sampled(tau):
             self.tracer.emit(self.sim.now, tau, obs_trace.REPLICATE,
                              secondaries=len(secondaries))
         for secondary_id in secondaries:

@@ -31,6 +31,7 @@ from repro.core.consensus import ConsensusOutcome, evaluate_consensus, sanity_ch
 from repro.core.responses import Response
 from repro.core.timeouts import StaticTimeout, TimeoutPolicy
 from repro.obs import trace as obs_trace
+from repro.obs.sampling import active_sampler
 from repro.obs.trace import active_tracer
 from repro.sim.simulator import Simulator
 
@@ -133,7 +134,8 @@ class DecisionCore:
                    taint_classification: bool = True,
                    state: Optional[Dict[str, ControllerState]] = None,
                    tracer=None, metrics=None,
-                   forensics=None, health=None) -> None:
+                   forensics=None, health=None,
+                   sampler=None, recorder=None) -> None:
         self.sim = sim
         self.k = k
         self.policy_engine = policy_engine
@@ -147,6 +149,19 @@ class DecisionCore:
         self.metrics = metrics
         self.forensics = forensics
         self.health = health
+        #: Head sampler (repro.obs.sampling). ``None`` records everything;
+        #: otherwise observers see only the sampled triggers — a pure
+        #: function of the trigger id, so every engine samples identically.
+        #: Decisions and alarms never consult it, and alarmed decisions
+        #: are always observed in full (see _observe_decision).
+        self.sampler = active_sampler(sampler)
+        # One-slot memo for _sampled (the trigger currently being decided).
+        self._sampled_key: Optional[Tuple] = None
+        self._sampled_value = True
+        #: Flight recorder (repro.obs.recorder). Always on when present —
+        #: one bounded append per decision — and never sampled: its whole
+        #: point is holding the events leading up to an anomaly.
+        self.recorder = recorder
         #: Ablation switches (DESIGN.md §5): snapshot-grouped consensus and
         #: taint-based external/internal classification.
         self.state_aware = state_aware
@@ -166,6 +181,23 @@ class DecisionCore:
         """Algorithm 1's external test: count overflow or a tainted response."""
         return classify_external(count, responses, self.k,
                                  self.taint_classification)
+
+    def _sampled(self, tau: Tuple) -> bool:
+        """Head-sampling decision for this trigger's telemetry.
+
+        One-slot memo: the decision path asks three times per trigger
+        (DECIDE span gate, check spans, decision observers), always for
+        the trigger currently being decided.
+        """
+        sampler = self.sampler
+        if sampler is None:
+            return True
+        if tau == self._sampled_key:
+            return self._sampled_value
+        value = sampler.sampled(tau)
+        self._sampled_key = tau
+        self._sampled_value = value
+        return value
 
     def _run_checks(self, tau: Tuple, responses: List[Response],
                     external: bool) -> Tuple[ConsensusOutcome, List[Alarm]]:
@@ -187,6 +219,13 @@ class DecisionCore:
         """
         tracer = self.tracer
         metrics = self.metrics
+        # Head sampling gates only the telemetry: the checks below run
+        # identically for every trigger, and _observe_decision re-records
+        # alarmed decisions in full regardless of the head decision.
+        if (tracer is not None or metrics is not None) \
+                and not self._sampled(tau):
+            tracer = None
+            metrics = None
         alarms: List[Alarm] = []
         if not outcome.ok:
             alarms.append(self._alarm(tau, outcome, responses))
@@ -269,6 +308,24 @@ class DecisionCore:
         emitted earlier (before the checks) by :meth:`_trace_decide` so the
         per-trigger stage order matches causality.
         """
+        recorder = self.recorder
+        if recorder is not None:
+            now = self.sim.now
+            recorder.record(now, "decision", tau,
+                            verdict="alarmed" if result.alarms else "ok",
+                            external=external, timed_out=result.timed_out,
+                            n=result.n_responses,
+                            detection_ms=result.detection_ms)
+            for alarm in result.alarms:
+                recorder.record(now, "alarm", tau,
+                                verdict=alarm.reason.value,
+                                detail=alarm.offending_controller or "")
+            if result.alarms:
+                recorder.trigger("alarm", now)
+        # Alarmed decisions are always observed in full — the severity
+        # override of the head sampler (docs/observability.md §sampling).
+        if not result.alarms and not self._sampled(tau):
+            return
         tracer = self.tracer
         if tracer is not None:
             now = self.sim.now
@@ -362,13 +419,15 @@ class Validator(DecisionCore):
                  state_aware: bool = True,
                  taint_classification: bool = True,
                  tracer=None, metrics=None,
-                 forensics=None, health=None):
+                 forensics=None, health=None,
+                 sampler=None, recorder=None):
         self._init_core(sim, k, policy_engine=policy_engine,
                         mastership_lookup=mastership_lookup,
                         state_aware=state_aware,
                         taint_classification=taint_classification,
                         tracer=tracer, metrics=metrics,
-                        forensics=forensics, health=health)
+                        forensics=forensics, health=health,
+                        sampler=sampler, recorder=recorder)
         self.timeout = timeout if timeout is not None else StaticTimeout(150.0)
         self.keep_results = keep_results
         self._pending: Dict[Tuple, _TriggerRecord] = {}
@@ -397,15 +456,17 @@ class Validator(DecisionCore):
         """Process one incoming (id, τ, entry) response."""
         self.responses_received += 1
         tau = response.trigger_id
+        sampler = self.sampler
+        sampled = sampler is None or sampler.sampled(tau)
         tracer = self.tracer
-        if tracer is not None:
+        if tracer is not None and sampled:
             tracer.emit(self.sim.now, tau, obs_trace.INGEST,
                         kind=response.kind.value,
                         controller=response.controller_id)
-        if self.metrics is not None:
+        if self.metrics is not None and sampled:
             self.metrics.counter("validator_responses_total",
                                  kind=response.kind.value).inc()
-        if self.health is not None:
+        if self.health is not None and sampled:
             received = response.trigger_received_at
             self.health.record_response(
                 self.sim.now, response.controller_id,
@@ -413,10 +474,10 @@ class Validator(DecisionCore):
                 else max(0.0, self.sim.now - received))
         if tau in self._recently_decided:
             self.late_responses += 1
-            if tracer is not None:
+            if tracer is not None and sampled:
                 tracer.emit(self.sim.now, tau, obs_trace.LATE_DROP,
                             controller=response.controller_id)
-            if self.metrics is not None:
+            if self.metrics is not None and sampled:
                 self.metrics.counter("validator_late_responses_total").inc()
             return
         record = self._pending.get(tau)
@@ -461,7 +522,7 @@ class Validator(DecisionCore):
             record.timer.cancel()
         responses = [response for _, response in record.responses]
         external = self._classify_external(record.count, responses)
-        if self.tracer is not None:
+        if self.tracer is not None and self._sampled(tau):
             self._trace_decide(tau, record.count, external, timed_out)
         outcome, alarms = self._run_checks(tau, responses, external)
 
@@ -476,7 +537,8 @@ class Validator(DecisionCore):
             decided_at=self.sim.now, n_responses=record.count,
             detection_ms=detection_ms, timed_out=timed_out, alarms=alarms)
         if (self.tracer is not None or self.metrics is not None
-                or self.forensics is not None or self.health is not None):
+                or self.forensics is not None or self.health is not None
+                or self.recorder is not None):
             self._observe_decision(tau, result, responses, outcome, external)
         self.triggers_decided += 1
         if alarms:

@@ -8,7 +8,8 @@ Every counterexample the fuzzer finds (and shrinks) is saved as one
       "name": "k0-response-corruption-evades",
       "spec": { ... ScenarioSpec.to_dict() ... },
       "expect": {"violations": ["FAULT_UNDETECTED"]},
-      "notes": "why this spec breaks, for the next reader"
+      "notes": "why this spec breaks, for the next reader",
+      "oracle": {"perturb": {...}}   # optional planted oracle knob
     }
 
 ``expect.violations`` is the *exact* sorted violation-code signature the
@@ -42,15 +43,23 @@ class CorpusEntry:
     spec: ScenarioSpec
     expect: Tuple[str, ...]
     notes: str = ""
+    #: Optional oracle configuration, e.g. ``{"perturb": {"backend":
+    #: "serial", "shards": 4, "timeout_delta_ms": 40.0}}`` — the planted
+    #: fire-drill knob (see DifferentialOracle.perturb). ``None`` replays
+    #: with whatever oracle the caller supplies, unmodified.
+    oracle: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "format": CORPUS_FORMAT,
             "name": self.name,
             "spec": self.spec.to_dict(),
             "expect": {"violations": list(self.expect)},
             "notes": self.notes,
         }
+        if self.oracle is not None:
+            data["oracle"] = self.oracle
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "CorpusEntry":
@@ -60,10 +69,14 @@ class CorpusEntry:
         if "name" not in data or "spec" not in data:
             raise ValidationError("corpus entry needs 'name' and 'spec'")
         expect = tuple(sorted(data.get("expect", {}).get("violations", ())))
+        oracle = data.get("oracle")
+        if oracle is not None and not isinstance(oracle, dict):
+            raise ValidationError("corpus entry 'oracle' must be an object")
         return cls(name=data["name"],
                    spec=ScenarioSpec.from_dict(data["spec"]),
                    expect=expect,
-                   notes=data.get("notes", ""))
+                   notes=data.get("notes", ""),
+                   oracle=oracle)
 
 
 @dataclass
@@ -112,6 +125,16 @@ def replay_entry(entry: CorpusEntry,
                  oracle: Optional[DifferentialOracle] = None) -> ReplayOutcome:
     """Run an entry's spec and compare the signature against ``expect``."""
     oracle = oracle if oracle is not None else DifferentialOracle()
+    perturb = (entry.oracle or {}).get("perturb")
+    if perturb:
+        # The entry plants its own oracle perturbation (fire drill); keep
+        # the caller's differential matrix but swap in the perturbed knob.
+        oracle = DifferentialOracle(
+            shard_counts=oracle.shard_counts,
+            traced_shards=oracle.traced_shards,
+            settle_ms=oracle.settle_ms,
+            backends=oracle.backends,
+            perturb=perturb)
     report = oracle.run(entry.spec)
     actual = report.codes()
     matched = actual == entry.expect

@@ -35,6 +35,20 @@ with observability on and off, checking the invariant catalog:
 Violations carry enough detail to triage without re-running; the
 :class:`~repro.fuzz.shrink.Shrinker` uses the violation-code signature as
 its interestingness predicate.
+
+Engine/trace divergences additionally ship **artifacts** (PR 8): the
+diverging pair is re-run traced, the canonical traces are aligned with
+:func:`repro.obs.diff.diff_tracers`, and the violation detail names the
+first-divergence point; ``report.artifacts`` carries the full trace diff
+plus a flight-recorder dump of the diverging replay, so every surviving
+counterexample is triageable offline (``jury-repro trace-diff``,
+``jury-repro diagnose --flight``).
+
+A ``perturb`` knob applies a deterministic timeout delta to exactly one
+named ``(backend, shards)`` replay variant — a planted fire drill that
+must produce exactly ``ENGINE_DIVERGENCE``, exercising the divergence →
+diff → artifact path end to end (the committed
+``tests/corpus/planted-engine-divergence.json`` entry).
 """
 
 from __future__ import annotations
@@ -115,6 +129,11 @@ class OracleReport:
     spec_digest: str = ""
     alarm_digest: str = ""
     trace_digest: str = ""
+    #: Divergence triage artifacts: ``trace_diff`` (the aligned canonical
+    #: trace diff of the first diverging pair, JSON-able) and ``flight``
+    #: (the diverging replay's flight-recorder payload). Empty when no
+    #: engine/trace divergence occurred.
+    artifacts: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -139,6 +158,7 @@ class OracleReport:
             "spec_digest": self.spec_digest,
             "alarm_digest": self.alarm_digest,
             "trace_digest": self.trace_digest,
+            "artifacts": dict(self.artifacts),
         }
 
 
@@ -153,11 +173,16 @@ class DifferentialOracle:
                  shard_counts: Tuple[int, ...] = DEFAULT_SHARD_COUNTS,
                  traced_shards: Tuple[int, ...] = DEFAULT_TRACED_SHARDS,
                  settle_ms: float = 10_000.0,
-                 backends: Tuple[str, ...] = DEFAULT_BACKENDS):
+                 backends: Tuple[str, ...] = DEFAULT_BACKENDS,
+                 perturb: Optional[Dict[str, object]] = None):
         self.shard_counts = shard_counts
         self.traced_shards = traced_shards
         self.settle_ms = settle_ms
         self.backends = backends
+        #: Planted fire drill: ``{"backend": ..., "shards": ...,
+        #: "timeout_delta_ms": ...}`` perturbs exactly one replay variant's
+        #: static timeout, deterministically forcing ENGINE_DIVERGENCE.
+        self.perturb = perturb
 
     # ------------------------------------------------------------------
     # Live execution + recording
@@ -233,7 +258,8 @@ class DifferentialOracle:
     # Replay engines
     # ------------------------------------------------------------------
     def _replay(self, live: LiveRun, shards: Optional[int] = None,
-                tracer=None, metrics=None, backend: str = "serial"):
+                tracer=None, metrics=None, backend: str = "serial",
+                timeout_ms: Optional[float] = None, recorder=None):
         from repro.core.pipeline import ValidationPipeline
         from repro.core.timeouts import StaticTimeout
         from repro.core.validator import Validator
@@ -242,12 +268,15 @@ class DifferentialOracle:
 
         spec = live.spec
         lookup = live.mastership.get
+        effective_timeout = (spec.timeout_ms if timeout_ms is None
+                             else timeout_ms)
 
         def make(sim):
-            kwargs = dict(timeout=StaticTimeout(spec.timeout_ms),
+            kwargs = dict(timeout=StaticTimeout(effective_timeout),
                           policy_engine=default_policy_engine(),
                           mastership_lookup=lookup,
-                          tracer=tracer, metrics=metrics)
+                          tracer=tracer, metrics=metrics,
+                          recorder=recorder)
             if shards is None:
                 return Validator(sim, spec.k, **kwargs)
             return ValidationPipeline(sim, spec.k, shards=shards,
@@ -327,15 +356,22 @@ class DifferentialOracle:
         baseline_counters = self._counters(sequential)
         for backend in self.backends:
             for shards in self.shard_counts:
-                pipeline = self._replay(live, shards=shards, backend=backend)
+                timeout_ms = self._perturbed_timeout(spec, backend, shards)
+                pipeline = self._replay(live, shards=shards, backend=backend,
+                                        timeout_ms=timeout_ms)
                 stream = canonical_alarm_stream(pipeline.alarms)
                 label = f"pipeline N={shards} backend={backend}"
+                if timeout_ms is not None:
+                    label += f" (perturbed timeout {timeout_ms:.1f} ms)"
                 if stream != expected:
+                    detail = (f"{label} alarm stream diverged "
+                              f"({_sha256(stream)[:12]} != "
+                              f"{_sha256(expected)[:12]})")
+                    if "trace_diff" not in report.artifacts:
+                        detail += "; " + self._capture_divergence(
+                            live, report, shards, backend, timeout_ms)
                     violations.append(InvariantViolation(
-                        "ENGINE_DIVERGENCE",
-                        f"{label} alarm stream diverged "
-                        f"({_sha256(stream)[:12]} != "
-                        f"{_sha256(expected)[:12]})"))
+                        "ENGINE_DIVERGENCE", detail))
                 elif self._counters(pipeline) != baseline_counters:
                     violations.append(InvariantViolation(
                         "COUNTER_MISMATCH",
@@ -361,10 +397,64 @@ class DifferentialOracle:
                     "OBSERVER_IMPURITY",
                     f"tracing changed the pipeline N={shards} alarm stream"))
             if _sha256(tracer.canonical()) != report.trace_digest:
+                from repro.obs.diff import diff_tracers, first_divergence_detail
+                diff = diff_tracers(seq_tracer, tracer)
+                report.artifacts.setdefault("trace_diff", {
+                    "left": "sequential replay (traced)",
+                    "right": f"pipeline N={shards} (traced)",
+                    **diff.to_dict()})
                 violations.append(InvariantViolation(
                     "TRACE_DIVERGENCE",
-                    f"canonical trace diverged at N={shards}"))
+                    f"canonical trace diverged at N={shards}; "
+                    + first_divergence_detail(diff)))
         return report
+
+    # ------------------------------------------------------------------
+    # Divergence triage
+    # ------------------------------------------------------------------
+    def _perturbed_timeout(self, spec: ScenarioSpec, backend: str,
+                           shards: int) -> Optional[float]:
+        """The perturbed absolute θτ (ms) for this variant, or ``None``."""
+        perturb = self.perturb
+        if not perturb:
+            return None
+        if perturb.get("backend", "serial") != backend:
+            return None
+        if perturb.get("shards") != shards:
+            return None
+        delta = float(perturb.get("timeout_delta_ms", 0.0))
+        return None if delta == 0.0 else spec.timeout_ms + delta
+
+    def _capture_divergence(self, live: LiveRun, report: OracleReport,
+                            shards: int, backend: str,
+                            timeout_ms: Optional[float]) -> str:
+        """Re-run the diverging pair traced; attach diff + flight artifacts.
+
+        Returns the one-line first-divergence summary appended to the
+        violation detail. Only the *first* engine divergence is captured —
+        later variants usually diverge for the same root cause, and each
+        capture costs two more replays.
+        """
+        from repro.obs.diff import diff_tracers, first_divergence_detail
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.recorder import FlightRecorder
+        from repro.obs.trace import Tracer
+
+        left = Tracer()
+        self._replay(live, tracer=left, metrics=MetricsRegistry())
+        right = Tracer()
+        recorder = FlightRecorder()
+        engine = self._replay(live, shards=shards, backend=backend,
+                              tracer=right, metrics=MetricsRegistry(),
+                              recorder=recorder, timeout_ms=timeout_ms)
+        diff = diff_tracers(left, right)
+        recorder.trigger("engine-divergence", engine.sim.now)
+        report.artifacts["trace_diff"] = {
+            "left": "sequential replay",
+            "right": f"pipeline N={shards} backend={backend}",
+            **diff.to_dict()}
+        report.artifacts["flight"] = recorder.payload(now=engine.sim.now)
+        return first_divergence_detail(diff)
 
     @staticmethod
     def _counters(engine) -> Tuple[int, int, int]:

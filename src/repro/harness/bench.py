@@ -186,7 +186,8 @@ def compare(triggers: int = 20_000, k: int = 6, seed: int = 0,
 
 def compare_observability(triggers: int = 20_000, k: int = 6, seed: int = 0,
                           fault_rate: float = 0.02, shards: int = 4,
-                          reps: int = 3, chunk: int = 64) -> Dict[str, object]:
+                          reps: int = 3, chunk: int = 64,
+                          obs_sample: int = 64) -> Dict[str, object]:
     """Measure the observability layer's cost on the sharded pipeline.
 
     Three variants consume the same workload: the no-op path twice
@@ -204,61 +205,106 @@ def compare_observability(triggers: int = 20_000, k: int = 6, seed: int = 0,
     Overhead percentages compare the best-of-reps *median per-chunk* time
     rather than whole-run wall clock: the median discards scheduler
     hiccups that a single wall number folds in, which is what keeps the
-    ``off_delta_pct`` gate usable on shared CI runners.
+    ``off_delta_pct`` gate usable on shared CI runners. The one exception
+    is ``sampled_overhead_pct``, which is the *median of paired per-rep
+    best-chunk ratios*: the sampled delta is µs-scale, and unpaired
+    noise on either side of a global ratio would swing it by several
+    points per run.
 
-    A fourth ``full`` variant (tracer + metrics + alarm forensics +
-    replica health) runs once after the timed reps. Its overhead number is
-    informational — the gated contract stays the tracing-off noise floor —
-    but its alarm stream must still match the uninstrumented run
-    byte-for-byte (``alarm_streams_identical_full``).
+    A fourth interleaved variant, ``sampled``, runs the *full* stack
+    (tracer + metrics + forensics + health) head-sampled at
+    1-in-``obs_sample`` with the always-on flight recorder attached. This
+    is the production-shaped configuration the ≤25% overhead gate watches
+    (``sampled_overhead_pct``); its alarm stream must still match the
+    uninstrumented run byte-for-byte (``alarm_streams_identical_sampled``)
+    because sampling gates only telemetry, never checks.
+
+    The unsampled ``full`` variant (tracer + metrics + alarm forensics +
+    replica health) runs twice after the timed reps, best kept. Its
+    overhead number is regression-gated against the committed payload
+    (``bench obs --baseline``) rather than an absolute bound, and its
+    alarm stream must still match the uninstrumented run byte-for-byte
+    (``alarm_streams_identical_full``).
     """
     from repro.obs.diagnose import AlarmForensics
     from repro.obs.health import ReplicaHealthTracker
     from repro.obs.metrics import MetricsRegistry, collect_pipeline
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.sampling import HeadSampler
     from repro.obs.trace import INGEST, Tracer
 
     workload = synthetic_validation_workload(triggers, k=k, seed=seed,
                                              fault_rate=fault_rate)
     timeout_ms = 10_000.0
 
-    def run(tracer=None, metrics=None, forensics=None, health=None):
+    def run(tracer=None, metrics=None, forensics=None, health=None,
+            sampler=None, recorder=None):
         return _timed_run(
             lambda sim: ValidationPipeline(
                 sim, k, shards=shards, timeout=StaticTimeout(timeout_ms),
                 keep_results=False, tracer=tracer, metrics=metrics,
-                forensics=forensics, health=health),
+                forensics=forensics, health=health,
+                sampler=sampler, recorder=recorder),
             workload, chunk=chunk, drain=True)
+
+    def full_stack_kwargs():
+        return {"tracer": Tracer(), "metrics": MetricsRegistry(),
+                "forensics": AlarmForensics(),
+                "health": ReplicaHealthTracker()}
 
     best_wall: Dict[str, float] = {}
     best_p50: Dict[str, float] = {}
+    rep_min: Dict[str, List[float]] = {}
     finals: Dict[str, object] = {}
-    variants = ("off", "off2", "on")
+    variants = ("off", "off2", "on", "sampled")
     for rep in range(max(1, reps)):
         # Rotate the variant order each rep and collect garbage before each
         # timed region: otherwise the span-heavy "on" run leaves allocator
         # pressure that lands on whichever variant runs next, biasing the
         # off-vs-off2 paired delta the gate watches.
-        order = variants[rep % 3:] + variants[:rep % 3]
+        shift = rep % len(variants)
+        order = variants[shift:] + variants[:shift]
         for variant in order:
             gc.collect()
             if variant == "on":
                 engine, wall, samples = run(tracer=Tracer(),
                                             metrics=MetricsRegistry())
+            elif variant == "sampled":
+                engine, wall, samples = run(
+                    sampler=HeadSampler(obs_sample),
+                    recorder=FlightRecorder(), **full_stack_kwargs())
             else:
                 engine, wall, samples = run()
             p50 = percentile(samples, 0.5)
-            if variant not in best_p50 or p50 < best_p50[variant]:
+            if p50 < best_p50.get(variant, float("inf")):
                 best_p50[variant] = p50
                 finals[variant] = engine
+            rep_min.setdefault(variant, []).append(min(samples))
             if variant not in best_wall or wall < best_wall[variant]:
                 best_wall[variant] = wall
     best = best_wall
+    best_min = {v: min(mins) for v, mins in rep_min.items()}
 
-    gc.collect()
-    full_engine, full_wall, full_samples = run(
-        tracer=Tracer(), metrics=MetricsRegistry(),
-        forensics=AlarmForensics(), health=ReplicaHealthTracker())
-    full_p50 = percentile(full_samples, 0.5)
+    # Paired per-rep ratios for the sampled gate: within one rep the four
+    # variants run back-to-back, so a transient slowdown (another process,
+    # frequency scaling) lands on both sides of the ratio; the median
+    # across reps then discards the reps it didn't. Comparing global
+    # minima instead lets one noisy window inflate the sampled side while
+    # the off side keeps a fast chunk from a quiet window.
+    sampled_ratios = sorted(
+        rep_min["sampled"][r] / min(rep_min["off"][r], rep_min["off2"][r])
+        for r in range(len(rep_min["sampled"])))
+    sampled_overhead = (percentile(sampled_ratios, 0.5) - 1.0) * 100.0
+
+    # Unsampled full stack: two runs, best kept — single-run numbers are
+    # too noisy for the --baseline regression gate to trust.
+    full_engine, full_wall, full_p50 = None, float("inf"), float("inf")
+    for _ in range(2):
+        gc.collect()
+        engine, wall, samples = run(**full_stack_kwargs())
+        p50 = percentile(samples, 0.5)
+        if p50 < full_p50:
+            full_engine, full_wall, full_p50 = engine, wall, p50
 
     def pct(slow: float, fast: float) -> float:
         return (slow - fast) / fast * 100.0 if fast > 0 else 0.0
@@ -278,23 +324,45 @@ def compare_observability(triggers: int = 20_000, k: int = 6, seed: int = 0,
             "fault_rate": fault_rate,
             "shards": shards,
             "reps": reps,
+            "obs_sample": obs_sample,
         },
         "off": {"wall_s": best["off"], "p50_chunk_ms": best_p50["off"],
+                "min_chunk_ms": best_min["off"],
                 "ops_per_s": triggers / best["off"]},
         "off2": {"wall_s": best["off2"], "p50_chunk_ms": best_p50["off2"],
+                 "min_chunk_ms": best_min["off2"],
                  "ops_per_s": triggers / best["off2"]},
         "on": {"wall_s": best["on"], "p50_chunk_ms": best_p50["on"],
                "ops_per_s": triggers / best["on"],
                "spans": len(tracer),
                "metrics_series": len(registry.snapshot())},
+        "sampled": {
+            "wall_s": best["sampled"],
+            "p50_chunk_ms": best_p50["sampled"],
+            "min_chunk_ms": best_min["sampled"],
+            "ops_per_s": triggers / best["sampled"],
+            "obs_sample": obs_sample,
+            "spans": len(finals["sampled"].tracer),
+            "flight_events": len(finals["sampled"].recorder),
+            "flight_dumps": len(finals["sampled"].recorder.dumps),
+        },
         "full": {"wall_s": full_wall, "p50_chunk_ms": full_p50,
                  "ops_per_s": triggers / full_wall if full_wall > 0 else 0.0,
                  "explained_alarms": full_engine.forensics.alarm_count,
                  "health_response_events":
                      full_engine.health.response_events},
-        # Single-run, so noisier than the gated numbers: informational.
+        # Best-of-2, still noisier than the interleaved numbers: gated
+        # only relatively, against the committed payload (--baseline).
         "full_overhead_pct": pct(full_p50,
                                  min(best_p50["off"], best_p50["off2"])),
+        # The production-shaped gate: full stack head-sampled 1-in-N plus
+        # the always-on flight recorder must stay within the CI bound.
+        # Unlike the order-of-magnitude overheads above, this delta is a
+        # handful of µs per trigger, so it uses the median of paired
+        # per-rep best-chunk ratios (see sampled_ratios above) instead of
+        # a ratio of global medians, which swings by several points per
+        # run on a shared machine.
+        "sampled_overhead_pct": sampled_overhead,
         # |off - off2| / min on median chunk time: the noise floor bounding
         # the no-op path cost (two identical binaries should tie).
         "off_delta_pct": abs(pct(max(best_p50["off"], best_p50["off2"]),
@@ -307,6 +375,9 @@ def compare_observability(triggers: int = 20_000, k: int = 6, seed: int = 0,
         "alarm_streams_identical_full": (
             canonical_alarm_stream(finals["off"].alarms)
             == canonical_alarm_stream(full_engine.alarms)),
+        "alarm_streams_identical_sampled": (
+            canonical_alarm_stream(finals["off"].alarms)
+            == canonical_alarm_stream(finals["sampled"].alarms)),
         "span_conservation": {
             "responses_fed": responses_fed,
             "ingest_spans": stage_counts.get(INGEST, 0),

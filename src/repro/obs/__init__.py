@@ -20,6 +20,17 @@ Built on top of them, three diagnosis/health layers:
 * :mod:`repro.obs.export` — zero-dependency Prometheus-text and JSONL
   exporters and the periodic :class:`~repro.obs.export.SnapshotSink`.
 
+Production-shaped telemetry bounding (PR 8):
+
+* :class:`~repro.obs.recorder.FlightRecorder` — always-on fixed-size ring
+  of recent decision/alarm/worker/SLO events, dumped on anomaly triggers.
+* :class:`~repro.obs.sampling.HeadSampler` — deterministic 1-in-N head
+  sampling of the observer stack, keyed on the trigger id.
+* :mod:`repro.obs.profile` — wall-clock per-stage/per-shard worker
+  profiling, distinct from the simulated-time tracer.
+* :mod:`repro.obs.diff` — canonical trace diffing with first-divergence
+  attribution (``jury-repro trace-diff``).
+
 All are strictly read-only observers of the validation path: enabling
 them cannot change a decision, and disabling them (``None``, the default)
 costs one branch per instrumented event. See ``docs/observability.md``
@@ -39,6 +50,14 @@ from repro.obs.diagnose import (
     export_explanations,
     find_explanation,
     render_explanations,
+)
+from repro.obs.diff import (
+    DiffEntry,
+    TraceDiff,
+    diff_payloads,
+    diff_trace_files,
+    diff_tracers,
+    first_divergence_detail,
 )
 from repro.obs.export import (
     SnapshotSink,
@@ -63,6 +82,21 @@ from repro.obs.metrics import (
     collect_deployment,
     collect_pipeline,
     dump_metrics,
+)
+from repro.obs.profile import (
+    StageProfiler,
+    merge_profile,
+    profile_summary,
+)
+from repro.obs.recorder import (
+    FlightRecorder,
+    dump_flight,
+    load_flight,
+    render_flight,
+)
+from repro.obs.sampling import (
+    HeadSampler,
+    active_sampler,
 )
 from repro.obs.trace import (
     ACCEPT,
@@ -101,9 +135,12 @@ __all__ = [
     "AlarmForensics",
     "Counter",
     "DECIDE",
+    "DiffEntry",
     "FAULT_CLASS_BY_REASON",
     "FieldDiff",
+    "FlightRecorder",
     "Gauge",
+    "HeadSampler",
     "HealthReport",
     "Histogram",
     "INGEST",
@@ -119,26 +156,38 @@ __all__ = [
     "SloStatus",
     "SnapshotSink",
     "Span",
+    "StageProfiler",
+    "TraceDiff",
     "Tracer",
     "TriggerTimeline",
     "VERDICT_OK",
+    "active_sampler",
     "active_tracer",
     "collect_deployment",
     "collect_pipeline",
     "default_slo_rules",
     "diff_entries",
+    "diff_payloads",
+    "diff_trace_files",
+    "diff_tracers",
+    "dump_flight",
     "dump_metrics",
     "dump_trace",
     "explain_alarm",
     "explanations_from_files",
     "export_explanations",
     "find_explanation",
+    "first_divergence_detail",
     "health_jsonl",
     "lint_prometheus_text",
+    "load_flight",
     "load_trace",
     "match_trigger_key",
+    "merge_profile",
     "metrics_jsonl",
+    "profile_summary",
     "prometheus_text",
     "render_explanations",
+    "render_flight",
     "span_sort_key",
 ]

@@ -26,6 +26,58 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 _QUANTILES = (("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0))
 
+#: Histogram families rendered with real cumulative ``le`` buckets (plus
+#: ``_sum``/``_count``) instead of the default summary-with-quantiles
+#: rendering. Wall-clock profiling data is bucketed: scrapers aggregate it
+#: across workers, which quantiles cannot do.
+_BUCKETED_FAMILIES: Dict[str, Tuple[float, ...]] = {
+    "backend_stage_wall_ms": (
+        0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+        250.0, 500.0, 1000.0),
+}
+
+#: ``# HELP`` text per family. Families absent here fall back to a
+#: prefix-derived generic line so every exposition family carries HELP.
+_HELP_TEXT: Dict[str, str] = {
+    "backend_frames_total": "Batch frames dispatched to backend workers.",
+    "backend_frame_responses_total":
+        "Responses carried by dispatched batch frames.",
+    "backend_workers": "Worker processes/threads currently attached.",
+    "backend_worker_deaths_total":
+        "Worker deaths observed (timeout or dead pipe).",
+    "backend_worker_restarts_total":
+        "Workers recovered via respawn + snapshot replay.",
+    "backend_degraded_total":
+        "Shards degraded to in-parent inline execution.",
+    "backend_stage_wall_ms":
+        "Wall-clock stage duration measured inside backend workers (ms).",
+    "backend_stage_wall_ms_max":
+        "Largest single wall-clock stage duration shipped by a worker (ms).",
+    "backend_stage_operations_total":
+        "Worker stage executions aggregated into the wall-clock profile.",
+    "validator_detection_ms": "Per-trigger detection latency (ms).",
+    "validator_responses_total": "Responses ingested by the validator.",
+}
+
+_HELP_PREFIXES: Tuple[Tuple[str, str], ...] = (
+    ("validator_", "Validation-core instrumentation (repro.core)."),
+    ("pipeline_", "Sharded-pipeline instrumentation (repro.core.pipeline)."),
+    ("backend_", "Execution-backend instrumentation (repro.core.backends)."),
+    ("replicator_", "Trigger replication instrumentation."),
+    ("jury_", "Deployment-level health/SLO export."),
+)
+
+
+def help_text(family: str) -> str:
+    """The ``# HELP`` line body for a family (generic fallback included)."""
+    text = _HELP_TEXT.get(family)
+    if text is not None:
+        return text
+    for prefix, fallback in _HELP_PREFIXES:
+        if family.startswith(prefix):
+            return fallback
+    return "JURY reproduction metric."
+
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
@@ -75,6 +127,7 @@ def prometheus_metrics_lines(registry) -> List[str]:
     def header(family: str, prom_type: str) -> None:
         if family not in typed:
             typed.add(family)
+            lines.append(f"# HELP {family} {help_text(family)}")
             lines.append(f"# TYPE {family} {prom_type}")
 
     for name, labels, instrument, kind in registry.instruments():
@@ -84,6 +137,9 @@ def prometheus_metrics_lines(registry) -> List[str]:
         elif kind == "gauge":
             header(name, "gauge")
             lines.append(_render_series(name, labels, instrument.value))
+        elif name in _BUCKETED_FAMILIES:
+            header(name, "histogram")
+            lines.extend(_histogram_lines(name, labels, instrument))
         else:
             header(name, "summary")
             for quantile, q in _QUANTILES:
@@ -96,6 +152,25 @@ def prometheus_metrics_lines(registry) -> List[str]:
                 f"{name}_sum", labels, math.fsum(instrument.samples)))
             lines.append(_render_series(
                 f"{name}_count", labels, instrument.count))
+    return lines
+
+
+def _histogram_lines(name: str, labels, instrument) -> List[str]:
+    """Cumulative ``_bucket{le=...}`` + ``_sum``/``_count`` for one series."""
+    lines: List[str] = []
+    samples = instrument.samples
+    cumulative = 0
+    for bound in _BUCKETED_FAMILIES[name]:
+        cumulative = sum(1 for sample in samples if sample <= bound)
+        lines.append(_render_series(
+            f"{name}_bucket",
+            tuple(labels) + (("le", _format_value(bound)),), cumulative))
+    lines.append(_render_series(
+        f"{name}_bucket", tuple(labels) + (("le", "+Inf"),),
+        instrument.count))
+    lines.append(_render_series(
+        f"{name}_sum", labels, math.fsum(samples)))
+    lines.append(_render_series(f"{name}_count", labels, instrument.count))
     return lines
 
 
@@ -159,14 +234,22 @@ def prometheus_text(registry=None, health_reports=None,
 def lint_prometheus_text(text: str) -> List[str]:
     """Validate an exposition document; returns error strings (empty = ok).
 
-    Checks the line grammar, label-pair syntax, ``# TYPE`` placement
-    (before the family's first sample, at most once per family), and
-    duplicate series.
+    Checks the line grammar, label-pair syntax, ``# TYPE``/``# HELP``
+    placement (before the family's first sample, at most once per family),
+    duplicate series, and histogram bucket discipline: every ``_bucket``
+    sample of a declared histogram must carry an ``le`` label, the bucket
+    counts of each series must be cumulative (non-decreasing in ``le``
+    order), and the ``+Inf`` bucket must be present and equal the series'
+    ``_count``.
     """
     errors: List[str] = []
     declared: Dict[str, str] = {}
+    helped: set = set()
     seen_series: set = set()
     sampled_families: set = set()
+    #: (family, non-le label body) -> [(le, value), ...] / _count values
+    buckets: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, str], float] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             errors.append(f"line {lineno}: blank line in exposition")
@@ -191,6 +274,21 @@ def lint_prometheus_text(text: str) -> List[str]:
                     errors.append(
                         f"line {lineno}: TYPE for {family!r} after samples")
                 declared[family] = prom_type
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                if len(parts) < 4:
+                    errors.append(f"line {lineno}: malformed HELP comment")
+                    continue
+                family = parts[2]
+                if not _NAME_RE.match(family):
+                    errors.append(
+                        f"line {lineno}: bad family name {family!r}")
+                if family in helped:
+                    errors.append(
+                        f"line {lineno}: duplicate HELP for {family!r}")
+                if family in sampled_families:
+                    errors.append(
+                        f"line {lineno}: HELP for {family!r} after samples")
+                helped.add(family)
             continue
         match = _SAMPLE_RE.match(line)
         if match is None:
@@ -203,15 +301,54 @@ def lint_prometheus_text(text: str) -> List[str]:
             errors.append(
                 f"line {lineno}: sample for undeclared family {family!r}")
         labels = match.group("labels")
+        label_pairs: List[str] = []
         if labels:
             for pair in _split_label_pairs(labels):
                 if not _LABEL_RE.match(pair):
                     errors.append(
                         f"line {lineno}: malformed label pair {pair!r}")
+                else:
+                    label_pairs.append(pair)
         series = (name, labels or "")
         if series in seen_series:
             errors.append(f"line {lineno}: duplicate series {line!r}")
         seen_series.add(series)
+        if declared.get(family) != "histogram":
+            continue
+        value = float(match.group("value").replace("+Inf", "inf")
+                      .replace("-Inf", "-inf").replace("NaN", "nan"))
+        rest = ",".join(p for p in label_pairs if not p.startswith('le="'))
+        if name == f"{family}_bucket":
+            le_pairs = [p for p in label_pairs if p.startswith('le="')]
+            if len(le_pairs) != 1:
+                errors.append(
+                    f"line {lineno}: histogram bucket without an le label")
+                continue
+            bound_text = le_pairs[0][len('le="'):-1]
+            try:
+                bound = float(bound_text.replace("+Inf", "inf"))
+            except ValueError:
+                errors.append(
+                    f"line {lineno}: unparseable le bound {bound_text!r}")
+                continue
+            buckets.setdefault((family, rest), []).append((bound, value))
+        elif name == f"{family}_count":
+            counts[(family, rest)] = value
+    for key, series_buckets in sorted(buckets.items()):
+        family, rest = key
+        label = f"{family}{{{rest}}}" if rest else family
+        bounds = [bound for bound, _ in series_buckets]
+        values = [value for _, value in series_buckets]
+        if bounds != sorted(bounds):
+            errors.append(f"{label}: bucket le bounds out of order")
+        if any(later < earlier
+               for earlier, later in zip(values, values[1:])):
+            errors.append(f"{label}: bucket counts are not cumulative")
+        if not bounds or bounds[-1] != math.inf:
+            errors.append(f"{label}: missing +Inf bucket")
+        elif key in counts and values[-1] != counts[key]:
+            errors.append(
+                f"{label}: +Inf bucket {values[-1]} != _count {counts[key]}")
     return errors
 
 

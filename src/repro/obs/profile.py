@@ -1,0 +1,128 @@
+"""Wall-clock profiling for execution-backend workers.
+
+The :class:`~repro.obs.trace.Tracer` is keyed on **simulated** time by
+design — it answers "what did the validator decide, and when, in the
+modelled network". It cannot answer "where does the *real* CPU time go
+inside a worker", which is the question the backend speedup work lives
+on. This module collects that second kind of time: per-stage, per-shard
+wall-clock durations measured **inside** thread/process backend workers,
+shipped home piggybacked on the worker's
+:class:`~repro.core.backends.frames.VerdictFrame`, and merged into the
+parent's :class:`~repro.obs.metrics.MetricsRegistry` under per-worker
+labels.
+
+Separation rules that keep this safe:
+
+* Wall-clock reads happen **only in worker code** (the thread loop / the
+  worker-process main), never in the validator hot path —
+  ``core/validator.py``, ``core/pipeline.py``, and ``core/consensus.py``
+  must stay wall-clock-free (rules D101/X502). The parent side of the
+  merge only copies numbers a worker already measured.
+* Profiling never touches the Tracer: the canonical simulated-time trace
+  is byte-identical with profiling on or off (asserted in the
+  differential suite).
+* The ship-home format is a plain dict of per-stage aggregates
+  (count/total/min/max), so a verdict frame grows by a few floats — not
+  by a sample list.
+
+Stages: ``batch`` (a worker processed a batch frame), ``wakeup`` (a θτ
+timer frame), ``restore`` (a respawned worker rebuilt state from a
+snapshot).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+#: Metric family names the merge step writes (exported with HELP/TYPE
+#: metadata by repro.obs.export).
+STAGE_WALL_MS = "backend_stage_wall_ms"
+STAGE_OPS = "backend_stage_operations_total"
+
+
+class StageProfiler:
+    """Per-stage wall-clock accumulator living inside one backend worker.
+
+    ``observe`` folds one duration into the per-stage aggregate;
+    ``take`` drains the aggregates accumulated since the previous take —
+    the delta a verdict frame carries home. All methods are worker-local
+    (one profiler per worker; no locking needed).
+    """
+
+    __slots__ = ("_acc",)
+
+    def __init__(self) -> None:
+        self._acc: Dict[str, list] = {}
+
+    @staticmethod
+    def now() -> float:
+        """A wall-clock timestamp for bracketing one worker stage."""
+        # Worker-side wall clock by design: this is the one sanctioned
+        # home for real-time reads (module docstring), and the simulated
+        # clock is not advancing inside a worker.
+        return time.perf_counter()  # jury: ignore[D101]
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Fold one stage duration (seconds) into the running aggregate."""
+        acc = self._acc.get(stage)
+        if acc is None:
+            self._acc[stage] = [1, seconds, seconds, seconds]
+            return
+        acc[0] += 1
+        acc[1] += seconds
+        if seconds < acc[2]:
+            acc[2] = seconds
+        if seconds > acc[3]:
+            acc[3] = seconds
+
+    def take(self) -> Optional[Dict[str, Tuple[int, float, float, float]]]:
+        """Drain accumulated aggregates; None when nothing was measured.
+
+        Returns ``{stage: (count, total_s, min_s, max_s)}`` — a small,
+        picklable payload attached to the next verdict frame.
+        """
+        if not self._acc:
+            return None
+        out = {stage: tuple(acc) for stage, acc in self._acc.items()}
+        self._acc.clear()
+        return out
+
+
+def merge_profile(metrics, backend: str, shard: int, profile) -> None:
+    """Fold one verdict frame's profile delta into the metrics registry.
+
+    Runs on the parent at merge time. Per-stage wall-clock totals land in
+    the ``backend_stage_wall_ms`` histogram (one sample per shipped
+    delta) and operation counts in ``backend_stage_operations_total``,
+    both labelled by backend, shard (the worker), and stage. Copies
+    worker-measured numbers only — no clock reads here.
+    """
+    if not profile or metrics is None:
+        return
+    for stage in sorted(profile):
+        count, total_s, _min_s, max_s = profile[stage]
+        metrics.histogram(STAGE_WALL_MS, backend=backend, shard=shard,
+                          stage=stage).observe(total_s * 1000.0)
+        metrics.counter(STAGE_OPS, backend=backend, shard=shard,
+                        stage=stage).inc(count)
+        metrics.gauge("backend_stage_wall_ms_max", backend=backend,
+                      shard=shard, stage=stage).set(max_s * 1000.0)
+
+
+def profile_summary(metrics) -> Dict[str, Dict[str, float]]:
+    """Readable per-(backend, shard, stage) wall-clock summary.
+
+    Collapses the ``backend_stage_wall_ms`` histogram families into
+    ``{"backend=threads,shard=0,stage=batch": {count, total_ms, p95_ms}}``
+    for the CLI and the bench payloads.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for name, labels, histogram, _kind in metrics.instruments("histogram"):
+        if name != STAGE_WALL_MS:
+            continue
+        key = ",".join(f"{k}={v}" for k, v in labels)
+        out[key] = {"count": float(histogram.count),
+                    "total_ms": float(histogram.total),
+                    "p95_ms": float(histogram.percentile(0.95))}
+    return out

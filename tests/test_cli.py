@@ -81,6 +81,14 @@ def test_metrics_prom_format_lints_clean(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "# TYPE validator_responses_total counter" in out
+    assert ("# HELP validator_responses_total "
+            "Responses ingested by the validator.") in out
+    # Every declared family carries a HELP line right before its TYPE.
+    lines = out.strip("\n").splitlines()
+    for index, line in enumerate(lines):
+        if line.startswith("# TYPE "):
+            family = line.split()[2]
+            assert lines[index - 1].startswith(f"# HELP {family} ")
     assert lint_prometheus_text(out.strip("\n") + "\n") == []
 
 
@@ -131,6 +139,68 @@ def test_diagnose_missing_alarm_log_exits_nonzero(tmp_path, capsys):
     code = main(["diagnose", "--alarm-log", str(tmp_path / "missing.jsonl")])
     assert code == 2
     assert "diagnose" in capsys.readouterr().err
+
+
+def test_diagnose_flight_output_then_attach(tmp_path, capsys):
+    import json
+    flight = tmp_path / "FLIGHT.json"
+    fault_args = ["diagnose", "--fault", "link-failure", "--nodes", "5",
+                  "-k", "4", "--switches", "6", "--seed", "4"]
+    code = main(fault_args + ["--flight-output", str(flight)])
+    capsys.readouterr()
+    assert code == 0 and flight.exists()
+    payload = json.loads(flight.read_text())
+    assert payload["format"] == "jury-flight"
+    assert payload["events_recorded"] > 0
+    assert any(dump["reason"] == "alarm" for dump in payload["dumps"]), \
+        "the fault's alarms must have triggered a dump"
+    # Attach the dump to a fresh diagnosis, human and JSON.
+    code = main(fault_args + ["--flight", str(flight), "--format", "json"])
+    attached = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert attached["flight"]["events_recorded"] \
+        == payload["events_recorded"]
+    code = main(fault_args + ["--flight", str(flight)])
+    assert code == 0
+    assert "flight recorder:" in capsys.readouterr().out
+
+
+def test_bench_obs_baseline_gate(tmp_path):
+    import argparse
+    import json
+
+    from repro.cli import _bench_obs_baseline_errors
+
+    baseline = tmp_path / "BENCH_observability.json"
+    baseline.write_text(json.dumps({"full_overhead_pct": 300.0}))
+    args = argparse.Namespace(baseline=str(baseline),
+                              max_full_regression_pct=10.0)
+    ok_payload = {"full_overhead_pct": 320.0}
+    assert _bench_obs_baseline_errors(args, ok_payload) == []
+    assert ok_payload["baseline_full_overhead_pct"] == 300.0
+    bad_payload = {"full_overhead_pct": 345.0}
+    errors = _bench_obs_baseline_errors(args, bad_payload)
+    assert len(errors) == 1 and "regressed more than 10%" in errors[0]
+    # Unreadable / shapeless baselines fail loudly, not silently.
+    args.baseline = str(tmp_path / "missing.json")
+    assert _bench_obs_baseline_errors(args, {"full_overhead_pct": 1.0})
+    empty = tmp_path / "empty.json"
+    empty.write_text("{}")
+    args.baseline = str(empty)
+    assert any("no full_overhead_pct" in error for error in
+               _bench_obs_baseline_errors(args, {"full_overhead_pct": 1.0}))
+
+
+def test_diagnose_flight_flag_misuse_is_usage_error(tmp_path, capsys):
+    code = main(["diagnose", "--flight", str(tmp_path / "missing.json")])
+    assert code == 2
+    capsys.readouterr()
+    log = tmp_path / "alarms.jsonl"
+    log.write_text("")
+    code = main(["diagnose", "--alarm-log", str(log),
+                 "--flight-output", str(tmp_path / "f.json")])
+    assert code == 2
+    assert "cannot be combined" in capsys.readouterr().err
 
 
 def test_health_human_and_json(capsys):

@@ -76,7 +76,12 @@ def _commands(tmp_path: Path):
         "bench validator --backend": [
             "bench", "validator", "--backend", "processes",
             "--triggers", "1500", "--output", out("bench_backends.json")],
+        # Timing gates are load-sensitive; the contract cares about CLI
+        # plumbing, so only the deterministic gates (alarm streams, span
+        # conservation) stay armed here. CI arms the real thresholds.
         "bench obs": ["bench", "obs", "--triggers", "1500", "--reps", "1",
+                      "--max-off-delta-pct", "1e9",
+                      "--max-sampled-overhead-pct", "1e9",
                       "--output", out("bench_obs.json")],
         "bench analyze": ["bench", "analyze", str(clean), "--jobs", "2",
                           "--reps", "1", "--min-warm-speedup", "0",

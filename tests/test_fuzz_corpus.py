@@ -41,6 +41,31 @@ def test_corpus_entry_replays_with_its_exact_signature(entry):
     assert outcome.matched, outcome.detail
 
 
+def test_planted_divergence_entry_is_a_fire_drill():
+    """The ENGINE_DIVERGENCE plant: perturbed oracle, artifacts attached."""
+    entry = next(e for e in CORPUS if e.name == "planted-engine-divergence")
+    assert entry.expect == ("ENGINE_DIVERGENCE",)
+    perturb = entry.oracle["perturb"]
+    assert perturb == {"backend": "serial", "shards": 4,
+                       "timeout_delta_ms": 60.0}
+    assert "fire drill" in entry.notes
+    outcome = replay_entry(entry, oracle=DifferentialOracle())
+    assert outcome.matched, outcome.detail
+    report = outcome.report
+    # Every surviving divergence ships its triage artifacts.
+    assert set(report.artifacts) == {"trace_diff", "flight"}
+    diff = report.artifacts["trace_diff"]
+    assert diff["identical"] is False
+    assert diff["first_divergence"]["kind"] in (
+        "changed", "left-only", "right-only")
+    assert report.artifacts["flight"]["format"] == "jury-flight"
+    [violation] = [v for v in report.violations
+                   if v.code == "ENGINE_DIVERGENCE"]
+    assert "first divergence at t=" in violation.detail
+    assert "perturbed timeout 260.0 ms" in violation.detail
+    assert "artifacts" in report.to_dict()
+
+
 def test_planted_entry_is_minimal_and_documents_itself():
     entry = next(e for e in CORPUS
                  if e.name == "k0-response-corruption-evades")
@@ -71,6 +96,26 @@ def test_save_load_roundtrip(tmp_path):
     assert text.endswith("\n")
     assert json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n" \
         == text
+
+
+def test_oracle_knob_roundtrips_and_validates(tmp_path):
+    perturb = {"perturb": {"backend": "serial", "shards": 2,
+                           "timeout_delta_ms": 10.0}}
+    entry = CorpusEntry(name="knob", spec=_spec(),
+                        expect=("ENGINE_DIVERGENCE",), oracle=perturb)
+    path = save_entry(entry, tmp_path)
+    loaded = load_entry(path)
+    assert loaded.oracle == perturb
+    # Entries without the knob keep their old on-disk shape.
+    plain_path = save_entry(CorpusEntry(name="plain", spec=_spec(),
+                                        expect=()), tmp_path)
+    assert "oracle" not in json.loads(plain_path.read_text())
+    assert load_entry(plain_path).oracle is None
+    bad = json.loads(path.read_text())
+    bad["oracle"] = "not-a-dict"
+    path.write_text(json.dumps(bad))
+    with pytest.raises(ValidationError, match="'oracle' must be an object"):
+        load_entry(path)
 
 
 def test_load_corpus_sorted_and_duplicate_safe(tmp_path):

@@ -76,6 +76,52 @@ def test_observability_builders_follow_flags():
     assert description["trace"] and description["metrics"]
 
 
+def test_sampling_and_flight_config():
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.sampling import HeadSampler
+
+    off = JuryConfig()
+    assert off.build_sampler() is None, "obs_sample=1 means record all"
+    assert off.build_flight_recorder() is None
+
+    on = JuryConfig(obs_sample=16, flight=True, flight_capacity=32,
+                    wall_profile=True)
+    sampler = on.build_sampler()
+    assert isinstance(sampler, HeadSampler) and sampler.rate == 16
+    recorder = on.build_flight_recorder()
+    assert isinstance(recorder, FlightRecorder)
+    assert recorder.capacity == 32
+    description = on.describe()
+    assert description["obs_sample"] == 16
+    assert description["flight"] and description["wall_profile"]
+
+    for bad in ({"obs_sample": 0}, {"obs_sample": True},
+                {"obs_sample": 2.5}, {"flight_capacity": 0},
+                {"flight_capacity": False}):
+        with pytest.raises(ValidationError):
+            JuryConfig(**bad)
+
+    payload = on.replace(k=2).to_dict()
+    import json
+    rebuilt = JuryConfig.from_dict(json.loads(json.dumps(payload)))
+    assert rebuilt == on.replace(k=2)
+
+
+def test_flight_and_sampler_wire_through_the_deployment():
+    jury = Jury.build(JuryConfig(k=K, n=N, switches=6, seed=25,
+                                 obs_sample=8, flight=True, metrics=True))
+    assert jury.sampler is not None and jury.sampler.rate == 8
+    assert jury.recorder is not None
+    assert jury.validator.recorder is jury.recorder
+    assert jury.validator.sampler is jury.sampler
+    payload = jury.flight_payload()
+    assert payload["format"] == "jury-flight"
+    plain = Jury.build(JuryConfig(k=K, n=N, switches=6, seed=26))
+    assert plain.recorder is None and plain.sampler is None
+    with pytest.raises(ValidationError):
+        plain.flight_payload()
+
+
 # ----------------------------------------------------------------------
 # Jury.build / Jury.experiment
 # ----------------------------------------------------------------------

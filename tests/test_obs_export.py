@@ -85,6 +85,50 @@ def test_generated_documents_always_lint_clean():
     assert lint_prometheus_text(text) == []
 
 
+def test_every_family_gets_a_help_line_before_its_type():
+    text = prometheus_text(registry=_registry())
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        if line.startswith("# TYPE "):
+            family = line.split()[2]
+            assert lines[index - 1].startswith(f"# HELP {family} "), \
+                f"{family}: TYPE must be preceded by its HELP"
+    assert "# HELP validator_responses_total Responses" in text
+    # Families without curated help still get the generic fallback.
+    registry = MetricsRegistry()
+    registry.counter("never_documented_total").inc()
+    assert ("# HELP never_documented_total JURY reproduction metric."
+            in prometheus_text(registry=registry))
+
+
+def _profiled_registry():
+    from repro.obs.profile import merge_profile
+    registry = MetricsRegistry()
+    merge_profile(registry, "threads", 0, {"batch": (3, 0.0004, 0.0001,
+                                                     0.0002)})
+    merge_profile(registry, "threads", 0, {"batch": (2, 0.3, 0.1, 0.2)})
+    return registry
+
+
+def test_backend_stage_wall_ms_renders_as_a_real_histogram():
+    text = prometheus_text(registry=_profiled_registry())
+    assert "# TYPE backend_stage_wall_ms histogram" in text
+    # Cumulative buckets: the 0.4 ms delta is <= 0.5, the 300 ms one only
+    # <= 500; +Inf mirrors _count.
+    assert ('backend_stage_wall_ms_bucket{backend="threads",le="0.5",'
+            'shard="0",stage="batch"} 1') in text
+    assert ('backend_stage_wall_ms_bucket{backend="threads",le="500",'
+            'shard="0",stage="batch"} 2') in text
+    assert ('backend_stage_wall_ms_bucket{backend="threads",le="+Inf",'
+            'shard="0",stage="batch"} 2') in text
+    assert ('backend_stage_wall_ms_count{backend="threads",shard="0",'
+            'stage="batch"} 2') in text
+    assert "backend_stage_wall_ms_sum" in text
+    assert ("# HELP backend_stage_operations_total"
+            in text)
+    assert lint_prometheus_text(text) == []
+
+
 # ----------------------------------------------------------------------
 # The line-format linter itself
 # ----------------------------------------------------------------------
@@ -118,6 +162,54 @@ def test_lint_flags_type_after_samples():
             "a_total 1\n"
             "# TYPE a_total counter\n")
     assert lint_prometheus_text(text) != []
+
+
+def test_lint_flags_help_violations():
+    assert any("malformed HELP" in error
+               for error in lint_prometheus_text("# HELP a_total\n"))
+    duplicate = ("# HELP a_total one\n"
+                 "# HELP a_total two\n"
+                 "# TYPE a_total counter\n"
+                 "a_total 1\n")
+    assert any("duplicate HELP" in error
+               for error in lint_prometheus_text(duplicate))
+    late = ("# TYPE a_total counter\n"
+            "a_total 1\n"
+            "# HELP a_total too late\n")
+    assert any("HELP for 'a_total' after samples" in error
+               for error in lint_prometheus_text(late))
+
+
+def _histogram_doc(samples):
+    return "# TYPE h histogram\n" + "\n".join(samples) + "\n"
+
+
+def test_lint_accepts_well_formed_histogram():
+    text = _histogram_doc(['h_bucket{le="1"} 1',
+                           'h_bucket{le="+Inf"} 2',
+                           "h_sum 3.5",
+                           "h_count 2"])
+    assert lint_prometheus_text(text) == []
+
+
+def test_lint_enforces_histogram_bucket_discipline():
+    cases = (
+        (["h_bucket 1", 'h_bucket{le="+Inf"} 1', "h_count 1"],
+         "without an le label"),
+        (['h_bucket{le="2"} 1', 'h_bucket{le="1"} 1',
+          'h_bucket{le="+Inf"} 1', "h_count 1"],
+         "out of order"),
+        (['h_bucket{le="1"} 3', 'h_bucket{le="2"} 1',
+          'h_bucket{le="+Inf"} 3', "h_count 3"],
+         "not cumulative"),
+        (['h_bucket{le="1"} 1', "h_count 1"], "missing +Inf"),
+        (['h_bucket{le="1"} 1', 'h_bucket{le="+Inf"} 2', "h_count 3"],
+         "+Inf bucket 2.0 != _count 3.0"),
+    )
+    for samples, expected in cases:
+        errors = lint_prometheus_text(_histogram_doc(samples))
+        assert any(expected in error for error in errors), \
+            f"{samples}: expected {expected!r}, got {errors}"
 
 
 # ----------------------------------------------------------------------
