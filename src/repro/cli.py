@@ -24,6 +24,11 @@ Gives operators the paper's experiments without writing code:
 * ``fuzz`` — seeded scenario fuzzing: generate scenarios, check the
   differential-oracle invariants, shrink counterexamples, and replay the
   regression corpus (see ``docs/fuzzing.md``).
+* ``soak`` — crash-recovery soak: a worker process runs a long seeded
+  workload with a file-backed WAL and periodic checkpoints, SIGKILLs
+  itself mid-run, and the parent restores + replays and byte-compares
+  against an uninterrupted run under an RSS ceiling
+  (see ``docs/recovery.md``).
 * ``list-faults`` — show the fault catalog.
 * ``analyze`` — static determinism/taint-safety analysis of controller and
   app code (the CI gate; see ``docs/static_analysis.md``).
@@ -1035,6 +1040,77 @@ def cmd_fuzz(args) -> CommandResult:
         errors=errors)
 
 
+def cmd_soak(args) -> CommandResult:
+    import tempfile
+
+    from repro.errors import CheckpointError
+    from repro.harness.soak import CHECKPOINT_FILE, run_soak
+
+    if args.backend is not None and args.pipeline is None:
+        return CommandResult.usage_error(
+            "soak", "soak: --backend requires --pipeline N")
+    kill_at = args.kill_at
+    if kill_at is None:
+        kill_at = args.duration / 2.0
+    elif kill_at <= 0:
+        kill_at = None  # explicit 0 (or negative) disables the kill
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="jury-soak-")
+    os.makedirs(workdir, exist_ok=True)
+    try:
+        payload = run_soak(
+            duration_s=args.duration,
+            kill_at_s=kill_at,
+            checkpoint_every=args.checkpoint_every,
+            rate_per_s=args.rate,
+            k=args.replicas,
+            shards=args.pipeline,
+            backend=args.backend,
+            timeout_ms=args.timeout,
+            seed=args.seed,
+            max_rss_mb=args.max_rss_mb,
+            workdir=workdir)
+    except CheckpointError as exc:
+        return CommandResult.usage_error("soak", f"soak: {exc}")
+
+    if args.checkpoint_output:
+        source = os.path.join(workdir, CHECKPOINT_FILE)
+        with open(source, "rb") as src, \
+                open(args.checkpoint_output, "wb") as dst:
+            dst.write(src.read())
+        payload["checkpoint_output"] = args.checkpoint_output
+
+    checkpoint = payload["checkpoint"]
+    lines = [
+        f"soak: {payload['triggers']} triggers over {args.duration:g}s "
+        f"simulated at {args.rate:g}/s "
+        f"({'pipeline N=%d %s' % (args.pipeline, args.backend or 'serial') if args.pipeline else 'sequential validator'})",
+        f"  kill     : "
+        + (f"SIGKILL at t={kill_at:g}s (worker exit "
+           f"{payload['worker_exitcode']})" if kill_at else "disabled"),
+        f"  snapshot : {checkpoint['sha256'][:12]}… "
+        f"{checkpoint['body_bytes']} bytes at "
+        f"t={checkpoint['sim_now_ms']:.0f}ms "
+        f"({checkpoint['triggers_decided']} decided)",
+        f"  recovery : WAL tail {payload['wal_tail_replayed']} replayed, "
+        f"{payload['resumed_records']} resumed, "
+        f"streams identical: {payload['alarm_streams_identical']}",
+        f"  memory   : worker peak RSS "
+        f"{payload['worker_peak_rss_kb'] / 1024.0:.1f} MiB "
+        f"(ceiling {args.max_rss_mb:g} MiB)",
+    ]
+    for failure in payload["failures"]:
+        lines.append(f"  FAIL     : {failure}")
+    lines.append("soak: OK" if payload["ok"] else "soak: FAILED")
+    return CommandResult(
+        command="soak",
+        exit_code=0 if payload["ok"] else 1,
+        human="\n".join(lines),
+        data=payload,
+        errors=[] if payload["ok"] else
+        [f"soak: {failure}" for failure in payload["failures"]])
+
+
 def cmd_list_faults(args) -> CommandResult:
     rows = [[name, FAULTS[name]().fault_class.value,
              "odl" if name in ODL_FAULTS else "onos"]
@@ -1224,6 +1300,51 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print one line per scenario")
     _add_format(fuzz)
     fuzz.set_defaults(fn=cmd_fuzz)
+
+    soak = commands.add_parser(
+        "soak",
+        help="crash-recovery soak: long seeded workload in a worker "
+             "process, hard SIGKILL mid-run, restore from the on-disk "
+             "checkpoint + WAL, byte-compare against an uninterrupted "
+             "run, and enforce a peak-RSS ceiling (docs/recovery.md)")
+    soak.add_argument("--duration", type=float, default=60.0,
+                      metavar="SECONDS",
+                      help="simulated seconds of traffic (wall time is "
+                           "however fast the host replays it)")
+    soak.add_argument("--kill-at", type=float, default=None,
+                      metavar="SECONDS",
+                      help="simulated second at which the worker SIGKILLs "
+                           "itself (default: duration/2; 0 disables the "
+                           "kill — the worker must then exit cleanly)")
+    soak.add_argument("--checkpoint-every", type=int, default=200,
+                      metavar="TRIGGERS",
+                      help="auto-checkpoint after this many decided "
+                           "triggers")
+    soak.add_argument("--max-rss-mb", type=float, default=512.0,
+                      help="fail if the worker's peak RSS exceeds this")
+    soak.add_argument("--rate", type=float, default=200.0,
+                      help="triggers per simulated second")
+    soak.add_argument("--replicas", "-k", type=int, default=3)
+    soak.add_argument("--timeout", type=float, default=250.0,
+                      help="validation timeout in ms")
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--pipeline", type=int, default=None, metavar="N",
+                      help="soak the sharded pipeline with N shards "
+                           "(default: sequential validator)")
+    soak.add_argument("--backend",
+                      choices=("serial", "threads", "processes"),
+                      default=None,
+                      help="execution backend for the worker's pipeline "
+                           "(requires --pipeline)")
+    soak.add_argument("--workdir", default=None, metavar="DIR",
+                      help="directory for the WAL and checkpoint artifacts "
+                           "(default: a fresh temp dir)")
+    soak.add_argument("--checkpoint-output", default=None,
+                      metavar="CHECKPOINT.json",
+                      help="also copy the final checkpoint artifact here "
+                           "(the CI-uploaded sample)")
+    _add_format(soak)
+    soak.set_defaults(fn=cmd_soak)
 
     list_faults = commands.add_parser("list-faults", help="show the catalog")
     _add_format(list_faults)

@@ -94,6 +94,11 @@ class JuryConfig:
     queue_capacity: int = 1024
     batch_max: int = 512
     flush_interval_ms: float = 0.0
+    #: Crash recovery (repro.core.checkpoint): automatically snapshot the
+    #: validator/pipeline every this-many decided triggers. ``None`` off.
+    #: The deployment hands snapshots to its ``on_checkpoint`` callback
+    #: (or just keeps the newest one) for restore after a crash.
+    checkpoint_every: Optional[int] = None
 
     # Observability.
     trace: bool = False
@@ -151,6 +156,13 @@ class JuryConfig:
             raise ValidationError(
                 f"flight_capacity must be an integer >= 1: "
                 f"{self.flight_capacity!r}")
+        if self.checkpoint_every is not None and (
+                isinstance(self.checkpoint_every, bool)
+                or not isinstance(self.checkpoint_every, int)
+                or self.checkpoint_every < 1):
+            raise ValidationError(
+                f"checkpoint_every must be an integer >= 1 or None: "
+                f"{self.checkpoint_every!r}")
         from repro.core.backends import BACKEND_NAMES
         if self.backend not in BACKEND_NAMES:
             raise ValidationError(
@@ -333,6 +345,7 @@ class JuryConfig:
             "diagnose": self.diagnose,
             "health": self.health,
             "snapshot_interval_ms": self.snapshot_interval_ms,
+            "checkpoint_every": self.checkpoint_every,
             "obs_sample": self.obs_sample,
             "flight": self.flight,
             "wall_profile": self.wall_profile,

@@ -30,6 +30,35 @@ def new_external_trigger_id() -> TriggerId:
     return ("ext", next(_external_ids))
 
 
+def snapshot_trigger_ids() -> Tuple[int, int]:
+    """Next (external, internal) trigger-id values, without consuming them.
+
+    ``itertools.count`` has no peek, so this burns one value from each
+    counter and re-creates it at the same position — safe because the
+    counters are only ever read through the ``new_*`` helpers, and callers
+    only snapshot at a quiescent point (checkpoint time).
+    """
+    global _external_ids, _internal_ids
+    ext = next(_external_ids)
+    internal = next(_internal_ids)
+    _external_ids = itertools.count(ext)
+    _internal_ids = itertools.count(internal)
+    return (ext, internal)
+
+
+def restore_trigger_ids(positions: Tuple[int, int]) -> None:
+    """Re-seed both process-global counters from a snapshot.
+
+    The recovery counterpart of :func:`snapshot_trigger_ids`: a restored
+    engine continues allocating trigger ids exactly where the checkpointed
+    process stopped, so replayed and fresh triggers never collide.
+    """
+    global _external_ids, _internal_ids
+    ext, internal = positions
+    _external_ids = itertools.count(int(ext))
+    _internal_ids = itertools.count(int(internal))
+
+
 def reset_trigger_ids() -> None:
     """Restart both process-global trigger-id counters from 1.
 

@@ -28,11 +28,13 @@ parallelism pays.
 
 from __future__ import annotations
 
+import pickle
 from collections import deque
 from typing import List, Tuple
 
 from repro.core.backends.frames import BatchFrame, VerdictFrame
 from repro.core.timeouts import StaticTimeout
+from repro.errors import CheckpointError
 from repro.obs import trace as obs_trace
 from repro.obs.profile import merge_profile
 
@@ -45,6 +47,9 @@ class ExecutionBackend:
     #: True when ``flush_shard`` runs the shard inline on the parent
     #: (no frames, no merge); the pipeline keeps its historical fast path.
     inline: bool = True
+    #: Class-level default so ``close()`` is safe on a backend that was
+    #: never attached (attach may raise before setting instance state).
+    _closed: bool = False
 
     def attach(self, pipeline) -> None:
         """Bind to a pipeline (called once from the pipeline constructor)."""
@@ -57,8 +62,22 @@ class ExecutionBackend:
         """Synchronously process every queued response (benchmark path)."""
         raise NotImplementedError
 
+    def shard_state(self, shard) -> dict:
+        """One shard's decision state for a checkpoint.
+
+        Inline backends read the shard directly; frame backends harvest
+        their worker's ShardCore. Both return the same (unpickled) payload
+        shape, so checkpoints are portable across backends.
+        """
+        return shard.core_state()
+
+    def restore_shard(self, shard, payload: dict) -> None:
+        """Rehydrate one shard from a :meth:`shard_state` payload."""
+        shard.core_restore(payload)
+
     def close(self) -> None:
         """Release workers. Idempotent; parent-side results stay readable."""
+        self._closed = True
 
     # Context-manager sugar so benches/tests can scope worker lifetime.
     def __enter__(self) -> "ExecutionBackend":
@@ -126,6 +145,55 @@ class FrameBackend(ExecutionBackend):
 
     def _collect(self, shard, frame: BatchFrame) -> VerdictFrame:
         raise NotImplementedError
+
+    def _snapshot_worker(self, index: int) -> bytes:
+        """Pickled ShardCore snapshot from one worker (no frames owed)."""
+        raise NotImplementedError
+
+    def _restore_worker(self, index: int, blob: bytes) -> None:
+        """Push a pickled ShardCore snapshot down to one worker."""
+        raise NotImplementedError
+
+    # -- checkpoint / restore --------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise CheckpointError(
+                f"backend {self.name!r} is closed: its workers are gone, "
+                f"so shard state can no longer be read or restored")
+
+    def shard_state(self, shard) -> dict:
+        """Harvest one worker's ShardCore state for a checkpoint.
+
+        Merges every in-flight verdict first: a worker snapshot taken
+        while the parent still owes merges would include decisions the
+        parent-side Ψ/alarm/counter state has not absorbed — the snapshot
+        must be an instant-boundary cut on both sides of the pipe.
+        """
+        self._ensure_open()
+        self._merge_inflight()
+        return pickle.loads(self._snapshot_worker(shard.index))
+
+    def restore_shard(self, shard, payload: dict) -> None:
+        """Push checkpoint state to the worker and re-arm parent mirrors.
+
+        Also resets the crash-recovery piggyback basis (where the backend
+        keeps one — see ``processes``): a worker killed after this point
+        rehydrates from this snapshot, not from frame 0.
+        """
+        self._ensure_open()
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self._restore_worker(shard.index, blob)
+        records = payload["records"]
+        live = {tau for tau, fields in records.items() if not fields[4]}
+        shard._remote_open = len(live)
+        heads = [deadline for deadline, _, tau in payload["deadlines"]
+                 if tau in live]
+        head = min(heads) if heads else None
+        if head is not None:
+            # A head already in the past (backpressured batch at
+            # checkpoint time) fires immediately on restore.
+            head = max(head, self.pipeline.sim.now)
+        shard._remote_arm(head, drained=True)
 
     # -- simulator path --------------------------------------------------
     def flush_shard(self, shard, wakeup: bool = False) -> None:

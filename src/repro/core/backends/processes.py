@@ -60,6 +60,8 @@ def _worker_main(conn, bootstrap: dict, profile: bool = False) -> None:
                                      profiler.now() - started)
                     verdict.profile = profiler.take()
                     conn.send(verdict)
+            elif tag == "snapshot":  # checkpoint harvest (no frame owed)
+                conn.send(core.snapshot())
             elif tag == "restore":
                 started = None if profiler is None else profiler.now()
                 core = ShardCore(**bootstrap)
@@ -184,6 +186,70 @@ class ProcessesBackend(FrameBackend):
         worker.ready.append(verdict)
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore (FrameBackend surface)
+    # ------------------------------------------------------------------
+    def _snapshot_worker(self, index: int) -> bytes:
+        """Harvest one worker's ShardCore for a pipeline checkpoint.
+
+        Waits out any owed verdicts first (one frame in flight per worker),
+        asks the worker for a snapshot, and makes it the new piggyback
+        basis: the since-snapshot history is empty by construction. A death
+        during the harvest goes through the normal recover path and the
+        harvest is retried against the replacement (or the degraded
+        in-parent core).
+        """
+        worker = self._workers[index]
+        while worker.pending and worker.core is None:
+            self._await_verdict(worker)
+        if worker.core is None:
+            try:
+                blob = self._roundtrip(worker, ("snapshot",))
+            except (EOFError, OSError, _WorkerDied):
+                self._recover(worker)
+                if worker.core is None:
+                    blob = self._roundtrip(worker, ("snapshot",))
+        if worker.core is not None:  # degraded: snapshot the inline core
+            blob = worker.core.snapshot()
+        worker.snapshot = blob
+        worker.history = []
+        worker.frames_since_snapshot = 0
+        return blob
+
+    def _restore_worker(self, index: int, blob: bytes) -> None:
+        """Rehydrate one worker from a checkpoint's shard payload.
+
+        Resets the crash-recovery basis to this snapshot — a worker killed
+        after the restore replays from here, not from frame 0. If the
+        worker (or its replacement) dies mid-restore the shard falls back
+        to an in-parent core, same as the degrade path.
+        """
+        worker = self._workers[index]
+        while worker.pending and worker.core is None:
+            self._await_verdict(worker)
+        worker.ready.clear()
+        worker.pending.clear()
+        worker.snapshot = blob
+        worker.history = []
+        worker.frames_since_snapshot = 0
+        if worker.core is not None:  # degraded: rebuild the inline core
+            core = ShardCore(**self._boot)
+            core.restore(blob)
+            worker.core = core
+            return
+        try:
+            self._roundtrip(worker, ("restore", blob))
+        except (EOFError, OSError, _WorkerDied):
+            self._reap(worker)
+            try:
+                self._spawn(worker)
+                self._roundtrip(worker, ("restore", blob))
+            except (EOFError, OSError, _WorkerDied):
+                self._count("backend_degraded_total")
+                core = ShardCore(**self._boot)
+                core.restore(blob)
+                worker.core = core
+
+    # ------------------------------------------------------------------
     # Death handling: respawn + replay once, then degrade to inline
     # ------------------------------------------------------------------
     def _recover(self, worker: _Worker) -> None:
@@ -282,17 +348,20 @@ class ProcessesBackend(FrameBackend):
         return [w.index for w in self._workers if w.core is not None]
 
     def close(self) -> None:
-        if getattr(self, "_closed", True):
+        # getattr on _workers (not a truthy _closed default): close() must
+        # be a no-op both after a previous close and when attach never ran
+        # (e.g. the timeout-policy validation raised before _start).
+        if self._closed:
             return
         self._closed = True
-        for worker in self._workers:
+        for worker in getattr(self, "_workers", []):
             if worker.conn is not None and worker.proc is not None \
                     and worker.proc.is_alive():
                 try:
                     worker.conn.send(("exit",))
                 except OSError:  # jury: ignore[H403] — worker died first
                     pass
-        for worker in self._workers:
+        for worker in getattr(self, "_workers", []):
             if worker.proc is not None:
                 worker.proc.join(timeout=2.0)
             self._reap(worker)

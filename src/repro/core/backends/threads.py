@@ -41,7 +41,17 @@ class _ShardThread:
             if frame is None:
                 return
             try:
-                if profiler is None:
+                # Control tuples (checkpoint/restore) share the frame FIFO
+                # so they land between batches, never mid-frame.
+                if isinstance(frame, tuple):
+                    if frame[0] == "snapshot":
+                        self.outbox.put(core.snapshot())
+                    else:  # ("restore", blob)
+                        core = ShardCore(**bootstrap)
+                        if frame[1] is not None:
+                            core.restore(frame[1])
+                        self.outbox.put(("ok",))
+                elif profiler is None:
                     self.outbox.put(core.process(frame))
                 else:
                     started = profiler.now()
@@ -77,11 +87,28 @@ class ThreadsBackend(FrameBackend):
             raise verdict
         return verdict
 
+    def _snapshot_worker(self, index: int) -> bytes:
+        worker = self._workers[index]
+        worker.inbox.put(("snapshot",))
+        blob = worker.outbox.get()
+        if isinstance(blob, BaseException):
+            raise blob
+        return blob
+
+    def _restore_worker(self, index: int, blob: bytes) -> None:
+        worker = self._workers[index]
+        worker.inbox.put(("restore", blob))
+        ack = worker.outbox.get()
+        if isinstance(ack, BaseException):
+            raise ack
+
     def close(self) -> None:
+        # getattr: close() must be safe even when attach never ran (the
+        # timeout-policy validation raises before _start spawns workers).
         if self._closed:
             return
         self._closed = True
-        for worker in self._workers:
+        for worker in getattr(self, "_workers", []):
             worker.inbox.put(None)
-        for worker in self._workers:
+        for worker in getattr(self, "_workers", []):
             worker.thread.join(timeout=5.0)

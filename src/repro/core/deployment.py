@@ -103,6 +103,12 @@ class JuryDeployment:
 
         timeout_policy = config.build_timeout()
         engine = config.build_policy_engine()
+        #: Crash recovery: the deployment keeps the newest automatic
+        #: snapshot (config.checkpoint_every) in ``last_checkpoint``;
+        #: reassign ``validator.on_checkpoint`` to divert them elsewhere.
+        self.last_checkpoint = None
+        on_checkpoint = (self._keep_checkpoint
+                         if config.checkpoint_every is not None else None)
         if config.pipeline is not None:
             # Sharded validator; same public surface, so modules/harness
             # code is oblivious to the swap.
@@ -122,7 +128,9 @@ class JuryDeployment:
                 snapshot_sink=self.snapshot_sink,
                 sampler=self.sampler, recorder=self.recorder,
                 profile=config.wall_profile,
-                backend=config.backend)
+                backend=config.backend,
+                checkpoint_every=config.checkpoint_every,
+                on_checkpoint=on_checkpoint)
         else:
             self.validator = Validator(
                 self.sim, k,
@@ -134,7 +142,9 @@ class JuryDeployment:
                 keep_results=config.keep_results,
                 tracer=self.tracer, metrics=self.metrics,
                 forensics=self.forensics, health=self.health,
-                sampler=self.sampler, recorder=self.recorder)
+                sampler=self.sampler, recorder=self.recorder,
+                checkpoint_every=config.checkpoint_every,
+                on_checkpoint=on_checkpoint)
 
         latency = (config.validator_latency
                    if config.validator_latency is not None
@@ -152,6 +162,10 @@ class JuryDeployment:
             dpid: Replicator(self, proxy)
             for dpid, proxy in cluster.proxies.items()
         }
+
+    # ------------------------------------------------------------------
+    def _keep_checkpoint(self, checkpoint) -> None:
+        self.last_checkpoint = checkpoint
 
     # ------------------------------------------------------------------
     def attach_new_proxies(self) -> int:

@@ -18,9 +18,12 @@ shards Algorithm 1 across ``N`` validator workers:
 * **Ψid partitioning** — shards keep per-shard views of the per-controller
   state Ψid (their local digest-progress/cache-update contributions) and
   decide against the *merged* view, which the in-process pipeline realises
-  as a shared mapping updated at ingest time; :meth:`ValidationPipeline.checkpoint`
+  as a shared mapping updated at ingest time; :meth:`ValidationPipeline.merged_view`
   reconciles the per-shard views against the merged view (a distributed
   deployment would ship the local views to the merge point instead).
+  :meth:`ValidationPipeline.checkpoint` / :meth:`ValidationPipeline.restore`
+  extend that to full crash recovery (``repro.core.checkpoint``,
+  ``docs/recovery.md``).
 * **Deterministic merge** — per-shard alarm streams drain into a single
   ordered stream: ``(decision time, trigger id)`` via
   :func:`repro.core.alarms.alarm_merge_key`. The differential suite
@@ -49,8 +52,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.controllers.context import restore_trigger_ids, snapshot_trigger_ids
 from repro.core.alarms import Alarm, ValidationResult, alarm_merge_key
 from repro.core.backends import resolve_backend
+from repro.core.checkpoint import (
+    Checkpoint,
+    observe_checkpoint,
+    observe_restore,
+)
 from repro.core.backends.frames import (
     EV_LATE,
     EV_PSI_CACHE,
@@ -66,7 +75,14 @@ from repro.core.consensus import (
 )
 from repro.core.responses import Response, ResponseKind
 from repro.core.timeouts import StaticTimeout, TimeoutPolicy
-from repro.core.validator import ControllerState, DecisionCore, digest_progress
+from repro.core.validator import (
+    ControllerState,
+    DecisionCore,
+    digest_progress,
+    restore_controller_states,
+    snapshot_controller_states,
+)
+from repro.errors import CheckpointError
 from repro.obs import trace as obs_trace
 from repro.obs.sampling import active_sampler
 from repro.obs.trace import active_tracer
@@ -571,6 +587,59 @@ class _Shard(DecisionCore):
                                         self.state_aware,
                                         self.pipeline._merged_network)
 
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (inline backends; frame backends harvest the
+    # same payload shape from their worker's ShardCore instead)
+    # ------------------------------------------------------------------
+    def core_state(self) -> Dict[str, object]:
+        """This shard's decision state, ShardCore-snapshot compatible.
+
+        Same payload shape as :meth:`ShardCore.snapshot
+        <repro.core.backends.shardcore.ShardCore.snapshot>` (unpickled), so
+        a checkpoint taken on one backend restores on any other.
+        ``itertools.count`` cannot be peeked, so reading the next heap
+        tie-break seq burns one value and re-creates the counter there.
+        """
+        seq = next(self._deadline_seq)
+        self._deadline_seq = itertools.count(seq)
+        return {
+            "records": {
+                tau: (tuple(r.responses), r.count, r.first_at, r.deadline,
+                      r.decided)
+                for tau, r in self.records.items()},
+            "recently_decided": dict(self._recently_decided),
+            "deadlines": list(self._deadlines),
+            "deadline_seq": seq,
+        }
+
+    def core_restore(self, payload: Dict[str, object]) -> None:
+        """Rehydrate decision state from a :meth:`core_state` payload.
+
+        Re-arms the coalesced θτ wakeup; a head deadline already in the
+        past (backpressured batch at checkpoint time) is clamped to *now*
+        so the wakeup fires immediately instead of tripping the
+        simulator's no-past-scheduling guard.
+        """
+        self.records = {
+            tau: _ShardRecord(responses=list(fields[0]), count=fields[1],
+                              first_at=fields[2], deadline=fields[3],
+                              decided=fields[4])
+            for tau, fields in payload["records"].items()}
+        self._recently_decided = dict(payload["recently_decided"])
+        self._deadlines = list(payload["deadlines"])
+        heapq.heapify(self._deadlines)
+        self._deadline_seq = itertools.count(int(payload["deadline_seq"]))
+        while self._deadlines and self._deadlines[0][2] not in self.records:
+            heapq.heappop(self._deadlines)
+        if self._wakeup is not None:
+            self._wakeup.cancel()
+            self._wakeup = None
+            self._wakeup_at = float("inf")
+        if self._deadlines:
+            head = max(self._deadlines[0][0], self.sim.now)
+            self._wakeup = self.sim.schedule_at(head, self._on_wakeup)
+            self._wakeup_at = head
+
 
 class ValidationPipeline:
     """Drop-in sharded replacement for :class:`~repro.core.validator.Validator`.
@@ -595,7 +664,10 @@ class ValidationPipeline:
                  tracer=None, metrics=None,
                  forensics=None, health=None, snapshot_sink=None,
                  sampler=None, recorder=None, profile=False,
-                 backend="serial"):
+                 backend="serial",
+                 checkpoint_every: Optional[int] = None,
+                 on_checkpoint: Optional[Callable] = None,
+                 wal=None):
         if shards < 1:
             raise ValueError(f"shards must be >= 1: {shards}")
         if queue_capacity < 1:
@@ -652,6 +724,14 @@ class ValidationPipeline:
         # across triggers (state advances slowly relative to trigger rate).
         self._progress_memo: Dict[Tuple, Optional[int]] = {}
         self._network_memo: Dict[Tuple, Tuple] = {}
+        #: Crash recovery (repro.core.checkpoint): optional write-ahead log
+        #: of ingests/decisions, plus an automatic snapshot every
+        #: ``checkpoint_every`` decided triggers handed to ``on_checkpoint``.
+        self.wal = wal
+        self.checkpoint_every = checkpoint_every
+        self.on_checkpoint = on_checkpoint
+        self._since_checkpoint = 0
+        self._checkpoint_scheduled = False
         #: Execution backend (repro.core.backends): owns how shard work
         #: units are scheduled. ``serial`` keeps the historical inline
         #: path; ``threads``/``processes`` exchange batch/verdict frames
@@ -679,6 +759,10 @@ class ValidationPipeline:
         self.ingest(response)
 
     def ingest(self, response: Response) -> None:
+        if self.wal is not None:
+            # Logged before it can influence any decision: recovery replays
+            # exactly the inputs this run saw, in arrival order.
+            self.wal.append_ingest(self.sim.now, response)
         self.responses_received += 1
         tau = response.trigger_id
         # Route cache: ~2k+2 responses share each trigger id, so the
@@ -729,6 +813,18 @@ class ValidationPipeline:
                     self.on_alarm(alarm)
         if self.keep_results:
             self.results.append(result)
+        if self.wal is not None:
+            self.wal.append_decision(self.sim.now, result.trigger_id,
+                                     len(alarms))
+        if self.checkpoint_every is not None:
+            self._since_checkpoint += 1
+            if (self._since_checkpoint >= self.checkpoint_every
+                    and not self._checkpoint_scheduled):
+                # Delay 0 lands after every event of the current simulated
+                # instant — including the merge barrier on frame backends —
+                # so the snapshot captures a consistent instant boundary.
+                self._checkpoint_scheduled = True
+                self.sim.schedule(0.0, self._auto_checkpoint)
 
     @property
     def alarms(self) -> List[Alarm]:
@@ -808,7 +904,7 @@ class ValidationPipeline:
             responses_routed=self.responses_received,
             per_shard=[s.stats.snapshot() for s in self._shards])
 
-    def checkpoint(self) -> Dict[str, ControllerState]:
+    def merged_view(self) -> Dict[str, ControllerState]:
         """Merge the per-shard Ψid views into one consistent snapshot.
 
         The merge is ``max`` over digest progress and ``sum`` over cache
@@ -831,6 +927,127 @@ class ValidationPipeline:
                 entry.last_entry = shared.last_entry
                 entry.last_stale_alarm_at = shared.last_stale_alarm_at
         return merged
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (repro.core.checkpoint, docs/recovery.md)
+    # ------------------------------------------------------------------
+    def _auto_checkpoint(self) -> None:
+        self._checkpoint_scheduled = False
+        self._since_checkpoint = 0
+        checkpoint = self.checkpoint()
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(checkpoint)
+
+    def checkpoint(self) -> "Checkpoint":
+        """Snapshot the full pipeline into a restorable envelope.
+
+        Captures the merged Ψ view, every shard's decision state (via the
+        backend, so frame backends harvest their worker's ShardCore — the
+        backend merges any in-flight verdicts first), arrival queues and
+        overflow rings, per-shard stats, the per-shard Ψid local views,
+        the merged alarm stream, results, engine counters, and the global
+        trigger-id counters. Appends a marker to the WAL (when attached)
+        so :func:`repro.core.checkpoint.wal_tail` can split the log.
+        """
+        state = {
+            "psi": snapshot_controller_states(self.state),
+            "shards": [
+                {"core": self.backend.shard_state(shard),
+                 "queue": list(shard.queue),
+                 "overflow": list(shard.overflow),
+                 "stats": shard.stats.snapshot(),
+                 "local_progress": dict(shard.local_progress),
+                 "local_cache_updates": dict(shard.local_cache_updates)}
+                for shard in self._shards],
+            # The sorted property: idempotent, deterministic order.
+            "alarms": list(self.alarms),
+            "results": list(self.results),
+            "counters": (self.responses_received, self.triggers_decided,
+                         self.triggers_alarmed),
+            "trigger_ids": snapshot_trigger_ids(),
+            "staleness": (self.staleness_threshold,
+                          self.staleness_cooldown_ms),
+        }
+        meta = {
+            "engine": "pipeline",
+            "k": self.k,
+            "shards": self.shards,
+            "backend": self.backend_name,
+            "timeout_ms": self.timeout.current(),
+            "sim_now": self.sim.now,
+            "queue_capacity": self.queue_capacity,
+            "batch_max": self.batch_max,
+            "flush_interval_ms": self.flush_interval_ms,
+            "keep_results": self.keep_results,
+            "state_aware": self.state_aware,
+            "taint_classification": self.taint_classification,
+            "triggers_decided": self.triggers_decided,
+        }
+        checkpoint = Checkpoint.build(meta, state)
+        if self.wal is not None:
+            self.wal.append_checkpoint(checkpoint.sha256)
+        observe_checkpoint(self, checkpoint)
+        return checkpoint
+
+    def restore(self, checkpoint: "Checkpoint") -> None:
+        """Rehydrate this (fresh) pipeline from a :meth:`checkpoint`.
+
+        The pipeline must have the same shape (``k``, shard count) as the
+        one that produced the snapshot and must not have advanced past the
+        snapshot's simulated time; the backend may differ (a serial
+        checkpoint restores onto a processes backend and vice versa — the
+        shard payload is the portable ShardCore shape). On frame backends
+        the payload is pushed down to the replacement workers, which also
+        resets the crash-recovery piggyback basis: a worker killed after
+        this point rehydrates from this snapshot instead of frame 0.
+        """
+        meta = checkpoint.meta
+        if meta.get("engine") != "pipeline":
+            raise CheckpointError(
+                f"checkpoint was taken by engine "
+                f"{meta.get('engine')!r}, not a pipeline")
+        if meta.get("k") != self.k or meta.get("shards") != self.shards:
+            raise CheckpointError(
+                f"checkpoint shape (k={meta.get('k')}, "
+                f"shards={meta.get('shards')}) does not match this "
+                f"pipeline (k={self.k}, shards={self.shards})")
+        if self.triggers_decided or self.responses_received:
+            raise CheckpointError(
+                "restore target must be a fresh pipeline (this one has "
+                f"already ingested {self.responses_received} responses)")
+        state = checkpoint.state()
+        sim_now = meta["sim_now"]
+        if self.sim.now > sim_now:
+            raise CheckpointError(
+                f"simulator is at t={self.sim.now} ms, past the "
+                f"checkpoint's t={sim_now} ms")
+        self.sim.run(until=sim_now)
+        # Shards hold a reference to this exact dict (shared merged view):
+        # mutate in place, never rebind.
+        self.state.clear()
+        self.state.update(restore_controller_states(state["psi"]))
+        for shard, payload in zip(self._shards, state["shards"]):
+            self.backend.restore_shard(shard, payload["core"])
+            shard.queue = deque(payload["queue"])
+            shard.overflow = deque(payload["overflow"])
+            for key, value in payload["stats"].items():
+                setattr(shard.stats, key, value)
+            shard.local_progress = dict(payload["local_progress"])
+            shard.local_cache_updates = dict(payload["local_cache_updates"])
+            if ((shard.queue or shard.overflow)
+                    and not shard._flush_scheduled):
+                shard._flush_scheduled = True
+                self.sim.schedule(self.flush_interval_ms, shard._flush)
+        self._alarms = list(state["alarms"])
+        self._alarms_sorted = True
+        self.results = list(state["results"])
+        (self.responses_received, self.triggers_decided,
+         self.triggers_alarmed) = state["counters"]
+        restore_trigger_ids(state["trigger_ids"])
+        threshold, cooldown = state["staleness"]
+        self.staleness_threshold = threshold
+        self.staleness_cooldown_ms = cooldown
+        observe_restore(self, checkpoint)
 
     # ------------------------------------------------------------------
     # Memoised helpers for the shard fast path

@@ -26,10 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.controllers.context import restore_trigger_ids, snapshot_trigger_ids
 from repro.core.alarms import Alarm, AlarmReason, ValidationResult
+from repro.core.checkpoint import Checkpoint, observe_checkpoint, observe_restore
 from repro.core.consensus import ConsensusOutcome, evaluate_consensus, sanity_check
 from repro.core.responses import Response
 from repro.core.timeouts import StaticTimeout, TimeoutPolicy
+from repro.errors import CheckpointError
 from repro.obs import trace as obs_trace
 from repro.obs.sampling import active_sampler
 from repro.obs.trace import active_tracer
@@ -420,7 +423,10 @@ class Validator(DecisionCore):
                  taint_classification: bool = True,
                  tracer=None, metrics=None,
                  forensics=None, health=None,
-                 sampler=None, recorder=None):
+                 sampler=None, recorder=None,
+                 checkpoint_every: Optional[int] = None,
+                 on_checkpoint: Optional[Callable] = None,
+                 wal=None):
         self._init_core(sim, k, policy_engine=policy_engine,
                         mastership_lookup=mastership_lookup,
                         state_aware=state_aware,
@@ -444,6 +450,14 @@ class Validator(DecisionCore):
         self.triggers_decided = 0
         self.triggers_alarmed = 0
         self.late_responses = 0
+        #: Crash recovery (repro.core.checkpoint): optional write-ahead log
+        #: of ingested responses, and an automatic snapshot every
+        #: ``checkpoint_every`` decided triggers handed to ``on_checkpoint``.
+        self.wal = wal
+        self.checkpoint_every = checkpoint_every
+        self.on_checkpoint = on_checkpoint
+        self._since_checkpoint = 0
+        self._checkpoint_scheduled = False
 
     # ------------------------------------------------------------------
     # Ingest
@@ -454,6 +468,10 @@ class Validator(DecisionCore):
 
     def ingest(self, response: Response) -> None:
         """Process one incoming (id, τ, entry) response."""
+        if self.wal is not None:
+            # Logged before it can influence any decision: recovery replays
+            # exactly the inputs this run saw, in arrival order.
+            self.wal.append_ingest(self.sim.now, response)
         self.responses_received += 1
         tau = response.trigger_id
         sampler = self.sampler
@@ -556,6 +574,114 @@ class Validator(DecisionCore):
             self._recently_decided = {
                 t_id: decided for t_id, decided in self._recently_decided.items()
                 if decided >= horizon}
+        if self.wal is not None:
+            self.wal.append_decision(self.sim.now, tau, len(alarms))
+        if self.checkpoint_every is not None:
+            self._since_checkpoint += 1
+            if (self._since_checkpoint >= self.checkpoint_every
+                    and not self._checkpoint_scheduled):
+                # Delay-0 so the snapshot lands after every event of this
+                # simulated instant, at a consistent boundary.
+                self._checkpoint_scheduled = True
+                self.sim.schedule(0.0, self._auto_checkpoint)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (repro.core.checkpoint, docs/recovery.md)
+    # ------------------------------------------------------------------
+    def _auto_checkpoint(self) -> None:
+        self._checkpoint_scheduled = False
+        self._since_checkpoint = 0
+        checkpoint = self.checkpoint()
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(checkpoint)
+
+    def checkpoint(self) -> Checkpoint:
+        """Full crash-recovery snapshot of this validator.
+
+        Captures Ψid, every pending Vτ/Nτ record with its θτ deadline
+        (read off the scheduled timer), the late-drop window, the alarm
+        and result history, the counters, and the process-global
+        trigger-id counter positions. Appends a marker to the attached
+        WAL so recovery knows which log records the snapshot subsumes.
+        """
+        state = {
+            "psi": snapshot_controller_states(self.state),
+            "pending": {
+                tau: (tuple(record.responses), record.count, record.first_at,
+                      record.timer.time if record.timer is not None else None)
+                for tau, record in self._pending.items()},
+            "recently_decided": dict(self._recently_decided),
+            "alarms": list(self.alarms),
+            "results": list(self.results),
+            "counters": (self.responses_received, self.triggers_decided,
+                         self.triggers_alarmed, self.late_responses),
+            "trigger_ids": snapshot_trigger_ids(),
+            "staleness": (self.staleness_threshold,
+                          self.staleness_cooldown_ms),
+        }
+        meta = {
+            "engine": "validator", "k": self.k,
+            "timeout_ms": self.timeout.current(), "sim_now": self.sim.now,
+            "keep_results": self.keep_results,
+            "state_aware": self.state_aware,
+            "taint_classification": self.taint_classification,
+            "triggers_decided": self.triggers_decided,
+        }
+        checkpoint = Checkpoint.build(meta, state)
+        if self.wal is not None:
+            self.wal.append_checkpoint(checkpoint.sha256)
+        observe_checkpoint(self, checkpoint)
+        return checkpoint
+
+    def restore(self, checkpoint: Checkpoint) -> None:
+        """Rehydrate a *fresh* validator from a :meth:`checkpoint`.
+
+        Advances the simulator to the checkpointed instant, rebuilds Ψid
+        and the pending records, re-arms every θτ timer at its original
+        deadline, and re-seeds the trigger-id counters. After a WAL-tail
+        replay the alarm stream continues byte-identically to the
+        uninterrupted run's (``flush_interval_ms=0`` regime).
+        """
+        meta = checkpoint.meta
+        if meta.get("engine") != "validator":
+            raise CheckpointError(
+                f"checkpoint is for engine {meta.get('engine')!r}, "
+                f"not a sequential validator")
+        if int(meta.get("k", -1)) != self.k:
+            raise CheckpointError(
+                f"checkpoint k={meta.get('k')!r} does not match "
+                f"this validator's k={self.k}")
+        if self.responses_received or self.triggers_decided or self._pending:
+            raise CheckpointError(
+                "restore target must be a fresh validator (this one has "
+                "already processed responses)")
+        state = checkpoint.state()
+        sim_now = float(meta.get("sim_now", 0.0))
+        if self.sim.now > sim_now:
+            raise CheckpointError(
+                f"simulator is at t={self.sim.now}ms, already past the "
+                f"checkpoint instant t={sim_now}ms")
+        if self.sim.now < sim_now:
+            self.sim.run(until=sim_now)
+        self.state.clear()
+        self.state.update(restore_controller_states(state["psi"]))
+        for tau, fields in state["pending"].items():
+            record = _TriggerRecord(responses=list(fields[0]),
+                                    count=fields[1], first_at=fields[2])
+            deadline = fields[3]
+            if deadline is not None:
+                record.timer = self.sim.schedule_at(
+                    deadline, self._on_timer, tau)
+            self._pending[tau] = record
+        self._recently_decided = dict(state["recently_decided"])
+        self.alarms = list(state["alarms"])
+        self.results = list(state["results"])
+        (self.responses_received, self.triggers_decided,
+         self.triggers_alarmed, self.late_responses) = state["counters"]
+        restore_trigger_ids(state["trigger_ids"])
+        self.staleness_threshold, self.staleness_cooldown_ms = \
+            state["staleness"]
+        observe_restore(self, checkpoint)
 
     # ------------------------------------------------------------------
     # Introspection for the harness

@@ -61,6 +61,15 @@ class ValidationError(ReproError):
     """The JURY validator was driven with malformed responses."""
 
 
+class CheckpointError(ValidationError):
+    """A checkpoint or write-ahead log could not be saved or restored.
+
+    Raised on format/version mismatches, sha-256 digest failures, restoring
+    into an engine whose shape (k, shards, timeout) differs from the one
+    that produced the snapshot, or restoring through a closed backend.
+    """
+
+
 class PolicyError(ReproError):
     """A JURY policy is syntactically or semantically invalid."""
 

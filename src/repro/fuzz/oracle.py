@@ -24,6 +24,11 @@ with observability on and off, checking the invariant catalog:
 ``ENGINE_DIVERGENCE``
     The sharded pipeline's canonical alarm stream differs from the
     sequential validator's at some shard count / execution backend.
+``RECOVERY_DIVERGENCE``
+    Killing an engine mid-stream, restoring its newest checkpoint, and
+    replaying the WAL tail plus the remaining records did not reproduce
+    the uninterrupted replay's alarm stream byte-for-byte
+    (:func:`repro.core.checkpoint.run_with_recovery`).
 ``COUNTER_MISMATCH``
     Engines agree on alarms but disagree on accounting (decided /
     received / late counts).
@@ -378,6 +383,22 @@ class DifferentialOracle:
                         f"{label} counters "
                         f"{self._counters(pipeline)} != {baseline_counters}"))
 
+        # --- Recovery invariants (repro.core.checkpoint) -------------
+        if live.records:
+            kill_index = len(live.records) // 2
+            for label, shards, backend in (("validator", None, "serial"),
+                                           ("pipeline N=2", 2, "serial")):
+                recovered = self._recover_replay(live, shards, backend,
+                                                 kill_index)
+                stream = canonical_alarm_stream(recovered.alarms)
+                if stream != expected:
+                    violations.append(InvariantViolation(
+                        "RECOVERY_DIVERGENCE",
+                        f"{label} restore + WAL replay after a kill at "
+                        f"record {kill_index}/{len(live.records)} diverged "
+                        f"({_sha256(stream)[:12]} != "
+                        f"{_sha256(expected)[:12]})"))
+
         # --- Observability invariants --------------------------------
         from repro.obs.metrics import MetricsRegistry
         seq_tracer = Tracer()
@@ -408,6 +429,43 @@ class DifferentialOracle:
                     f"canonical trace diverged at N={shards}; "
                     + first_divergence_detail(diff)))
         return report
+
+    def _recover_replay(self, live: LiveRun, shards: Optional[int],
+                        backend: str, kill_index: int,
+                        checkpoint_every: int = 8):
+        """Replay through a kill → restore → WAL-replay cycle.
+
+        Same engine construction as :meth:`_replay`, driven through
+        :func:`repro.core.checkpoint.run_with_recovery`: the first engine
+        is abandoned mid-stream after ``kill_index`` records, a twin is
+        restored from the newest automatic checkpoint, and the WAL tail
+        plus the remaining records finish the stream.
+        """
+        from repro.core.checkpoint import run_with_recovery
+        from repro.core.pipeline import ValidationPipeline
+        from repro.core.timeouts import StaticTimeout
+        from repro.core.validator import Validator
+        from repro.faults.injector import default_policy_engine
+
+        spec = live.spec
+        lookup = live.mastership.get
+
+        def make(sim):
+            kwargs = dict(timeout=StaticTimeout(spec.timeout_ms),
+                          policy_engine=default_policy_engine(),
+                          mastership_lookup=lookup)
+            if shards is None:
+                return Validator(sim, spec.k, **kwargs)
+            return ValidationPipeline(sim, spec.k, shards=shards,
+                                      backend=backend, **kwargs)
+
+        engine = run_with_recovery(live.records, make, kill_index,
+                                   checkpoint_every=checkpoint_every,
+                                   settle_ms=self.settle_ms)
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+        return engine
 
     # ------------------------------------------------------------------
     # Divergence triage

@@ -31,6 +31,7 @@ rate-1 sampler to ``None`` so hot paths keep their single
 
 from __future__ import annotations
 
+import itertools
 import zlib
 from typing import Optional, Tuple
 
@@ -47,9 +48,13 @@ class HeadSampler:
     #: Bound on the per-sampler decision memo. A trigger's lifecycle asks
     #: for the same decision once per response, span, and metric sample
     #: (~2k+2 times), so memoising the hash is what keeps the sampled
-    #: deployment inside the overhead gate. Clearing on overflow (rather
-    #: than evicting) is safe because the decision is a pure function —
-    #: a re-computation always returns the same answer.
+    #: deployment inside the overhead gate. Overflow evicts the *oldest*
+    #: half of the memo (FIFO over insertion order) rather than clearing
+    #: it wholesale: triggers still in flight are the most recently
+    #: inserted, so they keep their memoised decision across the eviction
+    #: and a trigger never pays the hash twice mid-lifecycle. (The
+    #: decision is a pure function either way — eviction can never change
+    #: an answer, only the cost of producing it.)
     _MEMO_LIMIT = 8192
 
     def __init__(self, rate: int = 1):
@@ -65,7 +70,11 @@ class HeadSampler:
         kept = self._memo.get(trigger_id)
         if kept is None:
             if len(self._memo) >= self._MEMO_LIMIT:
-                self._memo.clear()
+                # FIFO eviction of the oldest (= longest-completed) half;
+                # recent, possibly in-flight triggers stay memoised.
+                for stale in list(itertools.islice(iter(self._memo),
+                                                   self._MEMO_LIMIT // 2)):
+                    del self._memo[stale]
             kept = (zlib.crc32(repr(trigger_id).encode("utf-8"))
                     % self.rate == 0)
             self._memo[trigger_id] = kept

@@ -63,6 +63,8 @@ ENGINE_SUBMIT = "engine:submit"    #: batch frame handed to a backend worker
 ENGINE_EXECUTE = "engine:execute"  #: worker finished processing the frame
 ENGINE_MERGE = "engine:merge"      #: verdict frame merged into shared state
 ENGINE_DEGRADE = "engine:degrade"  #: worker lost twice; shard now runs inline
+ENGINE_CHECKPOINT = "engine:checkpoint"  #: recovery snapshot taken
+ENGINE_RESTORE = "engine:restore"        #: engine rehydrated from a snapshot
 
 STAGE_RANK: Dict[str, int] = {
     INTERCEPT: 0,
@@ -80,6 +82,8 @@ STAGE_RANK: Dict[str, int] = {
     ENGINE_EXECUTE: 12,
     ENGINE_MERGE: 13,
     ENGINE_DEGRADE: 14,
+    ENGINE_CHECKPOINT: 15,
+    ENGINE_RESTORE: 16,
 }
 
 #: Verdict value for a passing check.

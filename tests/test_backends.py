@@ -237,3 +237,104 @@ def test_close_is_idempotent_and_results_stay_readable(recorded_runs):
     engine.close()  # second close is a no-op
     assert engine.triggers_decided > 0
     assert isinstance(canonical_alarm_stream(engine.alarms), bytes)
+
+
+# ----------------------------------------------------------------------
+# close() discipline: idempotent, attach-free safe, dead-worker safe
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend_cls",
+                         [SerialBackend, ThreadsBackend, ProcessesBackend])
+def test_close_before_attach_is_a_no_op(backend_cls):
+    # A backend constructed but never attached to a pipeline (e.g. a
+    # config error between resolve_backend and spawn) has no workers to
+    # reap; close() — twice — must not raise.
+    backend = backend_cls()
+    backend.close()
+    backend.close()
+
+
+def test_close_after_worker_death_does_not_raise(recorded_runs):
+    """Double-close with the worker processes already gone: the pipes are
+    dead, but close() must swallow that, not raise on send."""
+    live = recorded_runs[1]
+    backend = ProcessesBackend(worker_timeout_s=30.0)
+    engine = _pipeline(live, 2, backend=backend)  # helper closed it once
+    for worker in backend._workers:
+        if worker.proc is not None:
+            worker.proc.kill()
+            worker.proc.join()
+    backend._closed = False  # re-run the full shutdown path on corpses
+    backend.close()
+    backend.close()
+    assert isinstance(canonical_alarm_stream(engine.alarms), bytes)
+
+
+@pytest.mark.parametrize("backend_name", ["threads", "processes"])
+def test_closed_backend_refuses_checkpoint_and_restore(recorded_runs,
+                                                       backend_name):
+    from repro.errors import CheckpointError
+
+    live = recorded_runs[1]
+    engine = _pipeline(live, 2, backend=backend_name)  # closed by helper
+    with pytest.raises(CheckpointError, match="closed"):
+        engine.checkpoint()
+    checkpoint_src = _pipeline(live, 2, backend="serial")
+    checkpoint = checkpoint_src.checkpoint()
+    from repro.sim.simulator import Simulator
+    fresh = ValidationPipeline(
+        Simulator(seed=0), live.spec.k, shards=2,
+        timeout=StaticTimeout(live.spec.timeout_ms), backend=backend_name)
+    fresh.close()
+    with pytest.raises(CheckpointError, match="closed"):
+        fresh.restore(checkpoint)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint interplay: a killed worker rehydrates from the restored
+# snapshot, not from frame 0
+# ----------------------------------------------------------------------
+
+def test_worker_crash_after_restore_rehydrates_from_snapshot(recorded_runs):
+    """Restore pushes the checkpointed core to each worker *and* resets
+    the piggyback basis, so a post-restore worker death replays only the
+    frames since the restore — and the stream still matches."""
+    live = recorded_runs[0]
+    expected = canonical_alarm_stream(_sequential(live).alarms)
+
+    cut = len(live.records) // 2
+    from repro.sim.simulator import Simulator
+
+    def make(sim, backend="serial", metrics=None):
+        return ValidationPipeline(
+            sim, live.spec.k, shards=2,
+            timeout=StaticTimeout(live.spec.timeout_ms),
+            policy_engine=default_policy_engine(),
+            mastership_lookup=live.mastership.get,
+            metrics=metrics, backend=backend)
+
+    sim = Simulator(seed=0)
+    engine = make(sim)
+    for record in live.records[:cut]:
+        sim.schedule_at(record.time_ms, engine.ingest, record.response)
+    sim.run(until=live.records[cut - 1].time_ms)
+    checkpoint = engine.checkpoint()
+
+    metrics = MetricsRegistry()
+    backend = ProcessesBackend(worker_timeout_s=30.0)
+    sim2 = Simulator(seed=0)
+    twin = make(sim2, backend=backend, metrics=metrics)
+    twin.restore(checkpoint)
+    backend.inject_crashes(0, 1)  # die on the first post-restore frame
+    last = checkpoint.meta["sim_now"]
+    for record in live.records[cut:]:
+        sim2.schedule_at(record.time_ms, twin.ingest, record.response)
+        last = max(last, record.time_ms)
+    sim2.run(until=last + 4 * live.spec.timeout_ms)
+    twin.drain()
+    twin.close()
+    assert canonical_alarm_stream(twin.alarms) == expected, \
+        "stream moved across restore + worker death"
+    assert metrics.value("backend_worker_restarts_total",
+                         backend="processes") == 1
+    assert metrics.value("backend_degraded_total", backend="processes") == 0

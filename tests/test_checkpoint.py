@@ -1,0 +1,542 @@
+"""Crash recovery (repro.core.checkpoint): envelope, WAL, round trips, soak.
+
+The headline property mirrors the differential suites' currency: restore
+from a checkpoint plus a WAL-tail replay must reproduce the uninterrupted
+run's canonical alarm stream *byte for byte* (``flush_interval_ms=0``
+regime, ``docs/recovery.md``). The workload here is the soak harness's
+indexed stream — a pure function of the trigger index — so cut points can
+land anywhere and the remainder is always recomputable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import JuryConfig
+from repro.core.alarms import canonical_alarm_stream
+from repro.core.checkpoint import (
+    Checkpoint,
+    WriteAheadLog,
+    replay_wal,
+    restore_engine,
+    run_with_recovery,
+    wal_last_ingest_time,
+    wal_tail,
+)
+from repro.core.pipeline import ValidationPipeline
+from repro.core.timeouts import StaticTimeout
+from repro.core.validator import Validator
+from repro.errors import CheckpointError
+from repro.harness.soak import soak_stream, soak_trigger
+from repro.sim.simulator import Simulator
+
+K = 3
+TIMEOUT_MS = 250.0
+SPACING_MS = 5.0
+SETTLE_MS = 5_000.0
+
+
+def _stream(triggers=120, seed=1):
+    return soak_stream(triggers, K, seed, SPACING_MS)
+
+
+def _make_validator(sim):
+    return Validator(sim, K, timeout=StaticTimeout(TIMEOUT_MS))
+
+
+def _make_pipeline(shards, backend="serial"):
+    def make(sim):
+        return ValidationPipeline(sim, K, shards=shards,
+                                  timeout=StaticTimeout(TIMEOUT_MS),
+                                  backend=backend)
+    return make
+
+
+def _run(make, records, until=None):
+    """Uninterrupted reference run over ``records``."""
+    sim = Simulator(seed=0)
+    engine = make(sim)
+    for record in records:
+        sim.schedule_at(record.time_ms, engine.ingest, record.response)
+    sim.run(until=(records[-1].time_ms + SETTLE_MS if until is None else until))
+    drain = getattr(engine, "drain", None)
+    if drain is not None:
+        drain()
+    return engine
+
+
+def _close(engine):
+    close = getattr(engine, "close", None)
+    if close is not None:
+        close()
+
+
+# ----------------------------------------------------------------------
+# Checkpoint envelope: versioned, digest-stamped, tamper-evident
+# ----------------------------------------------------------------------
+
+def test_envelope_build_state_round_trip():
+    state = {"psi": {"c1": (1, 2)}, "alarms": [], "counters": (3, 2, 0, 0)}
+    checkpoint = Checkpoint.build({"engine": "validator", "k": 3}, state)
+    assert checkpoint.state() == state
+    assert len(checkpoint.sha256) == 64
+    clone = Checkpoint.from_json(checkpoint.to_json())
+    assert clone.state() == state
+    assert clone.sha256 == checkpoint.sha256
+    assert clone.meta == checkpoint.meta
+
+
+def test_envelope_detects_tampered_body():
+    checkpoint = Checkpoint.build({}, {"x": 1})
+    checkpoint.body = checkpoint.body[:-1] + b"\x00"
+    with pytest.raises(CheckpointError, match="digest mismatch"):
+        checkpoint.state()
+    payload = Checkpoint.build({}, {"x": 1}).to_json()
+    payload["sha256"] = "0" * 64
+    with pytest.raises(CheckpointError, match="digest mismatch"):
+        Checkpoint.from_json(payload)
+
+
+def test_envelope_rejects_foreign_payloads():
+    with pytest.raises(CheckpointError, match="not a jury-checkpoint"):
+        Checkpoint.from_json({"format": "jury-flight"})
+    good = Checkpoint.build({}, {}).to_json()
+    good["version"] = 99
+    with pytest.raises(CheckpointError, match="version"):
+        Checkpoint.from_json(good)
+    bad_body = Checkpoint.build({}, {}).to_json()
+    bad_body["body"] = "not base64!!!"
+    with pytest.raises(CheckpointError, match="unreadable"):
+        Checkpoint.from_json(bad_body)
+
+
+def test_envelope_save_load_file(tmp_path):
+    checkpoint = Checkpoint.build({"engine": "validator"}, {"n": 42})
+    path = tmp_path / "cp.json"
+    checkpoint.save(str(path))
+    assert not os.path.exists(str(path) + ".tmp"), "atomic rename leftovers"
+    loaded = Checkpoint.load(str(path))
+    assert loaded.sha256 == checkpoint.sha256
+    assert loaded.state() == {"n": 42}
+    with pytest.raises(CheckpointError, match="cannot load"):
+        Checkpoint.load(str(tmp_path / "missing.json"))
+
+
+# ----------------------------------------------------------------------
+# Write-ahead log: durability discipline and the marker-position contract
+# ----------------------------------------------------------------------
+
+def test_wal_file_round_trip(tmp_path):
+    path = str(tmp_path / "wal.bin")
+    with WriteAheadLog(path) as wal:
+        wal.append_ingest(1.0, "r1")
+        wal.append_checkpoint("a" * 64)
+        wal.append_ingest(2.0, "r2")
+        wal.append_decision(2.5, ("ext", 0), 0)
+    records = WriteAheadLog.read(path)
+    assert [r[0] for r in records] == \
+        ["ingest", "checkpoint", "ingest", "decision"]
+    assert wal_last_ingest_time(records) == 2.0
+    assert wal_tail(records, "a" * 64)[0][2] == "r2"
+
+
+def test_wal_truncated_tail_is_dropped_not_misparsed(tmp_path):
+    path = str(tmp_path / "wal.bin")
+    with WriteAheadLog(path) as wal:
+        wal.append_ingest(1.0, "whole")
+        wal.append_ingest(2.0, "torn-by-the-crash")
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(size - 3)  # cut the last record mid-pickle
+    records = WriteAheadLog.read(path)
+    assert len(records) == 1 and records[0][2] == "whole"
+
+
+def test_wal_tail_is_position_based_not_time_based():
+    # Two ingests at the *same instant* as the checkpoint: the one
+    # appended before the marker is subsumed by the snapshot, the one
+    # after must replay. A timestamp cut would replay both or neither.
+    wal = WriteAheadLog()
+    wal.append_ingest(5.0, "before")
+    wal.append_checkpoint("c" * 64)
+    wal.append_ingest(5.0, "after")
+    tail = wal_tail(wal.records(), "c" * 64)
+    assert [r[2] for r in tail] == ["after"]
+    with pytest.raises(CheckpointError, match="no checkpoint marker"):
+        wal_tail(wal.records(), "d" * 64)
+
+
+def test_wal_tail_uses_newest_matching_marker():
+    # The same digest can be checkpointed twice (idle engine): recovery
+    # anchors on the *last* marker so the replayed tail is minimal.
+    wal = WriteAheadLog()
+    wal.append_checkpoint("e" * 64)
+    wal.append_ingest(1.0, "old")
+    wal.append_checkpoint("e" * 64)
+    wal.append_ingest(2.0, "new")
+    assert [r[2] for r in wal_tail(wal.records(), "e" * 64)] == ["new"]
+
+
+def test_replay_wal_schedules_only_ingests():
+    sim = Simulator(seed=0)
+    seen = []
+
+    class _Engine:
+        def __init__(self):
+            self.sim = sim
+
+        def ingest(self, response):
+            seen.append((sim.now, response))
+
+    wal = WriteAheadLog()
+    wal.append_ingest(3.0, "a")
+    wal.append_decision(3.5, ("ext", 0), 0)
+    wal.append_ingest(7.0, "b")
+    count, last = replay_wal(_Engine(), wal.records())
+    assert (count, last) == (2, 7.0)
+    sim.run(until=10.0)
+    assert seen == [(3.0, "a"), (7.0, "b")]
+
+
+# ----------------------------------------------------------------------
+# Round-trip property: restore(checkpoint(s)) is byte-identical
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("label,make", [
+    ("validator", _make_validator),
+    ("pipeline-N2", _make_pipeline(2)),
+    ("pipeline-N4-threads", _make_pipeline(4, backend="threads")),
+])
+@pytest.mark.parametrize("cut", (0.25, 0.5, 0.75))
+def test_restore_resumes_byte_identical(label, make, cut):
+    """Checkpoint mid-stream, restore a fresh twin, feed it the remainder:
+    the twin's settled alarm stream matches the uninterrupted run's."""
+    records = _stream()
+    reference = _run(make, records)
+    expected = canonical_alarm_stream(reference.alarms)
+    assert expected, "workload must alarm for the comparison to bite"
+    _close(reference)
+
+    cut_index = int(len(records) * cut)
+    cut_time = records[cut_index].time_ms
+    sim = Simulator(seed=0)
+    engine = make(sim)
+    for record in records[:cut_index + 1]:
+        sim.schedule_at(record.time_ms, engine.ingest, record.response)
+    sim.run(until=cut_time)
+    checkpoint = engine.checkpoint()
+    _close(engine)
+
+    sim2 = Simulator(seed=0)
+    twin = make(sim2)
+    twin.restore(checkpoint)
+    assert twin.sim.now == cut_time
+    for record in records[cut_index + 1:]:
+        sim2.schedule_at(record.time_ms, twin.ingest, record.response)
+    sim2.run(until=records[-1].time_ms + SETTLE_MS)
+    drain = getattr(twin, "drain", None)
+    if drain is not None:
+        drain()
+    assert canonical_alarm_stream(twin.alarms) == expected, \
+        f"{label} diverged after a restore at {cut:.0%}"
+    assert twin.triggers_decided == reference.triggers_decided
+    assert twin.responses_received == reference.responses_received
+    _close(twin)
+
+
+def test_immediate_restore_re_checkpoints_to_the_same_state():
+    """checkpoint → restore → checkpoint is a fixed point: the twin's
+    snapshot captures byte-identical state per section — pending records,
+    Ψ, heaps and counters included. (The whole-body digest is deliberately
+    not compared: pickle memoization encodes object-identity sharing
+    *across* sections, and a string interned in the original process may
+    be two equal objects in the twin — a representation detail, not
+    state.)"""
+    import pickle
+
+    records = _stream(triggers=60)
+    for make in (_make_validator, _make_pipeline(2)):
+        cut = records[len(records) // 2].time_ms
+        sim = Simulator(seed=0)
+        engine = make(sim)
+        for record in records:
+            if record.time_ms <= cut:
+                sim.schedule_at(record.time_ms, engine.ingest,
+                                record.response)
+        sim.run(until=cut)
+        checkpoint = engine.checkpoint()
+        _close(engine)
+        sim2 = Simulator(seed=0)
+        twin = make(sim2)
+        twin.restore(checkpoint)
+        again = twin.checkpoint()
+        assert again.meta == checkpoint.meta
+        state, twin_state = checkpoint.state(), again.state()
+        assert state.keys() == twin_state.keys()
+        for key in state:
+            assert pickle.dumps(state[key], 5) == \
+                pickle.dumps(twin_state[key], 5), f"{key} drifted"
+        _close(twin)
+
+
+def test_restore_rejects_mismatched_or_dirty_targets():
+    records = _stream(triggers=30)
+    engine = _run(_make_validator, records)
+    checkpoint = engine.checkpoint()
+
+    # Engine-kind and shape mismatches fail loud, not silently diverge.
+    pipeline = ValidationPipeline(Simulator(seed=0), K, shards=2,
+                                  timeout=StaticTimeout(TIMEOUT_MS))
+    with pytest.raises(CheckpointError, match="engine"):
+        pipeline.restore(checkpoint)
+    wrong_k = Validator(Simulator(seed=0), K + 1,
+                        timeout=StaticTimeout(TIMEOUT_MS))
+    with pytest.raises(CheckpointError, match="k="):
+        wrong_k.restore(checkpoint)
+
+    # A used engine is not a restore target.
+    with pytest.raises(CheckpointError, match="fresh"):
+        engine.restore(checkpoint)
+
+    # A simulator already past the checkpoint instant cannot rewind.
+    late_sim = Simulator(seed=0)
+    late_sim.run(until=checkpoint.meta["sim_now"] + 1.0)
+    late = Validator(late_sim, K, timeout=StaticTimeout(TIMEOUT_MS))
+    with pytest.raises(CheckpointError, match="past"):
+        late.restore(checkpoint)
+
+
+def test_checkpoint_is_backend_portable():
+    """A snapshot harvested from process workers restores into a serial
+    twin (and vice versa): shard payloads are plain dicts, not frames."""
+    records = _stream(triggers=80)
+    reference = _run(_make_pipeline(2), records)
+    expected = canonical_alarm_stream(reference.alarms)
+
+    cut_index = len(records) // 2
+    cut_time = records[cut_index].time_ms
+    sim = Simulator(seed=0)
+    engine = _make_pipeline(2, backend="processes")(sim)
+    for record in records[:cut_index + 1]:
+        sim.schedule_at(record.time_ms, engine.ingest, record.response)
+    sim.run(until=cut_time)
+    checkpoint = engine.checkpoint()
+    _close(engine)
+
+    twin = restore_engine(checkpoint, backend="serial")
+    assert isinstance(twin, ValidationPipeline)
+    for record in records[cut_index + 1:]:
+        twin.sim.schedule_at(record.time_ms, twin.ingest, record.response)
+    twin.sim.run(until=records[-1].time_ms + SETTLE_MS)
+    twin.drain()
+    assert canonical_alarm_stream(twin.alarms) == expected
+
+
+# ----------------------------------------------------------------------
+# Auto-checkpointing (checkpoint_every) and the config/deployment wiring
+# ----------------------------------------------------------------------
+
+def test_auto_checkpoint_fires_and_newest_snapshot_restores():
+    records = _stream(triggers=100)
+    taken = []
+    sim = Simulator(seed=0)
+    engine = ValidationPipeline(sim, K, shards=2,
+                                timeout=StaticTimeout(TIMEOUT_MS),
+                                checkpoint_every=25,
+                                on_checkpoint=taken.append)
+    wal = WriteAheadLog()
+    engine.wal = wal
+    for record in records:
+        sim.schedule_at(record.time_ms, engine.ingest, record.response)
+    sim.run(until=records[-1].time_ms + SETTLE_MS)
+    engine.drain()
+    expected = canonical_alarm_stream(engine.alarms)
+    assert len(taken) >= 3, "100 decided triggers at every-25 must snapshot"
+    decided = [cp.meta["triggers_decided"] for cp in taken]
+    assert decided == sorted(decided)
+    # Each snapshot left its marker in the WAL, newest last.
+    markers = [r[1] for r in wal.records() if r[0] == "checkpoint"]
+    assert markers == [cp.sha256 for cp in taken]
+    # The newest snapshot alone already carries the full alarm history
+    # (nothing was pending at quiescence).
+    twin = restore_engine(taken[-1])
+    assert canonical_alarm_stream(twin.alarms) == expected
+
+
+def test_config_checkpoint_every_validation_and_deployment_wiring():
+    with pytest.raises(Exception):
+        JuryConfig(kind="onos", n=3, k=2, checkpoint_every=0)
+    with pytest.raises(Exception):
+        JuryConfig(kind="onos", n=3, k=2, checkpoint_every=True)
+    config = JuryConfig(kind="onos", n=3, k=2, switches=4, seed=3,
+                        timeout_ms=200.0, policies=("default",),
+                        checkpoint_every=5)
+    assert config.describe()["checkpoint_every"] == 5
+    assert JuryConfig.from_dict(config.to_dict()).checkpoint_every == 5
+
+    from repro.api import Jury
+    from repro.workloads.traffic import TrafficDriver
+    experiment = Jury.experiment(config)
+    experiment.warmup()
+    deployment = experiment.jury
+    driver = TrafficDriver(experiment.sim, experiment.topology,
+                           packet_in_rate_per_s=300.0, duration_ms=200.0)
+    driver.start()
+    experiment.run(200.0 + 4 * 200.0)
+    assert deployment.validator.triggers_decided >= 5
+    newest = deployment.last_checkpoint
+    assert newest is not None, "deployment must keep the newest snapshot"
+    assert newest.meta["engine"] == "validator"
+    # The kept snapshot is a live restore point, not just bookkeeping.
+    twin = restore_engine(newest)
+    assert twin.triggers_decided == newest.meta["triggers_decided"]
+
+
+# ----------------------------------------------------------------------
+# Kill/recover through run_with_recovery on the indexed workload
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("shards", (None, 1, 2, 4, 8))
+def test_run_with_recovery_matches_uninterrupted(shards):
+    records = _stream(triggers=90, seed=4)
+    make = _make_validator if shards is None else _make_pipeline(shards)
+    expected = canonical_alarm_stream(_run(make, records).alarms)
+    for kill_fraction in (0.2, 0.6):
+        kill_index = int(len(records) * kill_fraction)
+        recovered = run_with_recovery(records, make, kill_index,
+                                      checkpoint_every=10,
+                                      settle_ms=SETTLE_MS)
+        label = f"N={shards} kill@{kill_fraction:.0%}"
+        assert canonical_alarm_stream(recovered.alarms) == expected, \
+            f"{label}: recovery diverged"
+        _close(recovered)
+
+
+def test_run_with_recovery_kill_before_first_checkpoint():
+    """A kill inside the first interval restores from the t=0 baseline
+    snapshot and replays the whole WAL."""
+    records = _stream(triggers=40, seed=2)
+    expected = canonical_alarm_stream(_run(_make_validator, records).alarms)
+    recovered = run_with_recovery(records, _make_validator, kill_index=3,
+                                  checkpoint_every=1_000_000,
+                                  settle_ms=SETTLE_MS)
+    assert canonical_alarm_stream(recovered.alarms) == expected
+
+
+# ----------------------------------------------------------------------
+# Soak workload purity (what makes the parent's resume recomputable)
+# ----------------------------------------------------------------------
+
+def test_soak_workload_is_a_pure_function_of_the_index():
+    a = soak_trigger(17, K, seed=0, spacing_ms=SPACING_MS)
+    b = soak_trigger(17, K, seed=0, spacing_ms=SPACING_MS)
+    assert [(r.time_ms, r.response) for r in a] == \
+        [(r.time_ms, r.response) for r in b]
+    # A different seed redraws flows/faults.
+    c = soak_trigger(17, K, seed=99, spacing_ms=SPACING_MS)
+    assert [r.response for r in c] != [r.response for r in a]
+    # The flat stream is the concatenation of the per-index triggers.
+    stream = soak_stream(5, K, 0, SPACING_MS)
+    flat = [r for i in range(5)
+            for r in soak_trigger(i, K, 0, SPACING_MS)]
+    assert [(r.time_ms, r.response) for r in stream] == \
+        [(r.time_ms, r.response) for r in flat]
+
+
+def test_soak_timestamps_are_globally_distinct_and_ordered():
+    stream = soak_stream(30, K, 0, SPACING_MS)
+    times = [r.time_ms for r in stream]
+    assert times == sorted(times)
+    assert len(set(times)) == len(times), \
+        "distinct timestamps are what make the resume boundary exact"
+
+
+def test_soak_workload_plants_faults():
+    # FAULT_STRIDE guarantees ~2% faulted triggers; make sure the default
+    # soak actually exercises the alarm path.
+    engine = _run(_make_validator, _stream(triggers=120, seed=0))
+    assert engine.triggers_alarmed > 0
+
+
+# ----------------------------------------------------------------------
+# The soak harness end-to-end (a real SIGKILL, scaled down for CI)
+# ----------------------------------------------------------------------
+
+def test_run_soak_kill_and_recover(tmp_path):
+    from repro.harness.soak import run_soak
+
+    payload = run_soak(duration_s=2.0, kill_at_s=1.0, checkpoint_every=20,
+                       rate_per_s=50.0, k=K, max_rss_mb=512.0,
+                       workdir=str(tmp_path))
+    assert payload["ok"], payload["failures"]
+    assert payload["worker_exitcode"] == -9
+    assert payload["alarm_streams_identical"] is True
+    assert payload["recovered"]["decided"] == payload["reference"]["decided"]
+    assert payload["worker_peak_rss_kb"] <= 512 * 1024
+    # The artifacts a post-mortem needs are on disk.
+    assert (tmp_path / "CHECKPOINT_sample.json").exists()
+    assert (tmp_path / "soak-wal.bin").exists()
+
+
+def test_run_soak_rejects_out_of_range_kill(tmp_path):
+    from repro.harness.soak import run_soak
+
+    with pytest.raises(CheckpointError, match="kill-at"):
+        run_soak(duration_s=2.0, kill_at_s=5.0, workdir=str(tmp_path))
+
+
+def test_soak_cli_round_trip(tmp_path):
+    from repro.cli import main
+
+    sample = tmp_path / "CHECKPOINT_out.json"
+    code = main(["soak", "--duration", "2", "--kill-at", "1",
+                 "--rate", "50", "--checkpoint-every", "20",
+                 "--workdir", str(tmp_path / "work"),
+                 "--checkpoint-output", str(sample)])
+    assert code == 0
+    # The uploaded sample is a loadable, digest-verified checkpoint.
+    checkpoint = Checkpoint.load(str(sample))
+    assert checkpoint.meta["engine"] == "validator"
+    assert main(["soak", "--duration", "2", "--kill-at", "9"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Fuzz-corpus streams through the recovery path
+# ----------------------------------------------------------------------
+
+def test_fuzz_corpus_replays_through_restored_pipeline(small_fuzz_corpus):
+    """Recorded fuzz scenarios survive a mid-stream kill + restore at
+    N ∈ {2, 4}: the recovered stream matches the sequential replay."""
+    from repro.faults.injector import default_policy_engine
+    from repro.fuzz import DifferentialOracle
+    from repro.workloads.recorder import replay_validation_stream
+
+    oracle = DifferentialOracle()
+    faulted = next(s for s in small_fuzz_corpus if s.faults)
+    clean = next(s for s in small_fuzz_corpus if not s.faults)
+    for spec in (faulted, clean):
+        live = oracle.record(spec)
+        assert live.records, f"seed {spec.seed} recorded nothing"
+        lookup = live.mastership.get
+        sequential = replay_validation_stream(
+            live.records, lambda sim: Validator(
+                sim, spec.k, timeout=StaticTimeout(spec.timeout_ms),
+                policy_engine=default_policy_engine(),
+                mastership_lookup=lookup))
+        expected = canonical_alarm_stream(sequential.alarms)
+        for shards in (2, 4):
+            def make(sim):
+                return ValidationPipeline(
+                    sim, spec.k, shards=shards,
+                    timeout=StaticTimeout(spec.timeout_ms),
+                    policy_engine=default_policy_engine(),
+                    mastership_lookup=lookup)
+
+            recovered = run_with_recovery(
+                live.records, make, kill_index=len(live.records) // 3,
+                checkpoint_every=8)
+            assert canonical_alarm_stream(recovered.alarms) == expected, \
+                f"seed {spec.seed} diverged through recovery at N={shards}"
+            _close(recovered)

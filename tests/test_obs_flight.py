@@ -94,6 +94,41 @@ def test_active_sampler_normalises_off_to_none():
     assert active_sampler(sampler) is sampler
 
 
+def test_sampler_memo_eviction_is_bounded_and_keeps_recent_decisions():
+    """Regression for the long-run memo bug: overflow used to clear the
+    whole memo, so a trigger still in flight re-hashed mid-lifecycle and
+    a soak leaked one dict entry per trigger between clears. Eviction
+    must (a) drop only the *oldest* half, so recently-inserted (in-flight)
+    triggers keep their memoised decision across the sweep, and (b) keep
+    the memo within ``_MEMO_LIMIT`` forever, without ever flipping a
+    decision."""
+    sampler = HeadSampler(8)
+    limit = HeadSampler._MEMO_LIMIT
+    # Fill the memo: old completed triggers first, in-flight ones last.
+    for i in range(limit - 16):
+        sampler.sampled(("pkt", ("done", i)))
+    inflight = [("ext", ("live", i)) for i in range(16)]
+    expected = {tau: sampler.sampled(tau) for tau in inflight}
+    assert len(sampler._memo) == limit
+    # The overflow insert sweeps the oldest half; the in-flight triggers
+    # were inserted last, so they must survive with their decisions.
+    sampler.sampled(("pkt", ("done", "overflow")))
+    assert len(sampler._memo) == limit - limit // 2 + 1
+    for tau in inflight:
+        assert tau in sampler._memo, "recently-inserted trigger was evicted"
+        assert sampler.sampled(tau) is expected[tau]
+    assert ("pkt", ("done", 0)) not in sampler._memo, "oldest entry survived"
+    # Long-run bound: 3x the limit of fresh ids never grows the memo past
+    # the cap, and re-asking an evicted id still answers identically
+    # (purity: eviction changes cost, never the decision).
+    for i in range(3 * limit):
+        sampler.sampled(("pkt", ("flood", i)))
+        assert len(sampler._memo) <= limit, \
+            f"memo grew past the bound after {i + 1} inserts"
+    for tau in inflight:
+        assert sampler.sampled(tau) is expected[tau]
+
+
 # ----------------------------------------------------------------------
 # Flight recorder: ring discipline and byte-stable dumps
 # ----------------------------------------------------------------------

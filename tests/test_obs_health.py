@@ -99,6 +99,23 @@ def test_evaluation_is_arrival_order_independent():
     assert forward.evaluate(1500.0) == backward.evaluate(1500.0)
 
 
+def test_empty_windows_evaluate_to_zero_lag_not_a_crash():
+    """Long-run guard: a replica that goes silent leaves later windows with
+    no lag samples. Every ``percentile`` call site must be gated on a
+    non-empty window (``percentile([])`` raises by contract), so a soak
+    that outlives its traffic still evaluates — with zero lag terms."""
+    tracker = ReplicaHealthTracker(window_ms=1000.0, interval_ms=250.0)
+    tracker.record_response(10.0, "c1", lag_ms=4.0)
+    _decision(tracker, 11.0, ["c1"])
+    # c2 is known only as a decision participant: it never reported a lag.
+    _decision(tracker, 12.0, ["c1", "c2"])
+    reports = tracker.evaluate(20_000.0)  # 19 windows past the last event
+    assert set(reports) == {"c1", "c2"}
+    for report in reports.values():
+        assert report.lag_p95_ms == 0.0
+        assert not report.suspected
+
+
 # ----------------------------------------------------------------------
 # Hysteresis
 # ----------------------------------------------------------------------

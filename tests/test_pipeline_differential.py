@@ -425,3 +425,51 @@ def test_fuzz_generated_workloads_byte_identical(small_fuzz_corpus):
             assert canonical_alarm_stream(pipeline.alarms) == expected, \
                 f"seed {spec.seed} diverged at N={shards}"
             assert pipeline.triggers_decided == sequential.triggers_decided
+
+
+# ----------------------------------------------------------------------
+# Crash recovery: kill at every checkpoint interval, stream never moves
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["benign-11", "fault-t1"])
+@pytest.mark.parametrize("shards", (None,) + SHARD_COUNTS,
+                         ids=lambda s: "seq" if s is None else f"N{s}")
+def test_kill_and_recover_at_every_interval(workloads, name, shards):
+    """Sweep the kill point across checkpoint-interval boundaries: for
+    each quarter of the stream, crash there, restore the newest snapshot,
+    replay the WAL tail + remainder, and demand the uninterrupted stream
+    byte for byte. Covers kills landing exactly on an interval edge, just
+    after a snapshot, and deep inside an interval, for the sequential
+    validator and every shard count."""
+    from repro.core.checkpoint import run_with_recovery
+
+    records, mastership = workloads[name]
+    lookup = mastership.get
+    if shards is None:
+        expected_engine = _sequential(records, mastership)
+
+        def make(sim):
+            return Validator(
+                sim, K, timeout=StaticTimeout(TIMEOUT_MS),
+                policy_engine=default_policy_engine(),
+                mastership_lookup=lookup)
+    else:
+        expected_engine = _pipeline(records, mastership, shards)
+
+        def make(sim):
+            return ValidationPipeline(
+                sim, K, shards=shards, timeout=StaticTimeout(TIMEOUT_MS),
+                policy_engine=default_policy_engine(),
+                mastership_lookup=lookup)
+
+    expected = canonical_alarm_stream(expected_engine.alarms)
+    quarter = max(1, len(records) // 4)
+    for kill_index in (quarter, 2 * quarter, 3 * quarter):
+        recovered = run_with_recovery(records, make, kill_index,
+                                      checkpoint_every=quarter)
+        got = canonical_alarm_stream(recovered.alarms)
+        assert got == expected, \
+            f"{name} N={shards}: recovery diverged at kill={kill_index}"
+        assert recovered.triggers_decided == expected_engine.triggers_decided
+        if hasattr(recovered, "close"):
+            recovered.close()

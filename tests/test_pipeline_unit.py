@@ -142,10 +142,10 @@ def test_pipeline_alarms_property_is_merge_ordered():
 
 
 # ----------------------------------------------------------------------
-# Ψid checkpointing
+# Ψid merged view
 # ----------------------------------------------------------------------
 
-def test_checkpoint_merge_matches_shared_view():
+def test_merged_view_matches_shared_view():
     workload = synthetic_validation_workload(triggers=300, k=4, seed=6)
     sim = Simulator(seed=0)
     pipeline = make_pipeline(sim, k=4, shards=4)
@@ -153,7 +153,7 @@ def test_checkpoint_merge_matches_shared_view():
         for response in responses:
             pipeline.ingest(response)
     pipeline.drain()
-    merged = pipeline.checkpoint()
+    merged = pipeline.merged_view()
     assert set(merged) == set(pipeline.state)
     for cid, entry in merged.items():
         shared = pipeline.state[cid]
